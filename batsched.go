@@ -1,0 +1,335 @@
+// Package batsched is a library for scheduling Bulk Access Transactions
+// (BATs) on shared-nothing parallel database machines, reproducing
+// Ohmori, Kitsuregawa and Tanaka, "Concurrency Control of Bulk Access
+// Transactions on Shared Nothing Parallel Database Machines" (ICDE 1990).
+//
+// A BAT reads and updates whole file partitions; scheduling many of them
+// concurrently suffers from extreme data contention (partition-level
+// locks, chains of blocking) and resource contention (bulk operations
+// saturate a node). The paper's answer — and this library's core — is the
+// Weighted Transaction Precedence Graph (WTPG): conflicting transactions
+// are connected by weighted candidate precedence edges whose weights are
+// remaining I/O demands, so the critical path from the virtual initial
+// transaction T0 to the virtual final transaction Tf estimates the
+// earliest possible completion time of any serialization order. Two
+// schedulers exploit it:
+//
+//   - CHAIN (Chain-WTPG) computes the globally optimal serialization
+//     order W on chain-form WTPGs in O(N²) and grants only W-consistent
+//     lock requests.
+//   - K-WTPG grants a request q only when its locally estimated
+//     contention E(q) is minimal among the conflicting declarations,
+//     under a K-conflict admission bound.
+//
+// The package also provides the paper's baselines (ASL, C2PL, NODC and
+// the CHAIN-C2PL / K-C2PL hybrids), a deterministic discrete-event
+// simulator of the machine model, the four workloads of the evaluation
+// section, and harnesses that regenerate every figure of the paper.
+//
+// # Quick start
+//
+//	t1 := batsched.NewTransaction(1, []batsched.Step{
+//		{Mode: batsched.Read, Part: 0, Cost: 1},
+//		{Mode: batsched.Write, Part: 0, Cost: 1},
+//	})
+//	... build a WTPG, run a scheduler, or simulate a whole machine; see
+//	the examples/ directory.
+package batsched
+
+import (
+	"batsched/internal/core/chainopt"
+	"batsched/internal/core/estimate"
+	"batsched/internal/core/sched"
+	"batsched/internal/core/wtpg"
+	"batsched/internal/event"
+	"batsched/internal/experiments"
+	"batsched/internal/live"
+	"batsched/internal/machine"
+	"batsched/internal/planner"
+	"batsched/internal/sim"
+	"batsched/internal/txn"
+	"batsched/internal/workload"
+)
+
+// Transaction model (§2.2 of the paper).
+type (
+	// Transaction is a declared sequence of read/write steps.
+	Transaction = txn.T
+	// Step is one read or write of a partition with an I/O demand in
+	// objects.
+	Step = txn.Step
+	// Mode is Read (shared lock) or Write (exclusive lock).
+	Mode = txn.Mode
+	// TxnID identifies a transaction.
+	TxnID = txn.ID
+	// PartitionID identifies a partition locking-granule.
+	PartitionID = txn.PartitionID
+	// Pattern is a reusable transaction template over symbolic partition
+	// variables, in the paper's "r(F1:1) -> w(F2:0.2)" notation.
+	Pattern = txn.Pattern
+)
+
+// Access modes.
+const (
+	Read  = txn.Read
+	Write = txn.Write
+)
+
+// NewTransaction builds a transaction whose declared demands equal its
+// true demands.
+func NewTransaction(id TxnID, steps []Step) *Transaction { return txn.New(id, steps) }
+
+// NewTransactionDeclared builds a transaction with explicit (possibly
+// erroneous) declared demands, as in the paper's Experiment 4.
+func NewTransactionDeclared(id TxnID, steps []Step, declared []float64) *Transaction {
+	return txn.NewDeclared(id, steps, declared)
+}
+
+// ParsePattern parses the paper's arrow notation, e.g.
+// "r(F1:1) -> r(F2:5) -> w(F1:0.2) -> w(F2:1)".
+func ParsePattern(name, src string) (*Pattern, error) { return txn.ParsePattern(name, src) }
+
+// WTPG core (§3 of the paper).
+type (
+	// WTPG is the Weighted Transaction Precedence Graph.
+	WTPG = wtpg.Graph
+	// WTPGEdge is a conflicting- or precedence-edge of the graph.
+	WTPGEdge = wtpg.Edge
+	// Chain is a maximal path of the conflict graph.
+	Chain = wtpg.Chain
+	// ChainProblem is the chain-optimization input (w(T0→n[k]) and the
+	// per-direction edge weights).
+	ChainProblem = chainopt.Chain
+	// ChainSolution is an optimal orientation and its critical path.
+	ChainSolution = chainopt.Solution
+	// Orientation orients one chain edge (Down, Up or Free).
+	Orientation = chainopt.Orientation
+)
+
+// Chain edge orientations.
+const (
+	Free = chainopt.Free
+	Down = chainopt.Down
+	Up   = chainopt.Up
+)
+
+// NewWTPG returns an empty graph.
+func NewWTPG() *WTPG { return wtpg.New() }
+
+// FormatWTPGPath renders a critical path as "T0 -> T1 -> Tf (length 6)".
+func FormatWTPGPath(path []TxnID, length float64) string {
+	return wtpg.FormatPath(path, length)
+}
+
+// ConflictWeights computes the §3.1 conflicting-edge weights between two
+// declared transactions.
+func ConflictWeights(a, b *Transaction) (wab, wba float64, ok bool) {
+	return wtpg.ConflictWeights(a, b)
+}
+
+// SolveChain computes the full serialization order with the shortest
+// critical path on a chain-form WTPG in O(N²), honouring already-resolved
+// edges (the production algorithm behind the CHAIN scheduler).
+func SolveChain(c ChainProblem) (ChainSolution, error) { return chainopt.Solve(c) }
+
+// SolveChainPaper runs the appendix's literal Lcomp/Rcomp algorithm
+// (free chains only).
+func SolveChainPaper(c ChainProblem) (ChainSolution, error) { return chainopt.SolvePaper(c) }
+
+// SolveChainExhaustive enumerates all orientations — the test oracle.
+func SolveChainExhaustive(c ChainProblem) (ChainSolution, error) {
+	return chainopt.SolveExhaustive(c)
+}
+
+// EstimateE evaluates the K-WTPG scheduler's E(q) on a graph: the
+// contention of the present schedule if transaction t's request — which
+// would order t before every target — were granted now (§3.3).
+func EstimateE(g *WTPG, t TxnID, targets []TxnID) float64 {
+	return estimate.E(g, t, targets)
+}
+
+// Schedulers (§3 and §4.1 of the paper).
+type (
+	// Scheduler is the control-node concurrency-control policy.
+	Scheduler = sched.Scheduler
+	// SchedulerFactory builds scheduler instances for simulation runs.
+	SchedulerFactory = sched.Factory
+	// ControlCosts carries ddtime/chaintime/kwtpgtime and the §3.4
+	// control-saving period.
+	ControlCosts = sched.Costs
+	// Decision classifies an admit/request outcome.
+	Decision = sched.Decision
+	// Outcome is a decision plus its control-node CPU cost.
+	Outcome = sched.Outcome
+)
+
+// Scheduler decisions.
+const (
+	Granted = sched.Granted
+	Blocked = sched.Blocked
+	Delayed = sched.Delayed
+	Aborted = sched.Aborted
+)
+
+// Scheduler factories, named as in the paper.
+func NODC() SchedulerFactory               { return sched.NODCFactory() }
+func ASL() SchedulerFactory                { return sched.ASLFactory() }
+func C2PL() SchedulerFactory               { return sched.C2PLFactory() }
+func CHAIN() SchedulerFactory              { return sched.ChainFactory() }
+func KWTPG(k int) SchedulerFactory         { return sched.KWTPGFactory(k) }
+func ChainC2PL() SchedulerFactory          { return sched.ChainC2PLFactory() }
+func KConflictC2PL(k int) SchedulerFactory { return sched.KC2PLFactory(k) }
+
+// Machine and simulation (§4.1 of the paper).
+type (
+	// Time is a simulation timestamp in clocks (1 clock = 1 ms).
+	Time = event.Time
+	// MachineConfig is the Table 1 machine configuration.
+	MachineConfig = machine.Config
+	// SimConfig describes one simulation run.
+	SimConfig = sim.Config
+	// SimResult reports one run's metrics.
+	SimResult = sim.Result
+	// Workload generates arriving transactions.
+	Workload = workload.Generator
+	// PatternWorkload instantiates a pattern with random bindings.
+	PatternWorkload = workload.PatternGenerator
+	// HotSetLayout describes the Experiment 2/3 database layout.
+	HotSetLayout = workload.HotSetLayout
+)
+
+// DefaultMachine returns the Table 1 defaults (see DESIGN.md §4).
+func DefaultMachine() MachineConfig { return machine.DefaultConfig() }
+
+// Simulate executes one deterministic simulation run.
+func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// The paper's workloads.
+func WorkloadExperiment1(numParts int) Workload { return workload.Experiment1(numParts) }
+func WorkloadExperiment2(l HotSetLayout) Workload {
+	return workload.Experiment2(l)
+}
+func WorkloadExperiment3(l HotSetLayout) Workload {
+	return workload.Experiment3(l)
+}
+
+// WithDeclarationError wraps a workload with Experiment 4's erroneous
+// I/O-demand model (declared = true × (1 + x), x ~ N(0, σ²), clamped ≥0).
+func WithDeclarationError(w Workload, sigma float64) Workload {
+	return workload.WithDeclarationError(w, sigma)
+}
+
+// Experiment harness (§4 of the paper).
+type (
+	// ExperimentOptions configures a figure regeneration.
+	ExperimentOptions = experiments.Options
+	// Experiment results, one per paper experiment.
+	Experiment1Result = experiments.Experiment1Result
+	Experiment2Result = experiments.Experiment2Result
+	Experiment3Result = experiments.Experiment3Result
+	Experiment4Result = experiments.Experiment4Result
+	// SweepPoint and Sweep expose raw sweep data.
+	Sweep = experiments.Sweep
+)
+
+// Live execution: the schedulers as an in-process lock manager for real
+// goroutines (package sim *models* the machine; Controller schedules
+// actual work).
+type (
+	// Controller is a live lock manager driven by one of the schedulers.
+	Controller = live.Controller
+	// ControllerOptions tunes retry delay and observation hooks.
+	ControllerOptions = live.Options
+	// Progress reports completed objects from inside a running step.
+	Progress = live.Progress
+)
+
+// ErrControllerClosed is returned by a closed Controller.
+var ErrControllerClosed = live.ErrClosed
+
+// NewController builds a live controller around a scheduler.
+func NewController(f SchedulerFactory, costs ControlCosts, opts ControllerOptions) *Controller {
+	return live.New(f, costs, opts)
+}
+
+// Batch planning (the off-line window's makespan problem, §1).
+type (
+	// PlanStrategy orders and times the release of a fixed batch.
+	PlanStrategy = planner.Strategy
+	// PlanEvaluation is one (strategy, scheduler) outcome.
+	PlanEvaluation = planner.Evaluation
+	// Flood releases the whole batch at t = 0.
+	Flood = planner.Flood
+	// Stagger releases one transaction per fixed gap.
+	Stagger = planner.Stagger
+	// ByDemand floods in declared-demand order (LPT-style).
+	ByDemand = planner.ByDemand
+)
+
+// EvaluatePlan simulates one release plan of a fixed batch and reports
+// its makespan.
+func EvaluatePlan(batch []*Transaction, mc MachineConfig, f SchedulerFactory, s PlanStrategy) (*PlanEvaluation, error) {
+	return planner.Evaluate(batch, mc, f, s)
+}
+
+// ComparePlans evaluates every (strategy × scheduler) combination,
+// sorted by makespan.
+func ComparePlans(batch []*Transaction, mc MachineConfig, factories []SchedulerFactory, strategies []PlanStrategy) ([]*PlanEvaluation, error) {
+	return planner.Compare(batch, mc, factories, strategies)
+}
+
+// RandomBatch draws a reproducible fixed batch from a workload.
+func RandomBatch(gen Workload, n int, seed int64) []*Transaction {
+	return planner.RandomBatch(gen, n, seed)
+}
+
+// RenderPlanTable formats plan evaluations as a report.
+func RenderPlanTable(evals []*PlanEvaluation) string { return planner.RenderTable(evals) }
+
+// Extensions beyond the paper's figures.
+type (
+	// AblationResult is a (variant × scheduler) throughput table.
+	AblationResult = experiments.AblationResult
+	// MixedResult reports the mixed short-transaction/BAT experiment.
+	MixedResult = experiments.MixedResult
+	// MixtureWorkload mixes several transaction classes.
+	MixtureWorkload = workload.Mixture
+	// WorkloadComponent is one class of a mixture.
+	WorkloadComponent = workload.Component
+)
+
+// NewMixture builds a mixed workload of weighted components.
+func NewMixture(label string, components ...WorkloadComponent) (*MixtureWorkload, error) {
+	return workload.NewMixture(label, components...)
+}
+
+// ShortTransactions builds a debit-credit-style short-transaction
+// generator (tiny demands, whole-partition locks).
+func ShortTransactions(numParts int, stepCost float64) Workload {
+	return workload.ShortTransactions(numParts, stepCost)
+}
+
+// Ablations of design choices and the paper's suggested extensions.
+func RunKSweep(o ExperimentOptions, ks []int) (*AblationResult, error) {
+	return experiments.RunKSweep(o, ks)
+}
+func RunPlacementAblation(o ExperimentOptions) (*AblationResult, error) {
+	return experiments.RunPlacementAblation(o)
+}
+func RunMixedWorkload(o ExperimentOptions, lambda, shortShare float64) (*MixedResult, error) {
+	return experiments.RunMixedWorkload(o, lambda, shortShare)
+}
+
+// The paper's experiments; each result renders its figure(s) as text.
+func RunExperiment1(o ExperimentOptions) (*Experiment1Result, error) {
+	return experiments.RunExperiment1(o)
+}
+func RunExperiment2(o ExperimentOptions) (*Experiment2Result, error) {
+	return experiments.RunExperiment2(o)
+}
+func RunExperiment3(o ExperimentOptions) (*Experiment3Result, error) {
+	return experiments.RunExperiment3(o)
+}
+func RunExperiment4(o ExperimentOptions, sigmas []float64) (*Experiment4Result, error) {
+	return experiments.RunExperiment4(o, sigmas)
+}

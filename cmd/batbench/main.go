@@ -1,0 +1,228 @@
+// Command batbench regenerates the paper's evaluation section: every
+// figure (6–10) and the Table 1 parameter listing.
+//
+// Examples:
+//
+//	batbench -table1
+//	batbench -fig 6                 # Experiment 1, response-time curves
+//	batbench -all                   # everything (the full grid; slow)
+//	batbench -fig 8 -quick          # reduced horizon for a fast preview
+//	batbench -fig 7 -csv out.csv    # also dump the sweep as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"batsched/internal/event"
+	"batsched/internal/experiments"
+	"batsched/internal/machine"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "", "figure to regenerate: 6, 7, 8, 9, 10 (comma separated)")
+		all      = flag.Bool("all", false, "regenerate every figure")
+		ablation = flag.String("ablation", "", "ablation to run: ksweep, placement, controlcost, keeptime, retrydelay, all")
+		mixed    = flag.Bool("mixed", false, "run the mixed short-transaction/BAT experiment")
+		table1   = flag.Bool("table1", false, "print the effective Table 1 parameters")
+		horizon  = flag.Int64("horizon", 2_000_000, "simulated clocks per run (paper: 2,000,000)")
+		seed     = flag.Int64("seed", 1990, "base random seed")
+		workers  = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		rt       = flag.Float64("rt", 70, "response-time comparison target in seconds")
+		quick    = flag.Bool("quick", false, "reduced horizon (400k clocks) and sparser sweep")
+		lambdas  = flag.String("lambdas", "", "comma-separated arrival-rate sweep override")
+		csvOut   = flag.String("csv", "", "write raw sweep data as CSV to this file (single-figure mode)")
+		reps     = flag.Int("reps", 1, "replicate seeds per grid cell (metrics averaged)")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if *table1 {
+		printTable1()
+		if *fig == "" && !*all {
+			return
+		}
+	}
+	opts := experiments.Options{
+		Machine:         machine.DefaultConfig(),
+		Horizon:         event.Time(*horizon),
+		Seed:            *seed,
+		Workers:         *workers,
+		RTTargetSeconds: *rt,
+		Replications:    *reps,
+	}
+	if *quick {
+		opts.Horizon = 400_000
+		opts.Lambdas = []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	}
+	if *lambdas != "" {
+		opts.Lambdas = nil
+		for _, tok := range strings.Split(*lambdas, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad -lambdas entry %q: %v\n", tok, err)
+				os.Exit(2)
+			}
+			opts.Lambdas = append(opts.Lambdas, v)
+		}
+	}
+	if !*quiet {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r  %d/%d runs", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	if *ablation != "" {
+		runAblations(*ablation, opts)
+		return
+	}
+	if *mixed {
+		r, err := experiments.RunMixedWorkload(opts, 2.0, 0.8)
+		must(err)
+		fmt.Println(r.Render())
+		return
+	}
+
+	var figs []string
+	if *all {
+		figs = []string{"6", "7", "8", "9", "10"}
+	} else if *fig != "" {
+		figs = strings.Split(*fig, ",")
+	}
+	if len(figs) == 0 {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -fig N, -all, -ablation NAME or -table1 (see -help)")
+		os.Exit(2)
+	}
+
+	// Figures 6 and 7 share Experiment 1's sweep; run it once.
+	var exp1 *experiments.Experiment1Result
+	needExp1 := false
+	for _, f := range figs {
+		if f == "6" || f == "7" {
+			needExp1 = true
+		}
+	}
+	start := time.Now()
+	if needExp1 {
+		var err error
+		exp1, err = experiments.RunExperiment1(opts)
+		must(err)
+	}
+	for _, f := range figs {
+		switch strings.TrimSpace(f) {
+		case "6":
+			fmt.Println(exp1.RenderFigure6())
+			writeCSV(*csvOut, experiments.CSV(exp1.Sweeps))
+		case "7":
+			fmt.Println(exp1.RenderFigure7())
+			writeCSV(*csvOut, experiments.CSV(exp1.Sweeps))
+		case "8":
+			r, err := experiments.RunExperiment2(opts)
+			must(err)
+			fmt.Println(r.RenderFigure8())
+			variants := make([]string, len(r.NumHots))
+			for i, nh := range r.NumHots {
+				variants[i] = fmt.Sprintf("hots=%d", nh)
+			}
+			writeCSV(*csvOut, experiments.GroupedCSV(variants, r.Sweeps))
+		case "9":
+			r, err := experiments.RunExperiment3(opts)
+			must(err)
+			fmt.Println(r.RenderFigure9())
+			writeCSV(*csvOut, experiments.CSV(r.Sweeps))
+		case "10":
+			r, err := experiments.RunExperiment4(opts, nil)
+			must(err)
+			fmt.Println(r.RenderFigure10())
+			variants := make([]string, len(r.Sigmas))
+			for i, sg := range r.Sigmas {
+				variants[i] = fmt.Sprintf("sigma=%g", sg)
+			}
+			writeCSV(*csvOut, experiments.GroupedCSV(variants, r.Sweeps))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown figure %q\n", f)
+			os.Exit(2)
+		}
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "total wall time %.1fs\n", time.Since(start).Seconds())
+	}
+}
+
+func runAblations(which string, opts experiments.Options) {
+	type ab struct {
+		name string
+		run  func() (*experiments.AblationResult, error)
+	}
+	abs := []ab{
+		{"ksweep", func() (*experiments.AblationResult, error) { return experiments.RunKSweep(opts, nil) }},
+		{"placement", func() (*experiments.AblationResult, error) { return experiments.RunPlacementAblation(opts) }},
+		{"controlcost", func() (*experiments.AblationResult, error) { return experiments.RunControlCostAblation(opts, nil) }},
+		{"keeptime", func() (*experiments.AblationResult, error) { return experiments.RunKeepTimeAblation(opts, nil) }},
+		{"retrydelay", func() (*experiments.AblationResult, error) { return experiments.RunRetryDelayAblation(opts, nil) }},
+	}
+	ran := false
+	for _, a := range abs {
+		if which != "all" && which != a.name {
+			continue
+		}
+		ran = true
+		r, err := a.run()
+		must(err)
+		fmt.Println(r.Render())
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown ablation %q (want ksweep, placement, controlcost, keeptime, retrydelay, all)\n", which)
+		os.Exit(2)
+	}
+}
+
+func printTable1() {
+	c := machine.DefaultConfig()
+	fmt.Println("Table 1. Simulation parameters (✓ = verbatim from the paper; see DESIGN.md §4)")
+	rows := [][2]string{
+		{"NumNodes ✓", fmt.Sprintf("%d data-processing nodes", c.NumNodes)},
+		{"NumParts ✓", "16 (Exp1/4); 8 read-only + NumHots (Exp2/3)"},
+		{"NumHots ✓", "4/8/16/32 (Exp2); 8 (Exp3)"},
+		{"ObjTime ✓", fmt.Sprintf("%v per object (≈60 tracks per disk)", c.ObjTime)},
+		{"simulation length ✓", "2,000,000 clocks (1 clock = 1 ms)"},
+		{"keeptime ✓", fmt.Sprintf("%v (period of control-saving)", c.Control.KeepTime)},
+		{"multiprogramming ✓", "infinite (no admission cap)"},
+		{"startuptime", fmt.Sprintf("%v", c.StartupTime)},
+		{"committime", fmt.Sprintf("%v", c.CommitTime)},
+		{"ddtime", fmt.Sprintf("%v (deadlock/consistency test)", c.Control.DDTime)},
+		{"chaintime", fmt.Sprintf("%v (one W recomputation)", c.Control.ChainTime)},
+		{"kwtpgtime", fmt.Sprintf("%v (one E(q) evaluation)", c.Control.KWTPGTime)},
+		{"retry delay", fmt.Sprintf("%v (delayed/aborted resubmission)", c.RetryDelay)},
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-22s %s\n", r[0], r[1])
+	}
+	fmt.Println()
+}
+
+func writeCSV(path, data string) {
+	if path == "" {
+		return
+	}
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "csv:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

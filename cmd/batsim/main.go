@@ -1,0 +1,196 @@
+// Command batsim runs a single simulation of the paper's shared-nothing
+// machine under one scheduler and one workload, printing the run metrics.
+//
+// Examples:
+//
+//	batsim -sched CHAIN -workload exp1 -lambda 0.6
+//	batsim -sched K2 -workload exp2 -numhots 4 -lambda 0.8 -horizon 500000
+//	batsim -sched CHAIN -workload exp4 -sigma 0.5 -lambda 0.6
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime/pprof"
+	"time"
+
+	"batsched/internal/core/sched"
+	"batsched/internal/event"
+	"batsched/internal/machine"
+	"batsched/internal/sim"
+	"batsched/internal/textplot"
+	"batsched/internal/txn"
+	"batsched/internal/workload"
+)
+
+func main() {
+	var (
+		schedName = flag.String("sched", "K2", "scheduler: NODC, ASL, C2PL, CHAIN, K2, K<k>, CHAIN-C2PL, K<k>-C2PL")
+		wl        = flag.String("workload", "exp1", "workload: exp1, exp2, exp3, exp4, custom")
+		pattern   = flag.String("pattern", "", "custom pattern for -workload custom, e.g. \"r(F1:2) -> w(F2:1)\"")
+		lambda    = flag.Float64("lambda", 0.5, "arrival rate (transactions per second)")
+		horizon   = flag.Int64("horizon", 2_000_000, "simulated clocks (1 clock = 1 ms)")
+		seed      = flag.Int64("seed", 1990, "random seed")
+		numParts  = flag.Int("numparts", 16, "partitions (exp1/exp4)")
+		numHots   = flag.Int("numhots", 8, "hot partitions (exp2/exp3)")
+		sigma     = flag.Float64("sigma", 0.5, "declaration error std-dev (exp4)")
+		warmup    = flag.Int64("warmup", 0, "measurement warmup clocks")
+		nocheck   = flag.Bool("nocheck", false, "skip the serializability check")
+		verbose   = flag.Bool("v", false, "print per-node utilization")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		traceOut  = flag.String("trace", "", "write a per-event trace to this file ('-' for stdout)")
+		selfCheck = flag.Bool("selfcheck", false, "verify lock-table invariants after every commit")
+		plotLive  = flag.Bool("plotlive", false, "chart live transactions over time (DC-thrashing view)")
+		jsonOut   = flag.String("json", "", "also write the full result as JSON to this file ('-' for stdout)")
+	)
+	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	factory, err := schedulerByName(*schedName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	mc := machine.DefaultConfig()
+	var gen workload.Generator
+	switch *wl {
+	case "exp1":
+		mc.NumParts = *numParts
+		gen = workload.Experiment1(*numParts)
+	case "exp2":
+		l := workload.HotSetLayout{NumReadOnly: 8, NumHots: *numHots}
+		mc.NumParts = l.NumParts()
+		gen = workload.Experiment2(l)
+	case "exp3":
+		l := workload.HotSetLayout{NumReadOnly: 8, NumHots: *numHots}
+		mc.NumParts = l.NumParts()
+		gen = workload.Experiment3(l)
+	case "exp4":
+		mc.NumParts = *numParts
+		gen = workload.WithDeclarationError(workload.Experiment1(*numParts), *sigma)
+	case "custom":
+		if *pattern == "" {
+			fmt.Fprintln(os.Stderr, "-workload custom needs -pattern")
+			os.Exit(2)
+		}
+		pat, err := txn.ParsePattern("custom", *pattern)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		mc.NumParts = *numParts
+		gen = workload.UniformPattern(pat, *numParts)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+
+	cfg := sim.Config{
+		Machine:              mc,
+		Scheduler:            factory,
+		Workload:             gen,
+		ArrivalRate:          *lambda,
+		Horizon:              event.Time(*horizon),
+		Warmup:               event.Time(*warmup),
+		Seed:                 *seed,
+		CheckSerializability: !*nocheck && factory.Label != "NODC",
+		SelfCheck:            *selfCheck,
+	}
+	if *plotLive {
+		cfg.SampleEvery = cfg.Horizon / 60
+		if cfg.SampleEvery < 1 {
+			cfg.SampleEvery = 1
+		}
+	}
+	if *traceOut == "-" {
+		cfg.Trace = os.Stdout
+	} else if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		cfg.Trace = f
+	}
+	start := time.Now()
+	res, err := sim.Run(cfg)
+	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "run failed:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("scheduler   %s\n", res.Scheduler)
+	fmt.Printf("workload    %s\n", res.Workload)
+	fmt.Printf("lambda      %.3f TPS\n", res.ArrivalRate)
+	fmt.Printf("horizon     %v (wall %.2fs)\n", res.Horizon, elapsed.Seconds())
+	fmt.Printf("arrived     %d\n", res.Arrived)
+	fmt.Printf("admitted    %d (delays %d, aborts %d)\n", res.Admitted, res.AdmissionDelays, res.AdmissionAborts)
+	fmt.Printf("completed   %d\n", res.Completed)
+	fmt.Printf("mean RT     %.2f s (std %.2f)\n", res.MeanRT, res.StdRT)
+	fmt.Printf("throughput  %.4f TPS\n", res.Throughput)
+	fmt.Printf("blocks      %d, delays %d\n", res.RequestBlocks, res.RequestDelays)
+	fmt.Printf("CN util     %.3f\n", res.CNUtilization)
+	fmt.Printf("DN util     %.3f (mean)\n", res.MeanNodeUtil)
+	fmt.Printf("max live    %d\n", res.MaxLive)
+	if res.SerializabilityChecked {
+		fmt.Printf("serializable: yes\n")
+	}
+	if *verbose {
+		for i, u := range res.NodeUtilization {
+			fmt.Printf("  node %d util %.3f\n", i, u)
+		}
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "json:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "json:", err)
+			os.Exit(1)
+		}
+	}
+	if *plotLive && len(res.Samples) > 0 {
+		live := textplot.Series{Label: "live txns", Marker: 'o'}
+		busy := textplot.Series{Label: "busy nodes", Marker: '#'}
+		for _, smp := range res.Samples {
+			at := smp.At.Seconds()
+			live.X = append(live.X, at)
+			live.Y = append(live.Y, float64(smp.Live))
+			busy.X = append(busy.X, at)
+			busy.Y = append(busy.Y, float64(smp.BusyNodes))
+		}
+		chart := textplot.Chart{
+			Title:  "Live transactions over time (rising line = DC thrashing)",
+			XLabel: "time (s)", YLabel: "count",
+		}
+		if out, err := chart.Render([]textplot.Series{live, busy}); err == nil {
+			fmt.Println()
+			fmt.Print(out)
+		}
+	}
+}
+
+func schedulerByName(name string) (sched.Factory, error) {
+	return sched.ByName(name)
+}

@@ -1,0 +1,152 @@
+package batsched_test
+
+import (
+	"fmt"
+
+	"batsched"
+)
+
+// The paper's Figure 1 transaction T1 and its due(s) values.
+func ExampleNewTransaction() {
+	t1 := batsched.NewTransaction(1, []batsched.Step{
+		{Mode: batsched.Read, Part: 0, Cost: 1},
+		{Mode: batsched.Read, Part: 1, Cost: 3},
+		{Mode: batsched.Write, Part: 0, Cost: 1},
+	})
+	fmt.Println(t1)
+	for i := range t1.Steps {
+		fmt.Printf("due(s%d) = %g\n", i, t1.Due(i))
+	}
+	// Output:
+	// T1: r(P0:1) -> r(P1:3) -> w(P0:1)
+	// due(s0) = 5
+	// due(s1) = 4
+	// due(s2) = 1
+}
+
+// Workload patterns use the paper's arrow notation.
+func ExampleParsePattern() {
+	p, err := batsched.ParsePattern("Pattern1", "r(F1:1) -> r(F2:5) -> w(F1:0.2) -> w(F2:1)")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(p.Vars())
+	t, err := p.Bind(7, map[string]batsched.PartitionID{"F1": 3, "F2": 9})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(t)
+	// Output:
+	// [F1 F2]
+	// T7: r(P3:1) -> r(P9:5) -> w(P3:0.2) -> w(P9:1)
+}
+
+// Conflicting-edge weights of the paper's worked example (§3.1): the
+// conflicting-edge (T2,T3) is a pair of edges T2→T3 of weight 4 and
+// T3→T2 of weight 2.
+func ExampleConflictWeights() {
+	t2 := batsched.NewTransaction(2, []batsched.Step{
+		{Mode: batsched.Read, Part: 2, Cost: 1},
+		{Mode: batsched.Write, Part: 0, Cost: 1},
+	})
+	t3 := batsched.NewTransaction(3, []batsched.Step{
+		{Mode: batsched.Write, Part: 2, Cost: 1},
+		{Mode: batsched.Read, Part: 3, Cost: 3},
+	})
+	w23, w32, ok := batsched.ConflictWeights(t2, t3)
+	fmt.Println(w23, w32, ok)
+	// Output:
+	// 4 2 true
+}
+
+// The optimal serialization order of the paper's Figure 2 chain: W =
+// {T1→T2, T3→T2} with critical path 6 (Example 3.2).
+func ExampleSolveChain() {
+	sol, err := batsched.SolveChain(batsched.ChainProblem{
+		R:    []float64{5, 2, 4}, // live w(T0→Ti)
+		Down: []float64{1, 4},    // w(T1→T2), w(T2→T3)
+		Up:   []float64{5, 2},    // w(T2→T1), w(T3→T2)
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sol.Length, sol.Orient)
+	// Output:
+	// 6 [down up]
+}
+
+// Critical paths of a resolved WTPG (Example 3.2): the order
+// {T1→T2→T3} creates a chain of blocking with critical path 10.
+func ExampleWTPG() {
+	g := batsched.NewWTPG()
+	for id, w0 := range map[batsched.TxnID]float64{1: 5, 2: 2, 3: 4} {
+		if err := g.AddNode(id, w0); err != nil {
+			panic(err)
+		}
+	}
+	if err := g.AddConflict(1, 2, 1, 5); err != nil {
+		panic(err)
+	}
+	if err := g.AddConflict(2, 3, 4, 2); err != nil {
+		panic(err)
+	}
+	for _, r := range [][2]batsched.TxnID{{1, 2}, {2, 3}} {
+		if err := g.Resolve(r[0], r[1]); err != nil {
+			panic(err)
+		}
+	}
+	cp, err := g.CriticalPath()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(cp)
+	// Output:
+	// 10
+}
+
+// E(q) of the paper's Example 3.4: granting T5's request (ordering T5
+// before T6) yields an estimated contention of 10.
+func ExampleEstimateE() {
+	g := batsched.NewWTPG()
+	for _, id := range []batsched.TxnID{4, 5, 6} {
+		if err := g.AddNode(id, 0); err != nil {
+			panic(err)
+		}
+	}
+	if err := g.AddConflict(4, 5, 1, 7); err != nil {
+		panic(err)
+	}
+	if err := g.AddConflict(5, 6, 4, 1); err != nil {
+		panic(err)
+	}
+	if err := g.AddConflict(4, 6, 10, 2); err != nil {
+		panic(err)
+	}
+	if err := g.Resolve(4, 5); err != nil {
+		panic(err)
+	}
+	fmt.Println(batsched.EstimateE(g, 5, []batsched.TxnID{6}))
+	fmt.Println(batsched.EstimateE(g, 6, []batsched.TxnID{5}))
+	// Output:
+	// 10
+	// 1
+}
+
+// A complete simulation run on the default Table 1 machine.
+func ExampleSimulate() {
+	res, err := batsched.Simulate(batsched.SimConfig{
+		Machine:              batsched.DefaultMachine(),
+		Scheduler:            batsched.KWTPG(2),
+		Workload:             batsched.WorkloadExperiment1(16),
+		ArrivalRate:          0.3,
+		Horizon:              200_000,
+		Seed:                 1,
+		CheckSerializability: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Scheduler, res.Completed > 0, res.SerializabilityChecked)
+	// Output:
+	// K2 true true
+}

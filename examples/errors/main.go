@@ -1,0 +1,69 @@
+// Sensitivity to erroneous I/O declarations (the paper's Experiment 4).
+//
+// WTPG schedulers need each transaction to pre-declare its I/O demands,
+// but real estimates are wrong: a selection's selectivity is misjudged,
+// an index is unexpectedly unusable. This example perturbs every declared
+// demand by C = C0·(1+x), x ~ N(0, σ²), and shows how CHAIN and K2
+// degrade as σ grows, against the weight-free C2PL reference.
+//
+// Run with: go run ./examples/errors
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"batsched"
+)
+
+func main() {
+	const lambda = 0.6
+	sigmas := []float64{0, 0.25, 0.5, 1.0}
+	schedulers := []batsched.SchedulerFactory{
+		batsched.CHAIN(), batsched.KWTPG(2), batsched.C2PL(),
+	}
+	fmt.Printf("Pattern1 workload at λ = %.1f TPS; declared demands perturbed by N(0,σ²)\n\n", lambda)
+	fmt.Printf("%-8s", "sigma")
+	for _, f := range schedulers {
+		fmt.Printf(" %16s", f.Label+" tps")
+	}
+	fmt.Println()
+
+	base := map[string]float64{}
+	for _, sigma := range sigmas {
+		fmt.Printf("%-8.2f", sigma)
+		for _, f := range schedulers {
+			cfg := batsched.SimConfig{
+				Machine:              batsched.DefaultMachine(),
+				Scheduler:            f,
+				Workload:             batsched.WithDeclarationError(batsched.WorkloadExperiment1(16), sigma),
+				ArrivalRate:          lambda,
+				Horizon:              600_000,
+				Seed:                 21,
+				CheckSerializability: true,
+			}
+			res, err := batsched.Simulate(cfg)
+			if err != nil {
+				log.Fatalf("%s σ=%g: %v", f.Label, sigma, err)
+			}
+			if sigma == 0 {
+				base[f.Label] = res.Throughput
+			}
+			pct := ""
+			if b := base[f.Label]; b > 0 && sigma > 0 {
+				pct = fmt.Sprintf(" (%+.0f%%)", 100*(res.Throughput/b-1))
+			}
+			fmt.Printf(" %9.3f%-7s", res.Throughput, pct)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println(`
+C2PL ignores declared demands entirely, so its column is flat: any drift
+there is pure simulation noise. CHAIN and K2 schedule *by* the declared
+weights, yet even σ = 1 — a standard deviation as large as the demand
+itself — costs them only a modest slice of throughput, because wrong
+weights still mostly preserve the *relative* order of long and short
+work. That robustness (paper: -4.6% for CHAIN, -13.8% for K2 at σ = 1)
+is what makes predeclared-demand scheduling practical.`)
+}

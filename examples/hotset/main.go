@@ -1,0 +1,62 @@
+// Hot-set study: how each scheduler copes with a shrinking hot set.
+//
+// Master files are the paper's canonical "hot" data: every BAT updates
+// them, so the smaller the hot set, the higher the data contention. This
+// example sweeps the Experiment 2 workload (r(B:5) -> w(F1:1) -> w(F2:1))
+// over hot-set sizes at a fixed arrival rate and prints throughput and
+// response time per scheduler — a single-λ slice of the paper's Figure 8.
+//
+// Run with: go run ./examples/hotset
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"batsched"
+)
+
+func main() {
+	const lambda = 0.5
+	fmt.Printf("Experiment-2 workload at λ = %.1f TPS, 8 read-only partitions + hot set\n\n", lambda)
+	schedulers := []batsched.SchedulerFactory{
+		batsched.ASL(), batsched.CHAIN(), batsched.KWTPG(2), batsched.C2PL(),
+	}
+	fmt.Printf("%-8s", "hots")
+	for _, f := range schedulers {
+		fmt.Printf(" %18s", f.Label+" tps/rt(s)")
+	}
+	fmt.Println()
+
+	for _, numHots := range []int{4, 8, 16, 32} {
+		layout := batsched.HotSetLayout{NumReadOnly: 8, NumHots: numHots}
+		mc := batsched.DefaultMachine()
+		mc.NumParts = layout.NumParts()
+		fmt.Printf("%-8d", numHots)
+		for _, f := range schedulers {
+			cfg := batsched.SimConfig{
+				Machine:              mc,
+				Scheduler:            f,
+				Workload:             batsched.WorkloadExperiment2(layout),
+				ArrivalRate:          lambda,
+				Horizon:              600_000,
+				Seed:                 11,
+				CheckSerializability: true,
+			}
+			res, err := batsched.Simulate(cfg)
+			if err != nil {
+				log.Fatalf("%s hots=%d: %v", f.Label, numHots, err)
+			}
+			fmt.Printf(" %10.3f/%-7.1f", res.Throughput, res.MeanRT)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println(`
+With 4 hot partitions nearly every pair of live BATs conflicts: ASL can
+rarely take all locks at once, and CHAIN's chain-form test rejects most
+admissions. K2 keeps admitting (its K-conflict bound is per declaration,
+not per transaction) and uses the WTPG weights to order grants, which is
+exactly why the paper finds K-WTPG best on hot sets. As the hot set
+grows, contention fades and all four schedulers converge.`)
+}

@@ -1,0 +1,130 @@
+// Live batch execution: the schedulers as a real in-process lock manager.
+//
+// Everything else in this repository simulates the machine; this example
+// schedules *actual work* with real goroutines. Sixteen partitioned
+// in-memory "files" hold integers; a fleet of analyse-then-update jobs
+// (read two partitions, then rewrite them — the paper's Pattern1 shape)
+// runs concurrently under the K-WTPG scheduler. The controller guarantees
+// what the paper's scheduler guarantees: conflicting jobs never overlap,
+// the overall schedule is conflict serializable, and no running job is
+// ever aborted by the scheduler. The final checksum proves updates were
+// never lost to races.
+//
+// Run with: go run ./examples/livebatch
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"batsched"
+)
+
+const (
+	numParts = 16
+	partSize = 4096
+	numJobs  = 48
+)
+
+func main() {
+	// The "database": numParts partitions of integers.
+	db := make([][]int64, numParts)
+	for i := range db {
+		db[i] = make([]int64, partSize)
+		for j := range db[i] {
+			db[i][j] = int64(i + j)
+		}
+	}
+
+	ctl := batsched.NewController(batsched.KWTPG(2),
+		batsched.ControlCosts{KeepTime: 100}, batsched.ControllerOptions{})
+	defer ctl.Close()
+
+	var grants int
+	var mu sync.Mutex
+	start := time.Now()
+	var wg sync.WaitGroup
+	for j := 0; j < numJobs; j++ {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(j)))
+			a := batsched.PartitionID(rng.Intn(numParts))
+			b := batsched.PartitionID((int(a) + 1 + rng.Intn(numParts-1)) % numParts)
+			// Declare the job in the paper's model: read both partitions,
+			// then update both (update = read-before-write, cost 2a|P|).
+			tx := batsched.NewTransaction(batsched.TxnID(j+1), []batsched.Step{
+				{Mode: batsched.Read, Part: a, Cost: 1},
+				{Mode: batsched.Read, Part: b, Cost: 1},
+				{Mode: batsched.Write, Part: a, Cost: 2},
+				{Mode: batsched.Write, Part: b, Cost: 2},
+			})
+			var sum int64
+			err := ctl.Run(context.Background(), tx, func(step int, p batsched.Progress) error {
+				mu.Lock()
+				grants++
+				mu.Unlock()
+				// A dash of latency stands in for the disk scan a real bulk
+				// step performs.
+				time.Sleep(2 * time.Millisecond)
+				switch step {
+				case 0: // analyse partition a
+					for _, v := range db[a] {
+						sum += v
+					}
+				case 1: // analyse partition b
+					for _, v := range db[b] {
+						sum += v
+					}
+				case 2: // update a: a read-modify-write of every element.
+					// A lost update (two jobs interleaving) would drop
+					// increments and break the final checksum.
+					for i := range db[a] {
+						db[a][i]++
+					}
+				case 3: // update b
+					for i := range db[b] {
+						db[b][i]++
+					}
+				}
+				_ = sum // the analysis result would drive a real update
+				p(tx.Steps[step].Cost)
+				return nil
+			})
+			if err != nil {
+				log.Fatalf("job %d: %v", j, err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var checksum int64
+	for _, part := range db {
+		for _, v := range part {
+			checksum += v
+		}
+	}
+	// Initial contents were db[i][j] = i+j; every job increments every
+	// element of exactly two partitions once.
+	var initial int64
+	for i := 0; i < numParts; i++ {
+		for j := 0; j < partSize; j++ {
+			initial += int64(i + j)
+		}
+	}
+	want := initial + int64(numJobs)*2*partSize
+	admitted, committed, retries := ctl.Stats()
+	fmt.Printf("ran %d jobs over %d partitions in %v\n", numJobs, numParts, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("admitted %d, committed %d, lock grants %d, retry waits %d\n",
+		admitted, committed, grants, retries)
+	if checksum != want {
+		log.Fatalf("LOST UPDATES: checksum %d, want %d", checksum, want)
+	}
+	fmt.Printf("checksum %d matches the exact expected value: every read-modify-write\n", checksum)
+	fmt.Println("ran under an exclusive partition lock — no update was lost")
+}

@@ -1,0 +1,58 @@
+// Makespan planning: finish a fixed night batch as fast as possible.
+//
+// The paper's off-line service has a *deadline*: a known set of BATs must
+// all finish before the on-line window reopens (§1). That is a makespan
+// problem, not a steady-state throughput problem. This example takes a
+// fixed batch of 40 Pattern1 BATs and compares release strategies (flood,
+// stagger, demand-ordered) under each scheduler, reporting when the last
+// transaction commits.
+//
+// Run with: go run ./examples/makespan
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"batsched"
+)
+
+func main() {
+	batch := batsched.RandomBatch(batsched.WorkloadExperiment1(16), 40, 42)
+	var total float64
+	for _, t := range batch {
+		total += t.TrueTotal()
+	}
+	mc := batsched.DefaultMachine()
+	fmt.Printf("Batch: 40 Pattern1 BATs, %.0f objects total (~%.0f s of pure node work on %d nodes)\n\n",
+		total, total*float64(mc.ObjTime)/1000/float64(mc.NumNodes), mc.NumNodes)
+
+	evals, err := batsched.ComparePlans(batch, mc,
+		[]batsched.SchedulerFactory{
+			batsched.ASL(), batsched.CHAIN(), batsched.KWTPG(2), batsched.C2PL(),
+		},
+		[]batsched.PlanStrategy{
+			batsched.Flood{},
+			batsched.Stagger{Gap: 2000},
+			batsched.ByDemand{LongestFirst: true, Gap: 2000},
+			batsched.ByDemand{LongestFirst: false, Gap: 2000},
+		},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(batsched.RenderPlanTable(evals))
+	best := evals[0]
+	fmt.Printf("Best plan: %s under %s — makespan %v.\n",
+		best.Strategy, best.Scheduler, best.Makespan)
+	fmt.Println(`
+Two lessons. First, for pure makespan, flooding wins under every
+scheduler that controls admission (CHAIN, K2, ASL): the retries are
+cheap compared to keeping all nodes busy, and CHAIN's globally optimized
+serialization order finishes the batch first. C2PL is the exception —
+flooding it builds exactly the chains of blocking the paper warns about,
+and it finishes last by a wide margin. Second, staggering trades
+makespan for response time: the release window stretches the finish line
+but halves the mean RT, which matters when partial results are consumed
+as they commit.`)
+}

@@ -1,0 +1,40 @@
+package chainopt
+
+import "testing"
+
+// FuzzSolveAgainstOracle cross-checks the O(N²) dynamic program and the
+// appendix algorithm against exhaustive search on fuzzer-shaped chains.
+func FuzzSolveAgainstOracle(f *testing.F) {
+	f.Add([]byte{5, 2, 4, 1, 5, 4, 2}, false)
+	f.Add([]byte{0, 0, 0}, true)
+	f.Add([]byte{15, 1, 15, 1, 15, 1, 15, 1}, true)
+	f.Add([]byte{}, false)
+	f.Fuzz(func(t *testing.T, data []byte, withFixed bool) {
+		c := decodeChain(data, withFixed)
+		want, err := SolveExhaustive(c)
+		if err != nil {
+			t.Fatalf("oracle failed on valid chain: %v", err)
+		}
+		got, err := Solve(c)
+		if err != nil {
+			t.Fatalf("Solve failed: %v", err)
+		}
+		if got.Length != want.Length {
+			t.Fatalf("Solve %g != oracle %g on %+v", got.Length, want.Length, c)
+		}
+		if c.M() > 0 {
+			if ev, err := Evaluate(c, got.Orient); err != nil || ev != got.Length {
+				t.Fatalf("solution inconsistent: %g/%v vs %g", ev, err, got.Length)
+			}
+		}
+		if !withFixed {
+			paper, err := SolvePaper(c)
+			if err != nil {
+				t.Fatalf("SolvePaper failed: %v", err)
+			}
+			if paper.Length != want.Length {
+				t.Fatalf("SolvePaper %g != oracle %g on %+v", paper.Length, want.Length, c)
+			}
+		}
+	})
+}

@@ -1,0 +1,181 @@
+package chainopt
+
+import (
+	"fmt"
+	"math"
+)
+
+// trip is the appendix's triplet [curr, crit, rev].
+//
+//   - For L[k] (edge (n[k-1],n[k]) set downwards in G(k-1,N)):
+//     crit = shortest critical path of G(k-1,N) under optimal suffix
+//     S1(k-1,N); rev = first label whose edge is set upwards; curr =
+//     length of the through-path n0→n[k-1]→…→n[rev].
+//   - For R[k] (edge set upwards): crit/rev mirrored; curr = critical
+//     path from n0 to n[k-1] within G(k-1, rev).
+type trip struct {
+	curr, crit float64
+	rev        int
+}
+
+// SolvePaper implements the appendix algorithm (Theorem 1/2, Lcomp and
+// Rcomp) literally, with 1-based labels n[1..N], a[k] = w(n[k-1]→n[k])
+// and b[k] = w(n[k]→n[k-1]). It supports only fully free chains — the
+// paper recomputes W from scratch; the production scheduler uses Solve,
+// which also honours already-resolved edges.
+//
+// Two corrections to the printed pseudocode were required to make the
+// algorithm agree with exhaustive search (the paper omits "trivial"
+// cases):
+//
+//  1. Rcomp case 1 sets R1[k].curr = temp, but Definition 3(6) defines
+//     curr as the critical path *to* n[k-1], which is max(temp, r[k-1]).
+//  2. The flip searches EXPR1/EXPR2 must also consider h = rev itself as
+//     "no further flip before rev" — both are included here by iterating
+//     h through rev (as printed) and by seeding the search with the
+//     straight-through candidate.
+func SolvePaper(c Chain) (Solution, error) {
+	if err := c.validate(); err != nil {
+		return Solution{}, err
+	}
+	for i := range c.Fixed {
+		if c.Fixed[i] != Free {
+			return Solution{}, fmt.Errorf("chainopt: SolvePaper does not support fixed edges")
+		}
+	}
+	n := c.N()
+	if n == 1 {
+		return Solution{Orient: []Orientation{}, Length: c.R[0]}, nil
+	}
+	// 1-based views. aa[k] = Down[k-2], bb[k] = Up[k-2] for k = 2..N.
+	rr := make([]float64, n+1)
+	aa := make([]float64, n+1)
+	bb := make([]float64, n+1)
+	for k := 1; k <= n; k++ {
+		rr[k] = c.R[k-1]
+	}
+	for k := 2; k <= n; k++ {
+		aa[k] = c.Down[k-2]
+		bb[k] = c.Up[k-2]
+	}
+	L := make([]trip, n+2)
+	R := make([]trip, n+2)
+	// Sentinel at N+1: G(N,N) is the single node n[N]; its "solution" has
+	// critical path r[N], through-path r[N], and no flip (rev = N).
+	L[n+1] = trip{curr: rr[n], crit: rr[n], rev: n}
+	R[n+1] = trip{curr: rr[n], crit: rr[n], rev: n}
+	for k := n; k >= 2; k-- {
+		L[k] = lcomp(k, rr, aa, bb, L, R)
+		R[k] = rcomp(k, rr, aa, bb, L, R)
+	}
+	// Theorem 1 at k = 1: pick S1(1,N) or S2(1,N) and reconstruct the
+	// alternating runs via the rev pointers.
+	orient := make([]Orientation, n-1)
+	dir := Down
+	if R[2].crit < L[2].crit {
+		dir = Up
+	}
+	length := math.Min(L[2].crit, R[2].crit)
+	k := 1
+	for k < n {
+		var rev int
+		if dir == Down {
+			rev = L[k+1].rev
+		} else {
+			rev = R[k+1].rev
+		}
+		if rev < k+1 {
+			rev = k + 1 // defensive: a run covers at least its first edge
+		}
+		for e := k; e < rev; e++ {
+			orient[e-1] = dir
+		}
+		k = rev
+		dir = opposite(dir)
+	}
+	return Solution{Orient: orient, Length: length}, nil
+}
+
+// lcomp computes L[k] from L[k+1], R[k+1] and the suffix parameters —
+// the appendix's Lcomp().
+func lcomp(k int, rr, aa, bb []float64, L, R []trip) trip {
+	var l1 trip
+	temp := L[k+1].curr - rr[k] + rr[k-1] + aa[k]
+	if temp <= L[k+1].crit {
+		l1 = trip{curr: temp, crit: L[k+1].crit, rev: L[k+1].rev}
+	} else {
+		// EXPR1: try flipping upwards at (n[h], n[h+1]) for
+		// h = k+1 .. L[k+1].rev, i.e. S(h) = {n[k-1]→…→n[h]} ∪ S2(h,N).
+		// V(h) is the critical path inside the down-run, C(h) the
+		// through-path length; V(k-1) = C(k-1) = r[k-1].
+		v := rr[k-1]
+		cpath := rr[k-1]
+		best := math.Inf(1)
+		h0, c0 := -1, 0.0
+		for h := k; h <= L[k+1].rev; h++ {
+			v = math.Max(rr[h], v+aa[h])
+			cpath += aa[h]
+			if h < k+1 {
+				continue // h = k is the L2 case below
+			}
+			if cand := math.Max(v, R[h+1].crit); cand < best {
+				best, h0, c0 = cand, h, cpath
+			}
+		}
+		if h0 < 0 {
+			l1 = trip{curr: 0, crit: math.Inf(1), rev: k}
+		} else {
+			l1 = trip{curr: c0, crit: best, rev: h0}
+		}
+	}
+	// L2: (n[k], n[k+1]) set upwards right after the new down edge.
+	l2curr := rr[k-1] + aa[k]
+	l2 := trip{curr: l2curr, crit: math.Max(l2curr, R[k+1].crit), rev: k}
+	if l1.crit <= l2.crit {
+		return l1
+	}
+	return l2
+}
+
+// rcomp computes R[k] — the appendix's Rcomp().
+func rcomp(k int, rr, aa, bb []float64, L, R []trip) trip {
+	var r1 trip
+	temp := R[k+1].curr + bb[k]
+	switch {
+	case math.Max(rr[k-1], temp) <= R[k+1].crit:
+		// Correction (1): curr is the critical path to n[k-1], which
+		// includes the direct edge T0→n[k-1].
+		r1 = trip{curr: math.Max(temp, rr[k-1]), crit: R[k+1].crit, rev: R[k+1].rev}
+	case math.Max(rr[k-1], temp) == rr[k-1]:
+		r1 = trip{curr: rr[k-1], crit: rr[k-1], rev: R[k+1].rev}
+	default:
+		// EXPR2: try flipping downwards at (n[h], n[h+1]) for
+		// h = k+1 .. R[k+1].rev, i.e. S(h) = {n[k-1]←…←n[h]} ∪ S1(h,N).
+		v := rr[k-1]
+		cpath := rr[k-1]
+		best := math.Inf(1)
+		h0, v0 := -1, 0.0
+		for h := k; h <= R[k+1].rev; h++ {
+			cpath = cpath - rr[h-1] + rr[h] + bb[h]
+			v = math.Max(cpath, v)
+			if h < k+1 {
+				continue // h = k is the R2 case below
+			}
+			if cand := math.Max(v, L[h+1].crit); cand < best {
+				best, h0, v0 = cand, h, v
+			}
+		}
+		if h0 < 0 {
+			r1 = trip{curr: 0, crit: math.Inf(1), rev: k}
+		} else {
+			r1 = trip{curr: v0, crit: best, rev: h0}
+		}
+	}
+	// R2: (n[k], n[k+1]) set downwards right after the new up edge.
+	r2curr := math.Max(rr[k]+bb[k], rr[k-1])
+	r2 := trip{curr: r2curr, crit: math.Max(r2curr, L[k+1].crit), rev: k}
+	if r1.crit <= r2.crit {
+		return r1
+	}
+	return r2
+}

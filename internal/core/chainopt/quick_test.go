@@ -1,0 +1,124 @@
+package chainopt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// decodeChain turns fuzz bytes into a valid chain of 1..9 nodes with
+// optional fixed edges.
+func decodeChain(data []byte, withFixed bool) Chain {
+	n := 1 + len(data)%9
+	at := 0
+	next := func() byte {
+		if len(data) == 0 {
+			return 3
+		}
+		b := data[at%len(data)]
+		at++
+		return b
+	}
+	c := Chain{
+		R:    make([]float64, n),
+		Down: make([]float64, n-1),
+		Up:   make([]float64, n-1),
+	}
+	for i := range c.R {
+		c.R[i] = float64(next() % 16)
+	}
+	for i := 0; i < n-1; i++ {
+		c.Down[i] = float64(next() % 16)
+		c.Up[i] = float64(next() % 16)
+	}
+	if withFixed && n > 1 {
+		c.Fixed = make([]Orientation, n-1)
+		for i := range c.Fixed {
+			c.Fixed[i] = Orientation(next() % 3)
+		}
+	}
+	return c
+}
+
+// Property (quick): Solve ≡ SolveExhaustive on arbitrary fixed-edge
+// chains; the reported orientation evaluates to the reported length.
+func TestQuickSolveOptimal(t *testing.T) {
+	f := func(data []byte, withFixed bool) bool {
+		c := decodeChain(data, withFixed)
+		got, err := Solve(c)
+		if err != nil {
+			return false
+		}
+		want, err := SolveExhaustive(c)
+		if err != nil {
+			return false
+		}
+		if got.Length != want.Length {
+			return false
+		}
+		if c.M() == 0 {
+			return true
+		}
+		ev, err := Evaluate(c, got.Orient)
+		return err == nil && ev == got.Length
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 600}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (quick): the appendix algorithm matches the oracle on free
+// chains.
+func TestQuickSolvePaperOptimal(t *testing.T) {
+	f := func(data []byte) bool {
+		c := decodeChain(data, false)
+		got, err := SolvePaper(c)
+		if err != nil {
+			return false
+		}
+		want, err := SolveExhaustive(c)
+		if err != nil {
+			return false
+		}
+		if got.Length != want.Length {
+			return false
+		}
+		if c.M() == 0 {
+			return true
+		}
+		ev, err := Evaluate(c, got.Orient)
+		return err == nil && ev == got.Length
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 600}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (quick): flipping any single free edge of an optimal solution
+// never improves it (local optimality).
+func TestQuickLocalOptimality(t *testing.T) {
+	f := func(data []byte) bool {
+		c := decodeChain(data, false)
+		if c.M() == 0 {
+			return true
+		}
+		sol, err := Solve(c)
+		if err != nil {
+			return false
+		}
+		for i := range sol.Orient {
+			alt := append([]Orientation(nil), sol.Orient...)
+			alt[i] = opposite(alt[i])
+			ev, err := Evaluate(c, alt)
+			if err != nil {
+				return false
+			}
+			if ev < sol.Length {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

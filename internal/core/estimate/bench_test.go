@@ -1,0 +1,59 @@
+package estimate
+
+import (
+	"math/rand"
+	"testing"
+
+	"batsched/internal/core/wtpg"
+	"batsched/internal/txn"
+)
+
+// benchGraph builds a mid-size WTPG: nHolders transactions with resolved
+// out-edges to nWaiters pending transactions, plus a band of unresolved
+// conflicts among the waiters.
+func benchGraph(nHolders, nWaiters int) (*wtpg.Graph, txn.ID) {
+	g := wtpg.New()
+	rng := rand.New(rand.NewSource(2))
+	id := txn.ID(1)
+	var holders, waiters []txn.ID
+	for i := 0; i < nHolders; i++ {
+		_ = g.AddNode(id, float64(rng.Intn(10)))
+		holders = append(holders, id)
+		id++
+	}
+	for i := 0; i < nWaiters; i++ {
+		_ = g.AddNode(id, float64(rng.Intn(10)))
+		waiters = append(waiters, id)
+		id++
+	}
+	for _, h := range holders {
+		for _, w := range waiters {
+			_ = g.AddConflict(h, w, float64(rng.Intn(10)), float64(rng.Intn(10)))
+			_ = g.Resolve(h, w)
+		}
+	}
+	for i := 0; i+1 < len(waiters); i += 2 {
+		_ = g.AddConflict(waiters[i], waiters[i+1], float64(rng.Intn(10)), float64(rng.Intn(10)))
+	}
+	return g, waiters[0]
+}
+
+func BenchmarkESmall(b *testing.B) {
+	g, q := benchGraph(4, 12)
+	targets := []txn.ID{q + 1, q + 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		E(g, q, targets)
+	}
+}
+
+func BenchmarkELarge(b *testing.B) {
+	g, q := benchGraph(16, 300)
+	targets := []txn.ID{q + 1, q + 3, q + 5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		E(g, q, targets)
+	}
+}

@@ -1,0 +1,140 @@
+package sched
+
+import (
+	"fmt"
+
+	"batsched/internal/core/wtpg"
+	"batsched/internal/lock"
+	"batsched/internal/txn"
+)
+
+// wtpgBase is the machinery shared by every declaration-aware scheduler
+// (C2PL, CHAIN, K-WTPG and the hybrids): the lock table, the WTPG and the
+// live-transaction registry, with the paper's registration and resolution
+// rules.
+type wtpgBase struct {
+	costs Costs
+	locks *lock.Table
+	graph *wtpg.Graph
+	live  map[txn.ID]*txn.T
+
+	// Scratch buffers for the request hot path (the control node is
+	// single-threaded, so plain reuse is safe).
+	targetBuf []txn.ID
+	seenBuf   map[txn.ID]bool
+}
+
+func newWTPGBase(costs Costs) wtpgBase {
+	return wtpgBase{
+		costs:   costs,
+		locks:   lock.NewTable(),
+		graph:   wtpg.New(),
+		live:    make(map[txn.ID]*txn.T),
+		seenBuf: make(map[txn.ID]bool),
+	}
+}
+
+// register adds t to the lock table and the WTPG: its declarations with
+// due values, its node with w(T0→Ti) = due(s0), a conflicting-edge to
+// every live transaction it conflicts with, and immediate resolutions
+// u→t for every u already holding a lock that conflicts with one of t's
+// declarations (u's access necessarily precedes t's).
+func (b *wtpgBase) register(t *txn.T) error {
+	if err := b.locks.Declare(t); err != nil {
+		return err
+	}
+	if err := b.graph.AddNode(t.ID, t.DeclaredTotal()); err != nil {
+		b.locks.Release(t.ID)
+		return err
+	}
+	for id, u := range b.live {
+		wtu, wut, ok := wtpg.ConflictWeights(t, u)
+		if !ok {
+			continue
+		}
+		if err := b.graph.AddConflict(t.ID, id, wtu, wut); err != nil {
+			b.unregister(t)
+			return err
+		}
+	}
+	// Immediate resolutions against current holders.
+	for _, s := range t.Steps {
+		for _, h := range b.locks.Blocked(t.ID, s.Part, s.Mode) {
+			if !b.graph.Has(h) {
+				continue // holder not live (should not happen: strict locks)
+			}
+			if err := b.graph.Resolve(h, t.ID); err != nil {
+				b.unregister(t)
+				return fmt.Errorf("sched: register %v: %w", t.ID, err)
+			}
+		}
+	}
+	b.live[t.ID] = t
+	return nil
+}
+
+// unregister rolls back a failed or rejected admission.
+func (b *wtpgBase) unregister(t *txn.T) {
+	b.graph.Remove(t.ID)
+	b.locks.Release(t.ID)
+	delete(b.live, t.ID)
+}
+
+// impliedTargets returns the transactions that granting step of t would
+// order after t: every transaction with a pending conflicting declaration
+// on the step's partition (deduplicated, in declaration order). The
+// returned slice is reused across calls; callers must not retain it.
+func (b *wtpgBase) impliedTargets(t *txn.T, step int) []txn.ID {
+	s := t.Steps[step]
+	b.targetBuf = b.targetBuf[:0]
+	for id := range b.seenBuf {
+		delete(b.seenBuf, id)
+	}
+	b.locks.EachConflictingDecl(t.ID, s.Part, s.Mode, func(d lock.Decl) {
+		if !b.seenBuf[d.Txn] {
+			b.seenBuf[d.Txn] = true
+			b.targetBuf = append(b.targetBuf, d.Txn)
+		}
+	})
+	return b.targetBuf
+}
+
+// grant applies the resolutions t→target and converts the declaration
+// into a held lock. The caller must have verified the grant is legal (not
+// blocked, no cycle / consistent with W).
+func (b *wtpgBase) grant(t *txn.T, step int, targets []txn.ID) error {
+	for _, to := range targets {
+		if err := b.graph.Resolve(t.ID, to); err != nil {
+			return err
+		}
+	}
+	return b.locks.Grant(t.ID, t.Steps[step].Part, step)
+}
+
+// objectDone applies the weight-adjustment message of §3.1.
+func (b *wtpgBase) objectDone(t *txn.T, objects float64) {
+	if b.graph.Has(t.ID) {
+		b.graph.AddW0(t.ID, -objects)
+	}
+}
+
+// commit releases t's locks and removes it from the WTPG.
+func (b *wtpgBase) commit(t *txn.T) []txn.PartitionID {
+	freed := b.locks.Release(t.ID)
+	b.graph.Remove(t.ID)
+	delete(b.live, t.ID)
+	return freed
+}
+
+// blocked reports whether step of t conflicts with a held lock.
+func (b *wtpgBase) blocked(t *txn.T, step int) bool {
+	s := t.Steps[step]
+	return b.locks.IsBlocked(t.ID, s.Part, s.Mode)
+}
+
+// CheckInvariants verifies the lock table holds no conflicting locks.
+// Promoted by every wtpgBase scheduler; the simulator's SelfCheck mode
+// calls it after each commit.
+func (b *wtpgBase) CheckInvariants() error {
+	return b.locks.CheckInvariants()
+}

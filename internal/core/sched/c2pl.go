@@ -1,0 +1,98 @@
+package sched
+
+import (
+	"fmt"
+
+	"batsched/internal/event"
+	"batsched/internal/txn"
+)
+
+// c2pl is Cautious Two-Phase Lock (Nishio et al. [10]): strict 2PL plus a
+// transaction precedence graph used to *predict* deadlocks. A request is
+// granted iff it is not blocked and granting it would not create a
+// precedence cycle; a deadlock-inducing request is delayed instead of
+// aborting anything.
+//
+// Optional admission constraints turn c2pl into the Experiment 4
+// lower-bound hybrids: CHAIN-C2PL (chain-form WTPG required) and K-C2PL
+// (K-conflict bound required). Per the paper, those hybrids delay the
+// start of violating transactions.
+type c2pl struct {
+	wtpgBase
+	name string
+	// preAdmit runs before registration (sees the table without t).
+	preAdmit func(b *wtpgBase, t *txn.T) bool
+	// postAdmit runs after registration (sees the graph with t).
+	postAdmit func(b *wtpgBase, t *txn.T) bool
+}
+
+// NewC2PL returns a Cautious Two-Phase Lock scheduler.
+func NewC2PL(costs Costs) Scheduler {
+	return &c2pl{wtpgBase: newWTPGBase(costs), name: "C2PL"}
+}
+
+// NewChainC2PL returns C2PL restricted to chain-form WTPGs — the lower
+// bound isolating the benefit of CHAIN's structural constraint from its
+// weight-based optimization (Experiment 4).
+func NewChainC2PL(costs Costs) Scheduler {
+	return &c2pl{
+		wtpgBase: newWTPGBase(costs),
+		name:     "CHAIN-C2PL",
+		postAdmit: func(b *wtpgBase, t *txn.T) bool {
+			_, ok := b.graph.Chains()
+			return ok
+		},
+	}
+}
+
+// NewKC2PL returns C2PL restricted to K-conflict WTPGs — the lower bound
+// isolating the benefit of K-WTPG's admission constraint from its use of
+// weights (Experiment 4).
+func NewKC2PL(costs Costs, k int) Scheduler {
+	return &c2pl{
+		wtpgBase: newWTPGBase(costs),
+		name:     fmt.Sprintf("K%d-C2PL", k),
+		preAdmit: func(b *wtpgBase, t *txn.T) bool {
+			return !b.locks.WouldExceedK(t, k)
+		},
+	}
+}
+
+func (c *c2pl) Name() string { return c.name }
+
+func (c *c2pl) Admit(t *txn.T, now event.Time) Outcome {
+	if c.preAdmit != nil && !c.preAdmit(&c.wtpgBase, t) {
+		return Outcome{Decision: Aborted, CPU: c.costs.DDTime}
+	}
+	if err := c.register(t); err != nil {
+		return Outcome{Decision: Delayed, CPU: c.costs.DDTime}
+	}
+	if c.postAdmit != nil && !c.postAdmit(&c.wtpgBase, t) {
+		c.unregister(t)
+		return Outcome{Decision: Aborted, CPU: c.costs.DDTime}
+	}
+	return Outcome{Decision: Granted, CPU: c.costs.DDTime}
+}
+
+func (c *c2pl) Request(t *txn.T, step int, now event.Time) Outcome {
+	cpu := c.costs.DDTime
+	if c.blocked(t, step) {
+		return Outcome{Decision: Blocked, CPU: cpu}
+	}
+	targets := c.impliedTargets(t, step)
+	if c.graph.WouldCycleFrom(t.ID, targets) {
+		return Outcome{Decision: Delayed, CPU: cpu}
+	}
+	if err := c.grant(t, step, targets); err != nil {
+		return Outcome{Decision: Delayed, CPU: cpu}
+	}
+	return Outcome{Decision: Granted, CPU: cpu}
+}
+
+func (c *c2pl) ObjectDone(t *txn.T, objects float64, now event.Time) {
+	c.objectDone(t, objects)
+}
+
+func (c *c2pl) Commit(t *txn.T, now event.Time) ([]txn.PartitionID, event.Time) {
+	return c.commit(t), 0
+}

@@ -1,0 +1,168 @@
+package sched
+
+import (
+	"fmt"
+
+	"batsched/internal/core/chainopt"
+	"batsched/internal/core/wtpg"
+	"batsched/internal/event"
+	"batsched/internal/txn"
+)
+
+// chain is the Chain-WTPG scheduler CC1 (§3.2, "CHAIN"). It restricts the
+// WTPG to chain form so the globally optimal full SR-order W — the one
+// whose resolved WTPG has the shortest critical path — is computable in
+// polynomial time, and then grants a lock-request only if the resolutions
+// it implies are consistent with W.
+//
+// Per §3.4, W is recomputed only when a transaction has started or
+// committed since the last computation or when KeepTime has elapsed;
+// otherwise the most recently computed W is reused.
+type chain struct {
+	wtpgBase
+	// plan maps each conflicting pair to the transaction W puts first.
+	plan       map[pairKey]txn.ID
+	planAt     event.Time
+	planDirty  bool
+	havePlan   bool
+	recomputes int
+}
+
+type pairKey struct{ a, b txn.ID }
+
+func pairOf(a, b txn.ID) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{a, b}
+}
+
+// NewChain returns a Chain-WTPG scheduler.
+func NewChain(costs Costs) Scheduler {
+	return &chain{wtpgBase: newWTPGBase(costs), plan: make(map[pairKey]txn.ID)}
+}
+
+func (c *chain) Name() string { return "CHAIN" }
+
+func (c *chain) Admit(t *txn.T, now event.Time) Outcome {
+	if err := c.register(t); err != nil {
+		return Outcome{Decision: Delayed, CPU: c.costs.DDTime}
+	}
+	// Step 0 of CC1: the WTPG must remain chain-form, tested by graph
+	// traversal; otherwise the new transaction is aborted (resubmitted).
+	if _, ok := c.graph.Chains(); !ok {
+		c.unregister(t)
+		return Outcome{Decision: Aborted, CPU: c.costs.DDTime}
+	}
+	c.planDirty = true
+	return Outcome{Decision: Granted, CPU: c.costs.DDTime}
+}
+
+// refreshPlan recomputes W when §3.4's conditions demand it. It reports
+// whether a recomputation happened (for CPU accounting).
+func (c *chain) refreshPlan(now event.Time) (bool, error) {
+	if c.havePlan && !c.planDirty && now-c.planAt < c.costs.KeepTime {
+		return false, nil
+	}
+	chains, ok := c.graph.Chains()
+	if !ok {
+		return false, fmt.Errorf("sched: CHAIN invariant violated: WTPG not chain-form")
+	}
+	plan := make(map[pairKey]txn.ID, len(c.plan))
+	for _, ch := range chains {
+		if len(ch) < 2 {
+			continue
+		}
+		in, err := c.chainInput(ch)
+		if err != nil {
+			return false, err
+		}
+		sol, err := chainopt.Solve(in)
+		if err != nil {
+			return false, err
+		}
+		for k := 0; k+1 < len(ch); k++ {
+			if sol.Orient[k] == chainopt.Down {
+				plan[pairOf(ch[k], ch[k+1])] = ch[k]
+			} else {
+				plan[pairOf(ch[k], ch[k+1])] = ch[k+1]
+			}
+		}
+	}
+	c.plan = plan
+	c.planAt = now
+	c.planDirty = false
+	c.havePlan = true
+	c.recomputes++
+	return true, nil
+}
+
+// chainInput converts one WTPG chain into the optimizer's input, carrying
+// live w(T0→Ti) values, per-direction edge weights, and the orientations
+// already fixed by earlier grants.
+func (c *chain) chainInput(ch wtpg.Chain) (chainopt.Chain, error) {
+	n := len(ch)
+	in := chainopt.Chain{
+		R:     make([]float64, n),
+		Down:  make([]float64, n-1),
+		Up:    make([]float64, n-1),
+		Fixed: make([]chainopt.Orientation, n-1),
+	}
+	for k, id := range ch {
+		in.R[k] = c.graph.W0(id)
+	}
+	for k := 0; k+1 < n; k++ {
+		e, ok := c.graph.EdgeBetween(ch[k], ch[k+1])
+		if !ok {
+			return in, fmt.Errorf("sched: chain edge (%v,%v) missing", ch[k], ch[k+1])
+		}
+		down, up := e.WAB, e.WBA
+		if e.A != ch[k] {
+			down, up = up, down
+		}
+		in.Down[k], in.Up[k] = down, up
+		if e.Dir != wtpg.Unresolved {
+			if e.From() == ch[k] {
+				in.Fixed[k] = chainopt.Down
+			} else {
+				in.Fixed[k] = chainopt.Up
+			}
+		}
+	}
+	return in, nil
+}
+
+func (c *chain) Request(t *txn.T, step int, now event.Time) Outcome {
+	cpu := c.costs.DDTime
+	if c.blocked(t, step) {
+		return Outcome{Decision: Blocked, CPU: cpu}
+	}
+	recomputed, err := c.refreshPlan(now)
+	if err != nil {
+		return Outcome{Decision: Delayed, CPU: cpu}
+	}
+	if recomputed {
+		cpu += c.costs.ChainTime
+	}
+	targets := c.impliedTargets(t, step)
+	// Step 3 of CC1: delay if any implied resolution disagrees with W.
+	for _, to := range targets {
+		if first, ok := c.plan[pairOf(t.ID, to)]; !ok || first != t.ID {
+			return Outcome{Decision: Delayed, CPU: cpu}
+		}
+	}
+	if err := c.grant(t, step, targets); err != nil {
+		return Outcome{Decision: Delayed, CPU: cpu}
+	}
+	return Outcome{Decision: Granted, CPU: cpu}
+}
+
+func (c *chain) ObjectDone(t *txn.T, objects float64, now event.Time) {
+	c.objectDone(t, objects)
+}
+
+func (c *chain) Commit(t *txn.T, now event.Time) ([]txn.PartitionID, event.Time) {
+	freed := c.commit(t)
+	c.planDirty = true
+	return freed, 0
+}

@@ -1,0 +1,148 @@
+package sched
+
+import (
+	"math"
+
+	"batsched/internal/core/estimate"
+	"batsched/internal/event"
+	"batsched/internal/txn"
+)
+
+// kwtpg is the K-conflict WTPG scheduler CC2 (§3.3, "K-WTPG"; the paper
+// evaluates K=2 as "K2"). It grants a lock-request q only when q's
+// estimated contention E(q) is the smallest among the conflicting
+// declarations C(q); requests that would deadlock are delayed. The
+// K-conflict admission constraint — each lock-declaration may conflict
+// with at most K others — bounds |C(q)| and thus the decision cost.
+//
+// Per §3.4, E values are cached and recomputed only when a transaction
+// starts or commits, a new precedence-edge is generated, or KeepTime has
+// elapsed since the last computation.
+type kwtpg struct {
+	wtpgBase
+	k          int
+	cache      map[reqKey]float64
+	cacheAt    event.Time
+	cacheDirty bool
+}
+
+type reqKey struct {
+	id   txn.ID
+	step int
+}
+
+// NewKWTPG returns a K-conflict WTPG scheduler with bound k.
+func NewKWTPG(costs Costs, k int) Scheduler {
+	return &kwtpg{wtpgBase: newWTPGBase(costs), k: k, cache: make(map[reqKey]float64)}
+}
+
+func (s *kwtpg) Name() string {
+	return "K" + itoa(s.k)
+}
+
+func itoa(k int) string {
+	if k == 0 {
+		return "0"
+	}
+	neg := k < 0
+	if neg {
+		k = -k
+	}
+	var buf [20]byte
+	i := len(buf)
+	for k > 0 {
+		i--
+		buf[i] = byte('0' + k%10)
+		k /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+func (s *kwtpg) Admit(t *txn.T, now event.Time) Outcome {
+	// K-conflict admission test (§3.3): abort the start when any
+	// declaration would conflict with more than K declarations.
+	if s.locks.WouldExceedK(t, s.k) {
+		return Outcome{Decision: Aborted, CPU: s.costs.DDTime}
+	}
+	if err := s.register(t); err != nil {
+		return Outcome{Decision: Delayed, CPU: s.costs.DDTime}
+	}
+	s.cacheDirty = true
+	return Outcome{Decision: Granted, CPU: s.costs.DDTime}
+}
+
+// maybeInvalidate applies §3.4's cache-invalidation conditions.
+func (s *kwtpg) maybeInvalidate(now event.Time) {
+	if s.cacheDirty || now-s.cacheAt >= s.costs.KeepTime {
+		s.cache = make(map[reqKey]float64)
+		s.cacheAt = now
+		s.cacheDirty = false
+	}
+}
+
+// estimateE returns E for the hypothetical grant of (t, step), using the
+// cache. The second result reports whether a fresh computation ran.
+func (s *kwtpg) estimateE(t *txn.T, step int) (float64, bool) {
+	key := reqKey{t.ID, step}
+	if v, ok := s.cache[key]; ok {
+		return v, false
+	}
+	v := estimate.E(s.graph, t.ID, s.impliedTargets(t, step))
+	s.cache[key] = v
+	return v, true
+}
+
+func (s *kwtpg) Request(t *txn.T, step int, now event.Time) Outcome {
+	cpu := s.costs.DDTime
+	// Step 1 of CC2.
+	if s.blocked(t, step) {
+		return Outcome{Decision: Blocked, CPU: cpu}
+	}
+	s.maybeInvalidate(now)
+	// Step 2 of CC2: E(q); a predicted deadlock delays q.
+	eq, fresh := s.estimateE(t, step)
+	if fresh {
+		cpu += s.costs.KWTPGTime
+	}
+	if math.IsInf(eq, 1) {
+		return Outcome{Decision: Delayed, CPU: cpu}
+	}
+	// Step 3 of CC2: grant only if E(q) is minimal over C(q).
+	st := t.Steps[step]
+	for _, d := range s.locks.ConflictingDecls(t.ID, st.Part, st.Mode) {
+		other, ok := s.live[d.Txn]
+		if !ok {
+			continue
+		}
+		ep, fresh := s.estimateE(other, d.Step)
+		if fresh {
+			cpu += s.costs.KWTPGTime
+		}
+		if eq > ep {
+			return Outcome{Decision: Delayed, CPU: cpu}
+		}
+	}
+	targets := s.impliedTargets(t, step)
+	if err := s.grant(t, step, targets); err != nil {
+		return Outcome{Decision: Delayed, CPU: cpu}
+	}
+	if len(targets) > 0 {
+		// New precedence-edges invalidate cached estimates (§3.4 rule 3).
+		s.cacheDirty = true
+	}
+	return Outcome{Decision: Granted, CPU: cpu}
+}
+
+func (s *kwtpg) ObjectDone(t *txn.T, objects float64, now event.Time) {
+	s.objectDone(t, objects)
+}
+
+func (s *kwtpg) Commit(t *txn.T, now event.Time) ([]txn.PartitionID, event.Time) {
+	freed := s.commit(t)
+	s.cacheDirty = true
+	return freed, 0
+}

@@ -1,0 +1,301 @@
+package sched
+
+import (
+	"testing"
+
+	"batsched/internal/txn"
+)
+
+var testCosts = Costs{DDTime: 1, ChainTime: 5, KWTPGTime: 3, KeepTime: 5000}
+
+func r(p txn.PartitionID, c float64) txn.Step { return txn.Step{Mode: txn.Read, Part: p, Cost: c} }
+func w(p txn.PartitionID, c float64) txn.Step { return txn.Step{Mode: txn.Write, Part: p, Cost: c} }
+
+// figure1 returns the paper's Figure 1 transactions (A=0,B=1,C=2,D=3).
+func figure1() (t1, t2, t3 *txn.T) {
+	t1 = txn.New(1, []txn.Step{r(0, 1), r(1, 3), w(0, 1)})
+	t2 = txn.New(2, []txn.Step{r(2, 1), w(0, 1)})
+	t3 = txn.New(3, []txn.Step{w(2, 1), r(3, 3)})
+	return
+}
+
+func admitAll(t *testing.T, s Scheduler, txns ...*txn.T) {
+	t.Helper()
+	for _, tx := range txns {
+		if out := s.Admit(tx, 0); out.Decision != Granted {
+			t.Fatalf("%s: Admit(%v) = %v, want granted", s.Name(), tx.ID, out.Decision)
+		}
+	}
+}
+
+// TestChainExample33 reproduces Example 3.3: with W = {T1→T2, T3→T2},
+// CHAIN delays T2's first step r2(C:1) because granting it would resolve
+// (T2,T3) into T2→T3, inconsistent with W.
+func TestChainExample33(t *testing.T) {
+	s := NewChain(testCosts)
+	t1, t2, t3 := figure1()
+	admitAll(t, s, t1, t2, t3)
+	if out := s.Request(t2, 0, 0); out.Decision != Delayed {
+		t.Errorf("CHAIN Request(r2(C:1)) = %v, want delayed", out.Decision)
+	}
+	// Requests consistent with W are granted.
+	if out := s.Request(t1, 0, 0); out.Decision != Granted {
+		t.Errorf("CHAIN Request(r1(A:1)) = %v, want granted", out.Decision)
+	}
+	if out := s.Request(t3, 0, 0); out.Decision != Granted {
+		t.Errorf("CHAIN Request(w3(C:1)) = %v, want granted", out.Decision)
+	}
+	// Once T3 holds X(C), T2's request is blocked outright.
+	if out := s.Request(t2, 0, 0); out.Decision != Blocked {
+		t.Errorf("CHAIN Request(r2(C:1)) after grant to T3 = %v, want blocked", out.Decision)
+	}
+}
+
+func TestChainAbortsNonChainForm(t *testing.T) {
+	s := NewChain(testCosts)
+	// Three writers of partition 0 form a triangle (each pair conflicts).
+	a := txn.New(1, []txn.Step{w(0, 1)})
+	b := txn.New(2, []txn.Step{w(0, 1)})
+	c := txn.New(3, []txn.Step{w(0, 1)})
+	admitAll(t, s, a, b)
+	if out := s.Admit(c, 0); out.Decision != Aborted {
+		t.Fatalf("Admit of triangle-forming txn = %v, want aborted", out.Decision)
+	}
+	// The rejected transaction left no state behind: admitting a
+	// non-conflicting transaction still works and the graph is unchanged.
+	d := txn.New(4, []txn.Step{w(9, 1)})
+	admitAll(t, s, d)
+	// After B commits the chain shrinks and C becomes admissible.
+	if out := s.Request(a, 0, 0); out.Decision != Granted {
+		t.Fatalf("request = %v, want granted", out.Decision)
+	}
+	if freed, _ := s.Commit(a, 10); len(freed) != 1 || freed[0] != 0 {
+		t.Fatalf("freed = %v, want [0]", freed)
+	}
+	if out := s.Admit(c, 11); out.Decision != Granted {
+		t.Errorf("Admit(c) after commit = %v, want granted", out.Decision)
+	}
+}
+
+func TestChainRecomputeCharging(t *testing.T) {
+	s := NewChain(testCosts).(*chain)
+	t1, t2, _ := figure1()
+	admitAll(t, s, t1, t2)
+	out := s.Request(t1, 0, 0)
+	if out.Decision != Granted {
+		t.Fatalf("request = %v", out.Decision)
+	}
+	if out.CPU != testCosts.DDTime+testCosts.ChainTime {
+		t.Errorf("first request CPU = %v, want ddtime+chaintime", out.CPU)
+	}
+	// Second request inside KeepTime with no start/commit: cached W.
+	out = s.Request(t1, 1, 10)
+	if out.Decision != Granted {
+		t.Fatalf("request = %v", out.Decision)
+	}
+	if out.CPU != testCosts.DDTime {
+		t.Errorf("cached request CPU = %v, want ddtime only", out.CPU)
+	}
+	// After KeepTime elapses W is recomputed.
+	out = s.Request(t1, 2, 10+testCosts.KeepTime)
+	if out.CPU != testCosts.DDTime+testCosts.ChainTime {
+		t.Errorf("post-keeptime CPU = %v, want ddtime+chaintime", out.CPU)
+	}
+	if s.recomputes != 2 {
+		t.Errorf("recomputes = %d, want 2", s.recomputes)
+	}
+}
+
+// TestKWTPGPrefersSmallerE: T1 = r(B:5)→w(A:1) (total 6), T2 = w(A:1).
+// E(T2's request) = 6 < E(T1's hypothetical w(A)) = 7, so K2 grants T2
+// and would delay T1's write.
+func TestKWTPGPrefersSmallerE(t *testing.T) {
+	s := NewKWTPG(testCosts, 2)
+	t1 := txn.New(1, []txn.Step{r(1, 5), w(0, 1)})
+	t2 := txn.New(2, []txn.Step{w(0, 1)})
+	admitAll(t, s, t1, t2)
+	if out := s.Request(t1, 1, 0); out.Decision != Delayed {
+		t.Errorf("K2 Request(T1 w(A)) = %v, want delayed (E=7 > E'=6)", out.Decision)
+	}
+	if out := s.Request(t2, 0, 0); out.Decision != Granted {
+		t.Errorf("K2 Request(T2 w(A)) = %v, want granted (E=6 minimal)", out.Decision)
+	}
+}
+
+func TestKWTPGAdmissionBound(t *testing.T) {
+	s := NewKWTPG(testCosts, 1)
+	a := txn.New(1, []txn.Step{w(0, 1)})
+	b := txn.New(2, []txn.Step{r(0, 1)})
+	c := txn.New(3, []txn.Step{r(0, 1)})
+	admitAll(t, s, a, b)
+	// c's read would make a's write-declaration conflict with 2 > K=1.
+	if out := s.Admit(c, 0); out.Decision != Aborted {
+		t.Errorf("Admit over K bound = %v, want aborted", out.Decision)
+	}
+	// A hub over distinct partitions is fine even at K=1 (not chain form).
+	s2 := NewKWTPG(testCosts, 1)
+	hub := txn.New(1, []txn.Step{w(0, 1), w(1, 1), w(2, 1)})
+	l1 := txn.New(2, []txn.Step{r(0, 1)})
+	l2 := txn.New(3, []txn.Step{r(1, 1)})
+	l3 := txn.New(4, []txn.Step{r(2, 1)})
+	admitAll(t, s2, hub, l1, l2, l3)
+}
+
+func TestKWTPGDelaysDeadlock(t *testing.T) {
+	s := NewKWTPG(testCosts, 2)
+	t1 := txn.New(1, []txn.Step{r(0, 1), w(1, 1)})
+	t2 := txn.New(2, []txn.Step{r(1, 1), w(0, 1)})
+	admitAll(t, s, t1, t2)
+	if out := s.Request(t1, 0, 0); out.Decision != Granted {
+		t.Fatalf("T1 r(A) = %v", out.Decision)
+	}
+	// T2's r(B) would resolve T2→T1, contradicting T1→T2: E = ∞ → delayed.
+	if out := s.Request(t2, 0, 0); out.Decision != Delayed {
+		t.Errorf("K2 deadlock-inducing request = %v, want delayed", out.Decision)
+	}
+}
+
+func TestC2PLPredictsDeadlock(t *testing.T) {
+	s := NewC2PL(testCosts)
+	t1 := txn.New(1, []txn.Step{r(0, 1), w(1, 1)})
+	t2 := txn.New(2, []txn.Step{r(1, 1), w(0, 1)})
+	admitAll(t, s, t1, t2)
+	if out := s.Request(t1, 0, 0); out.Decision != Granted {
+		t.Fatalf("T1 r(A) = %v", out.Decision)
+	}
+	if out := s.Request(t2, 0, 0); out.Decision != Delayed {
+		t.Errorf("C2PL cycle-inducing request = %v, want delayed", out.Decision)
+	}
+	// T1 may proceed; after its commit, T2 can run.
+	if out := s.Request(t1, 1, 0); out.Decision != Granted {
+		t.Fatalf("T1 w(B) = %v", out.Decision)
+	}
+	freed, _ := s.Commit(t1, 5)
+	if len(freed) != 2 {
+		t.Fatalf("freed = %v, want two partitions", freed)
+	}
+	if out := s.Request(t2, 0, 6); out.Decision != Granted {
+		t.Errorf("T2 r(B) after T1 commit = %v, want granted", out.Decision)
+	}
+}
+
+func TestC2PLUpgradeDeadlockAvoided(t *testing.T) {
+	s := NewC2PL(testCosts)
+	t1 := txn.New(1, []txn.Step{r(0, 2), w(0, 1)})
+	t2 := txn.New(2, []txn.Step{r(0, 2), w(0, 1)})
+	admitAll(t, s, t1, t2)
+	if out := s.Request(t1, 0, 0); out.Decision != Granted {
+		t.Fatalf("T1 r(A) = %v", out.Decision)
+	}
+	// T2's S(A) is compatible with T1's S(A) but would resolve T2→T1
+	// against the existing T1→T2: the classic S-S upgrade deadlock is
+	// predicted and avoided.
+	if out := s.Request(t2, 0, 0); out.Decision != Delayed {
+		t.Errorf("T2 r(A) = %v, want delayed (upgrade deadlock)", out.Decision)
+	}
+	if out := s.Request(t1, 1, 0); out.Decision != Granted {
+		t.Errorf("T1 upgrade w(A) = %v, want granted", out.Decision)
+	}
+	s.Commit(t1, 5)
+	if out := s.Request(t2, 0, 6); out.Decision != Granted {
+		t.Errorf("T2 r(A) after commit = %v, want granted", out.Decision)
+	}
+}
+
+func TestASLAtomicAcquisition(t *testing.T) {
+	s := NewASL(testCosts)
+	t1 := txn.New(1, []txn.Step{r(0, 1), w(1, 1)})
+	t2 := txn.New(2, []txn.Step{r(1, 1), w(2, 1)})
+	if out := s.Admit(t1, 0); out.Decision != Granted {
+		t.Fatalf("Admit(t1) = %v", out.Decision)
+	}
+	// t2 needs S(1) but t1 holds X(1): start refused.
+	if out := s.Admit(t2, 0); out.Decision != Delayed {
+		t.Errorf("Admit(t2) = %v, want delayed", out.Decision)
+	}
+	// All requests of an admitted ASL transaction are free grants.
+	if out := s.Request(t1, 0, 0); out.Decision != Granted || out.CPU != 0 {
+		t.Errorf("Request = %+v, want free grant", out)
+	}
+	freed, _ := s.Commit(t1, 5)
+	if len(freed) != 2 {
+		t.Fatalf("freed = %v", freed)
+	}
+	if out := s.Admit(t2, 6); out.Decision != Granted {
+		t.Errorf("Admit(t2) after commit = %v, want granted", out.Decision)
+	}
+}
+
+func TestNODCGrantsEverything(t *testing.T) {
+	s := NewNODC()
+	t1 := txn.New(1, []txn.Step{w(0, 1)})
+	t2 := txn.New(2, []txn.Step{w(0, 1)})
+	for _, tx := range []*txn.T{t1, t2} {
+		if out := s.Admit(tx, 0); out.Decision != Granted {
+			t.Fatalf("NODC Admit = %v", out.Decision)
+		}
+		if out := s.Request(tx, 0, 0); out.Decision != Granted {
+			t.Fatalf("NODC Request = %v", out.Decision)
+		}
+	}
+}
+
+func TestHybridAdmission(t *testing.T) {
+	// CHAIN-C2PL rejects non-chain WTPGs but schedules like C2PL.
+	s := NewChainC2PL(testCosts)
+	if s.Name() != "CHAIN-C2PL" {
+		t.Errorf("name = %q", s.Name())
+	}
+	a := txn.New(1, []txn.Step{w(0, 1)})
+	b := txn.New(2, []txn.Step{w(0, 1)})
+	c := txn.New(3, []txn.Step{w(0, 1)})
+	admitAll(t, s, a, b)
+	if out := s.Admit(c, 0); out.Decision != Aborted {
+		t.Errorf("CHAIN-C2PL Admit(triangle) = %v, want aborted", out.Decision)
+	}
+	// Unlike CHAIN, CHAIN-C2PL ignores weights: first-come grants win.
+	if out := s.Request(b, 0, 0); out.Decision != Granted {
+		t.Errorf("CHAIN-C2PL Request = %v, want granted", out.Decision)
+	}
+
+	k := NewKC2PL(testCosts, 1)
+	if k.Name() != "K1-C2PL" {
+		t.Errorf("name = %q", k.Name())
+	}
+	a2 := txn.New(1, []txn.Step{w(0, 1)})
+	b2 := txn.New(2, []txn.Step{r(0, 1)})
+	c2 := txn.New(3, []txn.Step{r(0, 1)})
+	admitAll(t, k, a2, b2)
+	if out := k.Admit(c2, 0); out.Decision != Aborted {
+		t.Errorf("K1-C2PL Admit over bound = %v, want aborted", out.Decision)
+	}
+}
+
+func TestObjectDoneAdjustsWeights(t *testing.T) {
+	s := NewKWTPG(testCosts, 2).(*kwtpg)
+	t1 := txn.New(1, []txn.Step{r(0, 3)})
+	admitAll(t, s, t1)
+	if got := s.graph.W0(1); got != 3 {
+		t.Fatalf("initial w0 = %g", got)
+	}
+	s.ObjectDone(t1, 1, 0)
+	s.ObjectDone(t1, 0.5, 0)
+	if got := s.graph.W0(1); got != 1.5 {
+		t.Errorf("w0 after 1.5 objects = %g, want 1.5", got)
+	}
+}
+
+func TestFactories(t *testing.T) {
+	for _, f := range []Factory{
+		NODCFactory(), ASLFactory(), C2PLFactory(), ChainFactory(),
+		KWTPGFactory(2), ChainC2PLFactory(), KC2PLFactory(2),
+	} {
+		s := f.New(testCosts)
+		if s == nil {
+			t.Fatalf("factory %s returned nil", f.Label)
+		}
+		if f.Label == "K2" && s.Name() != "K2" {
+			t.Errorf("K2 name = %q", s.Name())
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package wtpg
+
+import (
+	"sort"
+
+	"batsched/internal/txn"
+)
+
+// Chain is a maximal path of the undirected conflict graph, in path order.
+// Isolated transactions form single-element chains.
+type Chain []txn.ID
+
+// Chains decomposes the conflict graph (all conflicting pairs, resolved or
+// not) into chains. ok is false when the graph is not in the paper's chain
+// form (Definition 2): some transaction conflicts with more than two
+// others, or the conflicts form a cycle. On failure the returned chains
+// are nil.
+//
+// The result is deterministic: each path starts at its smaller-id
+// endpoint, and chains are sorted by their first element.
+func (g *Graph) Chains() (chains []Chain, ok bool) {
+	for id := range g.w0 {
+		if len(g.adj[id]) > 2 {
+			return nil, false
+		}
+	}
+	visited := make(map[txn.ID]bool, len(g.w0))
+	// Nodes() is sorted, so the first unvisited endpoint of each path
+	// component is its smaller-id endpoint.
+	for _, id := range g.Nodes() {
+		if visited[id] || len(g.adj[id]) > 1 {
+			continue
+		}
+		chain := Chain{id}
+		visited[id] = true
+		var prev txn.ID
+		cur, hasPrev := id, false
+		for {
+			next, found := g.nextNeighbour(cur, prev, hasPrev)
+			if !found {
+				break
+			}
+			if visited[next] {
+				return nil, false
+			}
+			chain = append(chain, next)
+			visited[next] = true
+			prev, cur, hasPrev = cur, next, true
+		}
+		chains = append(chains, chain)
+	}
+	// Every node of degree 2 not reached from an endpoint lies on a cycle.
+	for id := range g.w0 {
+		if !visited[id] {
+			return nil, false
+		}
+	}
+	sort.Slice(chains, func(i, j int) bool { return chains[i][0] < chains[j][0] })
+	return chains, true
+}
+
+// nextNeighbour returns the neighbour of cur other than prev. With degree
+// at most 2 there is at most one such neighbour.
+func (g *Graph) nextNeighbour(cur, prev txn.ID, hasPrev bool) (txn.ID, bool) {
+	for other := range g.adj[cur] {
+		if hasPrev && other == prev {
+			continue
+		}
+		return other, true
+	}
+	return 0, false
+}
+
+// ConflictDegree returns the number of transactions id conflicts with.
+func (g *Graph) ConflictDegree(id txn.ID) int { return len(g.adj[id]) }

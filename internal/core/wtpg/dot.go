@@ -1,0 +1,33 @@
+package wtpg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz format, mirroring the paper's
+// figures: precedence-edges are solid arrows labelled with their weight,
+// conflicting-edges are dashed double-headed arrows labelled with both
+// candidate weights, and every node shows its live w(T0→Ti).
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  T0 [shape=circle];\n")
+	b.WriteString("  Tf [shape=doublecircle];\n")
+	for _, id := range g.Nodes() {
+		fmt.Fprintf(&b, "  %v [shape=box];\n", id)
+		fmt.Fprintf(&b, "  T0 -> %v [label=\"%g\"];\n", id, g.w0[id])
+		fmt.Fprintf(&b, "  %v -> Tf [label=\"0\", style=dotted];\n", id)
+	}
+	for _, e := range g.Edges() {
+		if e.Dir == Unresolved {
+			fmt.Fprintf(&b, "  %v -> %v [dir=both, style=dashed, label=\"%g/%g\"];\n",
+				e.A, e.B, e.WAB, e.WBA)
+		} else {
+			fmt.Fprintf(&b, "  %v -> %v [label=\"%g\"];\n", e.From(), e.To(), e.Weight())
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

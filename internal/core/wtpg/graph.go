@@ -1,0 +1,554 @@
+// Package wtpg implements the paper's Weighted Transaction Precedence
+// Graph (§3.1, Definition 1).
+//
+// Nodes are live transactions; the initial transaction T0 and the final
+// transaction Tf are implicit. Between two transactions that issued
+// conflicting lock-declarations there is a *conflicting-edge* — a pair of
+// candidate directed edges (Ti→Tj, Tj→Ti), each carrying a weight in
+// objects. When the serialization order between the two is determined, the
+// conflicting-edge is *resolved* into a single precedence-edge. The weight
+// w(T0→Ti) — the number of objects Ti must still access before commit — is
+// maintained live as the transaction processes objects. The paper's cost
+// model makes all w(Ti→Tf) zero, so Tf edges carry no weight here.
+//
+// The length of the critical (longest) path from T0 to Tf estimates the
+// earliest possible completion time of the schedule and therefore the
+// degree of data/resource contention.
+package wtpg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"batsched/internal/txn"
+)
+
+// Direction orients a conflicting-edge when it is resolved.
+type Direction int8
+
+const (
+	// Unresolved means the conflicting-edge has not been oriented yet.
+	Unresolved Direction = iota
+	// AtoB resolves the pair (A,B) into A→B (A precedes B). A is the
+	// smaller transaction id of the pair.
+	AtoB
+	// BtoA resolves the pair (A,B) into B→A.
+	BtoA
+)
+
+func (d Direction) String() string {
+	switch d {
+	case AtoB:
+		return "A->B"
+	case BtoA:
+		return "B->A"
+	default:
+		return "unresolved"
+	}
+}
+
+// Edge is a conflicting-edge or, once resolved, a precedence-edge between
+// the transaction pair (A, B) with A < B. WAB is the weight of the
+// candidate edge A→B ("after A has committed, B must access WAB objects
+// before B commits"); WBA likewise for B→A.
+type Edge struct {
+	A, B     txn.ID
+	WAB, WBA float64
+	Dir      Direction
+}
+
+// Weight returns the weight of the resolved precedence-edge. It panics on
+// an unresolved edge.
+func (e Edge) Weight() float64 {
+	switch e.Dir {
+	case AtoB:
+		return e.WAB
+	case BtoA:
+		return e.WBA
+	}
+	panic("wtpg: Weight of unresolved edge")
+}
+
+// From and To return the endpoints of the resolved precedence-edge.
+func (e Edge) From() txn.ID {
+	if e.Dir == BtoA {
+		return e.B
+	}
+	return e.A
+}
+
+// To returns the successor endpoint of the resolved precedence-edge.
+func (e Edge) To() txn.ID {
+	if e.Dir == BtoA {
+		return e.A
+	}
+	return e.B
+}
+
+type pairKey struct{ a, b txn.ID }
+
+func keyOf(a, b txn.ID) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{a, b}
+}
+
+// Resolution is a proposed orientation "From precedes To" of the
+// conflicting-edge between From and To.
+type Resolution struct {
+	From, To txn.ID
+}
+
+// Graph is a WTPG over live transactions. It is not safe for concurrent
+// use; the simulation is single-threaded.
+type Graph struct {
+	w0    map[txn.ID]float64
+	edges map[pairKey]*Edge
+	adj   map[txn.ID]map[txn.ID]*Edge // both endpoints point at the shared Edge
+	// out/in index only the resolved precedence-edges so traversals never
+	// touch the (much larger) set of unresolved conflicting-edges.
+	out map[txn.ID]map[txn.ID]*Edge
+	in  map[txn.ID]map[txn.ID]*Edge
+	// stackBuf is scratch space for WouldCycleFrom (single-threaded use).
+	stackBuf []txn.ID
+}
+
+// New returns an empty WTPG.
+func New() *Graph {
+	return &Graph{
+		w0:    make(map[txn.ID]float64),
+		edges: make(map[pairKey]*Edge),
+		adj:   make(map[txn.ID]map[txn.ID]*Edge),
+		out:   make(map[txn.ID]map[txn.ID]*Edge),
+		in:    make(map[txn.ID]map[txn.ID]*Edge),
+	}
+}
+
+// Len returns the number of live transactions in the graph.
+func (g *Graph) Len() int { return len(g.w0) }
+
+// Has reports whether id is in the graph.
+func (g *Graph) Has(id txn.ID) bool {
+	_, ok := g.w0[id]
+	return ok
+}
+
+// Nodes returns the live transaction ids, sorted.
+func (g *Graph) Nodes() []txn.ID {
+	out := make([]txn.ID, 0, len(g.w0))
+	for id := range g.w0 {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AddNode inserts a transaction with its initial w(T0→Ti) weight (the
+// declared total demand, due(s0)).
+func (g *Graph) AddNode(id txn.ID, w0 float64) error {
+	if g.Has(id) {
+		return fmt.Errorf("wtpg: node %v already present", id)
+	}
+	if w0 < 0 {
+		return fmt.Errorf("wtpg: negative w0 %g for %v", w0, id)
+	}
+	g.w0[id] = w0
+	g.adj[id] = make(map[txn.ID]*Edge)
+	g.out[id] = make(map[txn.ID]*Edge)
+	g.in[id] = make(map[txn.ID]*Edge)
+	return nil
+}
+
+// W0 returns w(T0→Ti).
+func (g *Graph) W0(id txn.ID) float64 { return g.w0[id] }
+
+// SetW0 overwrites w(T0→Ti).
+func (g *Graph) SetW0(id txn.ID, w float64) {
+	if !g.Has(id) {
+		panic(fmt.Sprintf("wtpg: SetW0 on unknown %v", id))
+	}
+	if w < 0 {
+		w = 0
+	}
+	g.w0[id] = w
+}
+
+// AddW0 adjusts w(T0→Ti) by delta (the per-object decrement messages use
+// delta = -1). The weight is clamped at zero.
+func (g *Graph) AddW0(id txn.ID, delta float64) {
+	g.SetW0(id, g.w0[id]+delta)
+}
+
+// AddConflict inserts the conflicting-edge (a,b) with weights w(a→b)=wab
+// and w(b→a)=wba. Both nodes must exist and the pair must be new.
+func (g *Graph) AddConflict(a, b txn.ID, wab, wba float64) error {
+	if a == b {
+		return fmt.Errorf("wtpg: self-conflict on %v", a)
+	}
+	if !g.Has(a) || !g.Has(b) {
+		return fmt.Errorf("wtpg: conflict (%v,%v) with unknown node", a, b)
+	}
+	k := keyOf(a, b)
+	if _, ok := g.edges[k]; ok {
+		return fmt.Errorf("wtpg: conflict (%v,%v) already present", a, b)
+	}
+	e := &Edge{A: k.a, B: k.b}
+	if a == k.a {
+		e.WAB, e.WBA = wab, wba
+	} else {
+		e.WAB, e.WBA = wba, wab
+	}
+	g.edges[k] = e
+	g.adj[a][b] = e
+	g.adj[b][a] = e
+	return nil
+}
+
+// EdgeBetween returns the edge between a and b, if any.
+func (g *Graph) EdgeBetween(a, b txn.ID) (Edge, bool) {
+	e, ok := g.edges[keyOf(a, b)]
+	if !ok {
+		return Edge{}, false
+	}
+	return *e, true
+}
+
+// Edges returns copies of all edges, sorted by endpoint ids.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, len(g.edges))
+	for _, e := range g.edges {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// Resolve orients the conflicting-edge between from and to as from→to.
+// Resolving an edge again in the same direction is a no-op; resolving it
+// in the opposite direction is an error, as is resolving a non-edge.
+func (g *Graph) Resolve(from, to txn.ID) error {
+	e, ok := g.edges[keyOf(from, to)]
+	if !ok {
+		return fmt.Errorf("wtpg: no conflict between %v and %v", from, to)
+	}
+	want := AtoB
+	if from == e.B {
+		want = BtoA
+	}
+	switch e.Dir {
+	case Unresolved:
+		e.Dir = want
+		g.out[e.From()][e.To()] = e
+		g.in[e.To()][e.From()] = e
+		return nil
+	case want:
+		return nil
+	default:
+		return fmt.Errorf("wtpg: (%v,%v) already resolved %v→%v", e.A, e.B, e.From(), e.To())
+	}
+}
+
+// Resolved reports the orientation between a and b: from, to and true when
+// a precedence-edge exists.
+func (g *Graph) Resolved(a, b txn.ID) (from, to txn.ID, ok bool) {
+	e, found := g.edges[keyOf(a, b)]
+	if !found || e.Dir == Unresolved {
+		return 0, 0, false
+	}
+	return e.From(), e.To(), true
+}
+
+// Remove deletes a transaction and all its edges (commitment, or abort of
+// an admitted transaction).
+func (g *Graph) Remove(id txn.ID) {
+	for other := range g.adj[id] {
+		delete(g.adj[other], id)
+		delete(g.out[other], id)
+		delete(g.in[other], id)
+		delete(g.edges, keyOf(id, other))
+	}
+	delete(g.adj, id)
+	delete(g.out, id)
+	delete(g.in, id)
+	delete(g.w0, id)
+}
+
+// successors iterates over resolved out-edges of id.
+func (g *Graph) successors(id txn.ID, fn func(to txn.ID, w float64)) {
+	for other, e := range g.out[id] {
+		fn(other, e.Weight())
+	}
+}
+
+// predecessors iterates over resolved in-edges of id.
+func (g *Graph) predecessors(id txn.ID, fn func(from txn.ID, w float64)) {
+	for other, e := range g.in[id] {
+		fn(other, e.Weight())
+	}
+}
+
+// After returns the set of transactions that id precedes (the paper's
+// after(T)): all descendants of id via precedence-edges.
+func (g *Graph) After(id txn.ID) map[txn.ID]bool {
+	out := make(map[txn.ID]bool)
+	var visit func(txn.ID)
+	visit = func(u txn.ID) {
+		g.successors(u, func(v txn.ID, _ float64) {
+			if !out[v] {
+				out[v] = true
+				visit(v)
+			}
+		})
+	}
+	visit(id)
+	return out
+}
+
+// Before returns the set of transactions preceding id (the paper's
+// before(T)): all ancestors of id via precedence-edges.
+func (g *Graph) Before(id txn.ID) map[txn.ID]bool {
+	out := make(map[txn.ID]bool)
+	var visit func(txn.ID)
+	visit = func(u txn.ID) {
+		g.predecessors(u, func(v txn.ID, _ float64) {
+			if !out[v] {
+				out[v] = true
+				visit(v)
+			}
+		})
+	}
+	visit(id)
+	return out
+}
+
+// WouldCycle reports whether the precedence-edges plus the proposed extra
+// resolutions contain a directed cycle — the cautious schedulers' deadlock
+// prediction test. Proposed resolutions over pairs that are already
+// resolved in the same direction are harmless; over pairs resolved in the
+// opposite direction they are reported as a cycle (the order would
+// contradict itself). Extra resolutions need not correspond to existing
+// conflicting-edges.
+func (g *Graph) WouldCycle(extra []Resolution) bool {
+	// The resolved precedence-edges alone are acyclic (an invariant every
+	// scheduler maintains), so any cycle must pass through an extra edge.
+	// Filter the extras against existing resolutions first.
+	overlay := make(map[txn.ID][]txn.ID, 4)
+	any := false
+	for _, r := range extra {
+		if e, ok := g.edges[keyOf(r.From, r.To)]; ok && e.Dir != Unresolved {
+			if e.From() == r.To {
+				return true // contradicts an existing precedence-edge
+			}
+			continue // already resolved this way
+		}
+		overlay[r.From] = append(overlay[r.From], r.To)
+		any = true
+	}
+	if !any {
+		return false
+	}
+	// For each distinct source f, a cycle through one of its extra edges
+	// f→u exists iff some u reaches f via resolved edges plus the
+	// overlay. One multi-source DFS per source, visiting only the
+	// reachable subgraph — most nodes hold no locks and therefore have no
+	// outgoing precedence-edges, which keeps this cheap on large graphs.
+	for f, targets := range overlay {
+		visited := make(map[txn.ID]bool, 8)
+		stack := append([]txn.ID(nil), targets...)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if u == f {
+				return true
+			}
+			if visited[u] {
+				continue
+			}
+			visited[u] = true
+			g.successors(u, func(v txn.ID, _ float64) {
+				if !visited[v] {
+					stack = append(stack, v)
+				}
+			})
+			for _, v := range overlay[u] {
+				if !visited[v] {
+					stack = append(stack, v)
+				}
+			}
+		}
+	}
+	return false
+}
+
+// WouldCycleFrom is the allocation-light form of WouldCycle used on the
+// scheduler hot path: it tests whether resolving from→target for every
+// target would create a cycle. Semantics match WouldCycle with
+// Resolution{from, target} extras.
+func (g *Graph) WouldCycleFrom(from txn.ID, targets []txn.ID) bool {
+	// Filter against existing resolutions via the resolved-adjacency
+	// indexes (int64-keyed, much cheaper than pair-key lookups), keeping
+	// only genuinely new edges on the DFS stack.
+	outF, inF := g.out[from], g.in[from]
+	stack := g.stackBuf[:0]
+	for _, to := range targets {
+		if _, ok := inF[to]; ok {
+			return true // to→from already resolved: contradiction
+		}
+		if _, ok := outF[to]; ok {
+			continue // already resolved this way
+		}
+		stack = append(stack, to)
+	}
+	if len(stack) == 0 {
+		g.stackBuf = stack
+		return false
+	}
+	// A cycle exists iff some target reaches `from` via resolved edges
+	// (the new edges all share the single source, so they cannot chain
+	// into each other except through `from` itself).
+	visited := make(map[txn.ID]bool, 8)
+	found := false
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if u == from {
+			found = true
+			break
+		}
+		if visited[u] {
+			continue
+		}
+		visited[u] = true
+		for v := range g.out[u] {
+			if !visited[v] {
+				stack = append(stack, v)
+			}
+		}
+	}
+	g.stackBuf = stack[:0]
+	return found
+}
+
+// CriticalPath returns the length of the longest path from T0 to Tf using
+// only resolved precedence-edges (unresolved conflicting-edges are
+// ignored, as in step 3 of the paper's E(q) procedure). Every node Ti has
+// the implicit edge T0→Ti of weight w(T0→Ti) and Ti→Tf of weight 0. An
+// error is returned if the precedence-edges contain a cycle.
+func (g *Graph) CriticalPath() (float64, error) {
+	order, err := g.topoOrder()
+	if err != nil {
+		return 0, err
+	}
+	dist := make(map[txn.ID]float64, len(order))
+	best := 0.0
+	for _, u := range order {
+		d := g.w0[u]
+		g.predecessors(u, func(v txn.ID, w float64) {
+			if cand := dist[v] + w; cand > d {
+				d = cand
+			}
+		})
+		dist[u] = d
+		if d > best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// topoOrder returns the nodes in a topological order of the resolved
+// precedence-edges (ties broken by id for determinism).
+func (g *Graph) topoOrder() ([]txn.ID, error) {
+	indeg := make(map[txn.ID]int, len(g.w0))
+	for id := range g.w0 {
+		indeg[id] = 0
+	}
+	for _, e := range g.edges {
+		if e.Dir != Unresolved {
+			indeg[e.To()]++
+		}
+	}
+	var ready []txn.ID
+	for id, d := range indeg {
+		if d == 0 {
+			ready = append(ready, id)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+	var order []txn.ID
+	for len(ready) > 0 {
+		u := ready[0]
+		ready = ready[1:]
+		order = append(order, u)
+		var next []txn.ID
+		g.successors(u, func(v txn.ID, _ float64) {
+			indeg[v]--
+			if indeg[v] == 0 {
+				next = append(next, v)
+			}
+		})
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		ready = append(ready, next...)
+	}
+	if len(order) != len(g.w0) {
+		return nil, fmt.Errorf("wtpg: precedence-edges contain a cycle")
+	}
+	return order, nil
+}
+
+// Clone returns a deep copy of the graph. Used for hypothetical ("what if
+// q were granted") evaluations.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	for id, w := range g.w0 {
+		c.w0[id] = w
+		c.adj[id] = make(map[txn.ID]*Edge, len(g.adj[id]))
+		c.out[id] = make(map[txn.ID]*Edge, len(g.out[id]))
+		c.in[id] = make(map[txn.ID]*Edge, len(g.in[id]))
+	}
+	for k, e := range g.edges {
+		ce := *e
+		c.edges[k] = &ce
+		c.adj[k.a][k.b] = &ce
+		c.adj[k.b][k.a] = &ce
+		if ce.Dir != Unresolved {
+			c.out[ce.From()][ce.To()] = &ce
+			c.in[ce.To()][ce.From()] = &ce
+		}
+	}
+	return c
+}
+
+// ConflictWeights computes the conflicting-edge weights between two
+// declared transactions per §3.1: for every pair of conflicting declared
+// steps (si of a, sj of b), w(b→a) ≥ due(si) and w(a→b) ≥ due(sj); the
+// weights are the maxima over all such pairs. ok is false when the
+// transactions do not conflict at all.
+func ConflictWeights(a, b *txn.T) (wab, wba float64, ok bool) {
+	wab, wba = math.Inf(-1), math.Inf(-1)
+	for i, sa := range a.Steps {
+		for j, sb := range b.Steps {
+			if !sa.Conflicts(sb) {
+				continue
+			}
+			ok = true
+			if d := b.Due(j); d > wab {
+				wab = d
+			}
+			if d := a.Due(i); d > wba {
+				wba = d
+			}
+		}
+	}
+	if !ok {
+		return 0, 0, false
+	}
+	return wab, wba, true
+}

@@ -1,0 +1,75 @@
+package wtpg
+
+import (
+	"fmt"
+	"strings"
+
+	"batsched/internal/txn"
+)
+
+// CriticalPathTrace returns the longest T0→Tf path itself: the sequence
+// of transactions along it and its length. The first node is entered
+// from T0 (contributing its w(T0→Ti)); subsequent hops follow resolved
+// precedence-edges. Deterministic: ties prefer smaller transaction ids.
+func (g *Graph) CriticalPathTrace() ([]txn.ID, float64, error) {
+	order, err := g.topoOrder()
+	if err != nil {
+		return nil, 0, err
+	}
+	dist := make(map[txn.ID]float64, len(order))
+	prev := make(map[txn.ID]txn.ID, len(order))
+	hasPrev := make(map[txn.ID]bool, len(order))
+	for _, u := range order {
+		best := g.w0[u]
+		var bestPrev txn.ID
+		found := false
+		g.predecessors(u, func(v txn.ID, w float64) {
+			cand := dist[v] + w
+			if cand > best || (cand == best && found && v < bestPrev) {
+				best = cand
+				bestPrev = v
+				found = true
+			}
+		})
+		dist[u] = best
+		if found {
+			prev[u] = bestPrev
+			hasPrev[u] = true
+		}
+	}
+	var endNode txn.ID
+	bestLen := -1.0
+	for _, u := range order {
+		if dist[u] > bestLen || (dist[u] == bestLen && u < endNode) {
+			bestLen = dist[u]
+			endNode = u
+		}
+	}
+	if bestLen < 0 {
+		return nil, 0, nil // empty graph: the T0→Tf path has length 0
+	}
+	var path []txn.ID
+	for u := endNode; ; {
+		path = append(path, u)
+		if !hasPrev[u] {
+			break
+		}
+		u = prev[u]
+	}
+	// Reverse into T0→Tf order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, bestLen, nil
+}
+
+// FormatPath renders a path as "T0 -> T1 -> T2 -> Tf (length 6)".
+func FormatPath(path []txn.ID, length float64) string {
+	var b strings.Builder
+	b.WriteString("T0")
+	for _, id := range path {
+		fmt.Fprintf(&b, " -> %v", id)
+	}
+	fmt.Fprintf(&b, " -> Tf (length %g)", length)
+	return b.String()
+}

@@ -1,0 +1,237 @@
+package wtpg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"batsched/internal/txn"
+)
+
+// buildRandomGraph decodes a byte string into a WTPG with some resolved
+// edges, deterministically.
+func buildRandomGraph(data []byte) *Graph {
+	g := New()
+	n := 2 + int(len(data))%8
+	for id := txn.ID(1); id <= txn.ID(n); id++ {
+		w0 := float64(id % 7)
+		_ = g.AddNode(id, w0)
+	}
+	k := 0
+	next := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[k%len(data)]
+		k++
+		return b
+	}
+	for a := txn.ID(1); a <= txn.ID(n); a++ {
+		for b := a + 1; b <= txn.ID(n); b++ {
+			v := next()
+			if v%3 == 0 {
+				_ = g.AddConflict(a, b, float64(v%11), float64(v%13))
+				if v%2 == 0 {
+					from, to := a, b
+					if v%4 == 0 {
+						from, to = b, a
+					}
+					if !g.WouldCycle([]Resolution{{From: from, To: to}}) {
+						_ = g.Resolve(from, to)
+					}
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Property: WouldCycleFrom is equivalent to the general WouldCycle with
+// single-source resolutions.
+func TestQuickWouldCycleFromEquivalence(t *testing.T) {
+	f := func(data []byte, srcRaw uint8, mask uint16) bool {
+		g := buildRandomGraph(data)
+		nodes := g.Nodes()
+		src := nodes[int(srcRaw)%len(nodes)]
+		var targets []txn.ID
+		var res []Resolution
+		for i, id := range nodes {
+			if id == src {
+				continue
+			}
+			if mask&(1<<uint(i%16)) != 0 {
+				targets = append(targets, id)
+				res = append(res, Resolution{From: src, To: id})
+			}
+		}
+		return g.WouldCycleFrom(src, targets) == g.WouldCycle(res)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ConflictWeights is symmetric under argument swap and agrees
+// with a naive max-over-conflicting-pairs computation.
+func TestQuickConflictWeightsSymmetry(t *testing.T) {
+	mkTxn := func(id txn.ID, data []byte) *txn.T {
+		n := 1 + len(data)%4
+		steps := make([]txn.Step, n)
+		for i := range steps {
+			b := byte(0)
+			if len(data) > 0 {
+				b = data[i%len(data)]
+			}
+			steps[i] = txn.Step{
+				Mode: txn.Mode(b % 2),
+				Part: txn.PartitionID(b % 5),
+				Cost: float64(b%9) + 0.5,
+			}
+		}
+		return txn.New(id, steps)
+	}
+	f := func(da, db []byte) bool {
+		a := mkTxn(1, da)
+		b := mkTxn(2, db)
+		wab, wba, ok := ConflictWeights(a, b)
+		wba2, wab2, ok2 := ConflictWeights(b, a)
+		if ok != ok2 || (ok && (wab != wab2 || wba != wba2)) {
+			return false
+		}
+		// Naive recomputation.
+		nab, nba, nok := -1.0, -1.0, false
+		for i, sa := range a.Steps {
+			for j, sb := range b.Steps {
+				if !sa.Conflicts(sb) {
+					continue
+				}
+				nok = true
+				if d := b.Due(j); d > nab {
+					nab = d
+				}
+				if d := a.Due(i); d > nba {
+					nba = d
+				}
+			}
+		}
+		if nok != ok {
+			return false
+		}
+		return !ok || (nab == wab && nba == wba)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the critical path is at least every node's w0 and at least
+// every resolved edge's source-w0 + weight.
+func TestQuickCriticalPathLowerBounds(t *testing.T) {
+	f := func(data []byte) bool {
+		g := buildRandomGraph(data)
+		cp, err := g.CriticalPath()
+		if err != nil {
+			return false
+		}
+		for _, id := range g.Nodes() {
+			if cp < g.W0(id) {
+				return false
+			}
+		}
+		for _, e := range g.Edges() {
+			if e.Dir == Unresolved {
+				continue
+			}
+			if cp < g.W0(e.From())+e.Weight() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Clone is observationally identical and independent.
+func TestQuickCloneIndependence(t *testing.T) {
+	f := func(data []byte) bool {
+		g := buildRandomGraph(data)
+		c := g.Clone()
+		cpG, err1 := g.CriticalPath()
+		cpC, err2 := c.CriticalPath()
+		if err1 != nil || err2 != nil || cpG != cpC {
+			return false
+		}
+		if len(g.Edges()) != len(c.Edges()) {
+			return false
+		}
+		// Mutating the clone leaves the original untouched.
+		nodes := c.Nodes()
+		c.SetW0(nodes[0], 1e6)
+		cpG2, _ := g.CriticalPath()
+		return cpG2 == cpG
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// largeStarGraph models the overloaded-C2PL shape: a few lock holders
+// with many pending declarers.
+func largeStarGraph(nHolders, nWaiters int) (*Graph, []txn.ID) {
+	g := New()
+	rng := rand.New(rand.NewSource(1))
+	id := txn.ID(1)
+	var holders, waiters []txn.ID
+	for i := 0; i < nHolders; i++ {
+		_ = g.AddNode(id, float64(rng.Intn(10)))
+		holders = append(holders, id)
+		id++
+	}
+	for i := 0; i < nWaiters; i++ {
+		_ = g.AddNode(id, float64(rng.Intn(10)))
+		waiters = append(waiters, id)
+		id++
+	}
+	for _, h := range holders {
+		for _, w := range waiters {
+			_ = g.AddConflict(h, w, float64(rng.Intn(10)), float64(rng.Intn(10)))
+			_ = g.Resolve(h, w)
+		}
+	}
+	return g, waiters
+}
+
+func BenchmarkWouldCycleFromStar(b *testing.B) {
+	g, waiters := largeStarGraph(16, 500)
+	src := waiters[0]
+	targets := waiters[1:100]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.WouldCycleFrom(src, targets) {
+			b.Fatal("unexpected cycle")
+		}
+	}
+}
+
+func BenchmarkCriticalPathStar(b *testing.B) {
+	g, _ := largeStarGraph(16, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.CriticalPath(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCloneStar(b *testing.B) {
+	g, _ := largeStarGraph(16, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Clone()
+	}
+}

@@ -1,0 +1,189 @@
+// Package event provides a deterministic discrete-event simulation engine.
+//
+// Time is measured in integer clocks; the paper's simulation uses
+// 1 clock = 1 ms, and the rest of this repository follows that convention.
+// Events scheduled for the same clock fire in scheduling order, which makes
+// every simulation run a pure function of its inputs and seed.
+package event
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulation timestamp in clocks (milliseconds in this repo).
+type Time int64
+
+// String formats the time as milliseconds.
+func (t Time) String() string { return fmt.Sprintf("%dms", int64(t)) }
+
+// Seconds converts the timestamp to seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1000.0 }
+
+// Handler is a callback invoked when an event fires.
+type Handler func(now Time)
+
+// Handle identifies a scheduled event so it can be cancelled.
+// The zero Handle is invalid.
+type Handle struct {
+	seq uint64
+}
+
+type item struct {
+	at        Time
+	seq       uint64 // global scheduling order; breaks ties deterministically
+	fn        Handler
+	cancelled bool
+	index     int // heap index, -1 when popped
+}
+
+type itemHeap []*item
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h itemHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *itemHeap) Push(x any) {
+	it := x.(*item)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *itemHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	*h = old[:n-1]
+	return it
+}
+
+// Queue is a discrete-event calendar. The zero value is ready to use.
+// Queue is not safe for concurrent use; a simulation is single-threaded.
+type Queue struct {
+	heap    itemHeap
+	now     Time
+	nextSeq uint64
+	byID    map[uint64]*item
+	fired   uint64
+}
+
+// NewQueue returns an empty event queue at time 0.
+func NewQueue() *Queue {
+	return &Queue{byID: make(map[uint64]*item)}
+}
+
+// Now returns the current simulation time.
+func (q *Queue) Now() Time { return q.now }
+
+// Len returns the number of pending (non-cancelled) events.
+func (q *Queue) Len() int {
+	n := 0
+	for _, it := range q.heap {
+		if !it.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Fired returns the number of events that have fired so far.
+func (q *Queue) Fired() uint64 { return q.fired }
+
+// At schedules fn to run at absolute time at. Scheduling in the past
+// (before Now) panics: it would violate causality.
+func (q *Queue) At(at Time, fn Handler) Handle {
+	if fn == nil {
+		panic("event: nil handler")
+	}
+	if at < q.now {
+		panic(fmt.Sprintf("event: schedule at %v before now %v", at, q.now))
+	}
+	if q.byID == nil {
+		q.byID = make(map[uint64]*item)
+	}
+	q.nextSeq++
+	it := &item{at: at, seq: q.nextSeq, fn: fn}
+	heap.Push(&q.heap, it)
+	q.byID[it.seq] = it
+	return Handle{seq: it.seq}
+}
+
+// After schedules fn to run delay clocks from now.
+func (q *Queue) After(delay Time, fn Handler) Handle {
+	if delay < 0 {
+		panic(fmt.Sprintf("event: negative delay %v", delay))
+	}
+	return q.At(q.now+delay, fn)
+}
+
+// Cancel removes a scheduled event. It reports whether the event was
+// still pending (false if it already fired or was cancelled before).
+func (q *Queue) Cancel(h Handle) bool {
+	it, ok := q.byID[h.seq]
+	if !ok || it.cancelled {
+		return false
+	}
+	it.cancelled = true
+	delete(q.byID, h.seq)
+	return true
+}
+
+// Step fires the next event. It reports false when the queue is empty.
+func (q *Queue) Step() bool {
+	for len(q.heap) > 0 {
+		it := heap.Pop(&q.heap).(*item)
+		if it.cancelled {
+			continue
+		}
+		delete(q.byID, it.seq)
+		q.now = it.at
+		q.fired++
+		it.fn(q.now)
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events in order until the queue is empty or the next
+// event would fire strictly after horizon. The clock is left at the time
+// of the last fired event (or horizon if nothing remained to fire at or
+// before it and advance is true).
+func (q *Queue) RunUntil(horizon Time) {
+	for {
+		it := q.peek()
+		if it == nil || it.at > horizon {
+			if q.now < horizon {
+				q.now = horizon
+			}
+			return
+		}
+		q.Step()
+	}
+}
+
+// Run fires every event until the queue drains.
+func (q *Queue) Run() {
+	for q.Step() {
+	}
+}
+
+func (q *Queue) peek() *item {
+	for len(q.heap) > 0 {
+		it := q.heap[0]
+		if it.cancelled {
+			heap.Pop(&q.heap)
+			continue
+		}
+		return it
+	}
+	return nil
+}

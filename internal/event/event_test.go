@@ -1,0 +1,242 @@
+package event
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueOrdering(t *testing.T) {
+	q := NewQueue()
+	var got []int
+	q.At(30, func(Time) { got = append(got, 3) })
+	q.At(10, func(Time) { got = append(got, 1) })
+	q.At(20, func(Time) { got = append(got, 2) })
+	q.Run()
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+	if q.Now() != 30 {
+		t.Errorf("Now() = %v, want 30", q.Now())
+	}
+}
+
+func TestQueueFIFOTieBreak(t *testing.T) {
+	q := NewQueue()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		q.At(5, func(Time) { got = append(got, i) })
+	}
+	q.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events fired out of scheduling order at %d: %v", i, v)
+		}
+	}
+}
+
+func TestQueueAfter(t *testing.T) {
+	q := NewQueue()
+	var at Time
+	q.At(100, func(now Time) {
+		q.After(50, func(now2 Time) { at = now2 })
+	})
+	q.Run()
+	if at != 150 {
+		t.Errorf("After fired at %v, want 150", at)
+	}
+}
+
+func TestQueueCancel(t *testing.T) {
+	q := NewQueue()
+	fired := false
+	h := q.At(10, func(Time) { fired = true })
+	if !q.Cancel(h) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if q.Cancel(h) {
+		t.Fatal("double Cancel returned true")
+	}
+	q.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len = %d, want 0", q.Len())
+	}
+}
+
+func TestQueueCancelAfterFire(t *testing.T) {
+	q := NewQueue()
+	h := q.At(10, func(Time) {})
+	q.Run()
+	if q.Cancel(h) {
+		t.Fatal("Cancel returned true after event fired")
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	q := NewQueue()
+	var fired []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		q.At(at, func(now Time) { fired = append(fired, now) })
+	}
+	q.RunUntil(12)
+	if len(fired) != 2 || fired[0] != 5 || fired[1] != 10 {
+		t.Fatalf("fired %v, want [5 10]", fired)
+	}
+	if q.Now() != 12 {
+		t.Errorf("Now = %v, want horizon 12", q.Now())
+	}
+	q.RunUntil(100)
+	if len(fired) != 4 {
+		t.Fatalf("after second RunUntil fired %v", fired)
+	}
+}
+
+func TestRunUntilEmptyAdvancesClock(t *testing.T) {
+	q := NewQueue()
+	q.RunUntil(42)
+	if q.Now() != 42 {
+		t.Errorf("Now = %v, want 42", q.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	q := NewQueue()
+	q.At(10, func(Time) {})
+	q.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	q.At(5, func(Time) {})
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	q := NewQueue()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil handler did not panic")
+		}
+	}()
+	q.At(5, nil)
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	q := NewQueue()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	q.After(-1, func(Time) {})
+}
+
+func TestFiredCounter(t *testing.T) {
+	q := NewQueue()
+	for i := 0; i < 7; i++ {
+		q.At(Time(i), func(Time) {})
+	}
+	q.Run()
+	if q.Fired() != 7 {
+		t.Errorf("Fired = %d, want 7", q.Fired())
+	}
+}
+
+// Property: for any set of timestamps, events fire in nondecreasing time
+// order and equal times fire in insertion order.
+func TestQuickOrdering(t *testing.T) {
+	f := func(times []uint16) bool {
+		q := NewQueue()
+		type rec struct {
+			at  Time
+			ord int
+		}
+		var fired []rec
+		for i, raw := range times {
+			at := Time(raw % 500)
+			i := i
+			q.At(at, func(now Time) { fired = append(fired, rec{now, i}) })
+		}
+		q.Run()
+		if len(fired) != len(times) {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(a, b int) bool {
+			if fired[a].at != fired[b].at {
+				return fired[a].at < fired[b].at
+			}
+			return fired[a].ord < fired[b].ord
+		}) {
+			return false
+		}
+		// And the slice as fired must already be in that exact order.
+		for i := 1; i < len(fired); i++ {
+			if fired[i-1].at > fired[i].at {
+				return false
+			}
+			if fired[i-1].at == fired[i].at && fired[i-1].ord > fired[i].ord {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset prevents exactly that subset.
+func TestQuickCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		q := NewQueue()
+		n := 50
+		fired := make([]bool, n)
+		handles := make([]Handle, n)
+		for i := 0; i < n; i++ {
+			i := i
+			handles[i] = q.At(Time(rng.Intn(100)), func(Time) { fired[i] = true })
+		}
+		cancelled := make([]bool, n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				cancelled[i] = true
+				if !q.Cancel(handles[i]) {
+					t.Fatal("Cancel failed for pending event")
+				}
+			}
+		}
+		q.Run()
+		for i := 0; i < n; i++ {
+			if fired[i] == cancelled[i] {
+				t.Fatalf("event %d: fired=%v cancelled=%v", i, fired[i], cancelled[i])
+			}
+		}
+	}
+}
+
+func BenchmarkQueueScheduleFire(b *testing.B) {
+	q := NewQueue()
+	fn := func(Time) {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.At(q.Now()+Time(i%64), fn)
+		if i%8 == 7 {
+			for j := 0; j < 8; j++ {
+				q.Step()
+			}
+		}
+	}
+}

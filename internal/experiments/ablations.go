@@ -1,0 +1,285 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"batsched/internal/core/sched"
+	"batsched/internal/event"
+	"batsched/internal/sim"
+	"batsched/internal/workload"
+)
+
+// This file holds experiments beyond the paper's figures: ablations of
+// the design choices DESIGN.md calls out, and the extensions the paper
+// itself suggests (a K sweep for K-WTPG, §4.3's declustered placement).
+
+// AblationResult is a generic (variant × scheduler) table of throughput
+// at the RT target.
+type AblationResult struct {
+	Title    string
+	Variants []string
+	RTTarget float64
+	// TPS[label][i] is the throughput of scheduler label at Variants[i].
+	TPS map[string][]float64
+	// Extra[label][i] is an optional secondary metric (named by ExtraName).
+	Extra     map[string][]float64
+	ExtraName string
+}
+
+// Render formats the ablation as a fixed-width table.
+func (r *AblationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (TPS at RT = %.0f s", r.Title, r.RTTarget)
+	if r.ExtraName != "" {
+		fmt.Fprintf(&b, "; bracketed: %s", r.ExtraName)
+	}
+	b.WriteString(")\n")
+	fmt.Fprintf(&b, "  %-12s", "scheduler")
+	for _, v := range r.Variants {
+		fmt.Fprintf(&b, " %16s", v)
+	}
+	b.WriteString("\n")
+	for _, l := range sortedLabels(r.TPS) {
+		fmt.Fprintf(&b, "  %-12s", l)
+		for i := range r.Variants {
+			cell := fmt.Sprintf("%.3f", r.TPS[l][i])
+			if r.Extra != nil && r.Extra[l] != nil {
+				cell += fmt.Sprintf(" [%.2f]", r.Extra[l][i])
+			}
+			fmt.Fprintf(&b, " %16s", cell)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ablationCell runs one sweep for one (variant, factory) pair with a
+// config mutator and returns TPS at the RT target plus the mean DN
+// utilization at the sweep point nearest the crossing.
+func ablationCell(o Options, f sched.Factory, lambdas []float64,
+	newWorkload func() workload.Generator, mutate func(*sim.Config)) (Sweep, error) {
+
+	sweeps, err := runGridMutate(o, []sched.Factory{f}, lambdas, newWorkload, mutate)
+	if err != nil {
+		return Sweep{}, err
+	}
+	return sweeps[0], nil
+}
+
+// RunKSweep extends the paper: it sweeps the K-conflict bound of K-WTPG
+// (the paper evaluates only K = 2) on the Experiment 2 hot-set workload,
+// where the admission constraint binds hardest.
+func RunKSweep(o Options, ks []int) (*AblationResult, error) {
+	o = o.withDefaults()
+	if ks == nil {
+		ks = []int{0, 1, 2, 4, 8}
+	}
+	layout := workload.HotSetLayout{NumReadOnly: 8, NumHots: 8}
+	o.Machine.NumParts = layout.NumParts()
+	lambdas := o.Lambdas
+	if lambdas == nil {
+		lambdas = defaultLambdas()
+	}
+	res := &AblationResult{
+		Title:    "K sweep (K-WTPG admission bound), Pattern2 hot set = 8",
+		RTTarget: o.RTTargetSeconds,
+		TPS:      make(map[string][]float64),
+	}
+	for _, k := range ks {
+		res.Variants = append(res.Variants, fmt.Sprintf("K=%d", k))
+	}
+	for _, k := range ks {
+		sw, err := ablationCell(o, sched.KWTPGFactory(k), lambdas, func() workload.Generator {
+			return workload.Experiment2(layout)
+		}, nil)
+		if err != nil {
+			return nil, err
+		}
+		tps, _ := sw.ThroughputAt(o.RTTargetSeconds)
+		res.TPS["K-WTPG"] = append(res.TPS["K-WTPG"], tps)
+	}
+	return res, nil
+}
+
+// RunPlacementAblation compares the paper's mod placement against full
+// declustering (§4.3): declustering buys intra-transaction parallelism —
+// the paper's suggested route past the inter-transaction parallelism
+// limit — at the (unmodelled) cost of message overhead for short
+// transactions. The secondary metric is mean data-node utilization at
+// the highest stable arrival rate.
+func RunPlacementAblation(o Options) (*AblationResult, error) {
+	o = o.withDefaults()
+	o.Machine.NumParts = 16
+	lambdas := o.Lambdas
+	if lambdas == nil {
+		lambdas = defaultLambdas()
+	}
+	res := &AblationResult{
+		Title:     "Placement ablation, Pattern1 (Experiment 1 workload)",
+		Variants:  []string{"mod (paper)", "declustered"},
+		RTTarget:  o.RTTargetSeconds,
+		TPS:       make(map[string][]float64),
+		Extra:     make(map[string][]float64),
+		ExtraName: "mean DN utilization at that throughput",
+	}
+	for _, f := range []sched.Factory{
+		sched.NODCFactory(), sched.ASLFactory(), sched.ChainFactory(),
+		sched.KWTPGFactory(2), sched.C2PLFactory(),
+	} {
+		for _, declustered := range []bool{false, true} {
+			declustered := declustered
+			sw, err := ablationCell(o, f, lambdas, func() workload.Generator {
+				return workload.Experiment1(16)
+			}, func(c *sim.Config) { c.Declustered = declustered })
+			if err != nil {
+				return nil, err
+			}
+			tps, _ := sw.ThroughputAt(o.RTTargetSeconds)
+			res.TPS[f.Label] = append(res.TPS[f.Label], tps)
+			res.Extra[f.Label] = append(res.Extra[f.Label], utilNear(sw, o.RTTargetSeconds))
+		}
+	}
+	return res, nil
+}
+
+// utilNear returns the mean DN utilization at the last sweep point whose
+// response time is below the target (the highest stable load).
+func utilNear(s Sweep, rtTarget float64) float64 {
+	util := 0.0
+	for _, p := range s.Points {
+		if p.Result.MeanRT < rtTarget {
+			util = p.Result.MeanNodeUtil
+		}
+	}
+	return util
+}
+
+// RunControlCostAblation scales the concurrency-control CPU costs
+// (ddtime, chaintime, kwtpgtime) to verify the paper's claim that with
+// ObjTime = 1 s the control overhead is overestimated yet harmless.
+func RunControlCostAblation(o Options, multipliers []int) (*AblationResult, error) {
+	o = o.withDefaults()
+	o.Machine.NumParts = 16
+	if multipliers == nil {
+		multipliers = []int{1, 10, 100}
+	}
+	lambdas := o.Lambdas
+	if lambdas == nil {
+		lambdas = defaultLambdas()
+	}
+	res := &AblationResult{
+		Title:    "Control-cost ablation (ddtime/chaintime/kwtpgtime scaled), Pattern1",
+		RTTarget: o.RTTargetSeconds,
+		TPS:      make(map[string][]float64),
+	}
+	for _, m := range multipliers {
+		res.Variants = append(res.Variants, fmt.Sprintf("x%d", m))
+	}
+	for _, f := range []sched.Factory{sched.ChainFactory(), sched.KWTPGFactory(2), sched.C2PLFactory()} {
+		for _, m := range multipliers {
+			oo := o
+			oo.Machine.Control.DDTime *= event.Time(m)
+			oo.Machine.Control.ChainTime *= event.Time(m)
+			oo.Machine.Control.KWTPGTime *= event.Time(m)
+			sw, err := ablationCell(oo, f, lambdas, func() workload.Generator {
+				return workload.Experiment1(16)
+			}, nil)
+			if err != nil {
+				return nil, err
+			}
+			tps, _ := sw.ThroughputAt(o.RTTargetSeconds)
+			res.TPS[f.Label] = append(res.TPS[f.Label], tps)
+		}
+	}
+	return res, nil
+}
+
+// RunKeepTimeAblation varies §3.4's control-saving period: 0 disables
+// caching entirely (recompute W / E on every request), larger values
+// reuse stale estimates longer. The secondary metric is control-node
+// utilization at the highest stable load.
+func RunKeepTimeAblation(o Options, keeptimes []event.Time) (*AblationResult, error) {
+	o = o.withDefaults()
+	o.Machine.NumParts = 16
+	if keeptimes == nil {
+		keeptimes = []event.Time{0, 1000, 5000, 60000}
+	}
+	lambdas := o.Lambdas
+	if lambdas == nil {
+		lambdas = defaultLambdas()
+	}
+	res := &AblationResult{
+		Title:     "Control-saving (keeptime) ablation, Pattern1",
+		RTTarget:  o.RTTargetSeconds,
+		TPS:       make(map[string][]float64),
+		Extra:     make(map[string][]float64),
+		ExtraName: "CN utilization at that throughput",
+	}
+	for _, kt := range keeptimes {
+		res.Variants = append(res.Variants, kt.String())
+	}
+	for _, f := range []sched.Factory{sched.ChainFactory(), sched.KWTPGFactory(2)} {
+		for _, kt := range keeptimes {
+			oo := o
+			oo.Machine.Control.KeepTime = kt
+			sw, err := ablationCell(oo, f, lambdas, func() workload.Generator {
+				return workload.Experiment1(16)
+			}, nil)
+			if err != nil {
+				return nil, err
+			}
+			tps, _ := sw.ThroughputAt(o.RTTargetSeconds)
+			res.TPS[f.Label] = append(res.TPS[f.Label], tps)
+			res.Extra[f.Label] = append(res.Extra[f.Label], cnUtilNear(sw, o.RTTargetSeconds))
+		}
+	}
+	return res, nil
+}
+
+func cnUtilNear(s Sweep, rtTarget float64) float64 {
+	util := 0.0
+	for _, p := range s.Points {
+		if p.Result.MeanRT < rtTarget {
+			util = p.Result.CNUtilization
+		}
+	}
+	return util
+}
+
+// RunRetryDelayAblation varies the fixed resubmission delay of §3.2,
+// which the paper leaves unspecified (DESIGN.md assumes 500 ms).
+func RunRetryDelayAblation(o Options, delays []event.Time) (*AblationResult, error) {
+	o = o.withDefaults()
+	o.Machine.NumParts = 16
+	if delays == nil {
+		delays = []event.Time{100, 250, 500, 1000, 2000}
+	}
+	lambdas := o.Lambdas
+	if lambdas == nil {
+		lambdas = defaultLambdas()
+	}
+	res := &AblationResult{
+		Title:    "Retry-delay ablation, Pattern1",
+		RTTarget: o.RTTargetSeconds,
+		TPS:      make(map[string][]float64),
+	}
+	for _, d := range delays {
+		res.Variants = append(res.Variants, d.String())
+	}
+	for _, f := range []sched.Factory{sched.ASLFactory(), sched.ChainFactory(), sched.KWTPGFactory(2), sched.C2PLFactory()} {
+		for _, d := range delays {
+			oo := o
+			oo.Machine.RetryDelay = d
+			sw, err := ablationCell(oo, f, lambdas, func() workload.Generator {
+				return workload.Experiment1(16)
+			}, nil)
+			if err != nil {
+				return nil, err
+			}
+			tps, _ := sw.ThroughputAt(o.RTTargetSeconds)
+			res.TPS[f.Label] = append(res.TPS[f.Label], tps)
+		}
+	}
+	return res, nil
+}

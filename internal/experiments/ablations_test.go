@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"batsched/internal/event"
+)
+
+func TestRunKSweepQuick(t *testing.T) {
+	o := quickOpts()
+	r, err := RunKSweep(o, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Variants) != 2 || r.Variants[0] != "K=1" {
+		t.Fatalf("variants = %v", r.Variants)
+	}
+	tps := r.TPS["K-WTPG"]
+	if len(tps) != 2 {
+		t.Fatalf("tps = %v", tps)
+	}
+	if out := r.Render(); !strings.Contains(out, "K sweep") || !strings.Contains(out, "K-WTPG") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestRunPlacementAblationQuick(t *testing.T) {
+	o := quickOpts()
+	o.Lambdas = []float64{0.3}
+	r, err := RunPlacementAblation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Variants) != 2 {
+		t.Fatalf("variants = %v", r.Variants)
+	}
+	for label, tps := range r.TPS {
+		if len(tps) != 2 {
+			t.Errorf("%s: %v", label, tps)
+		}
+	}
+	if _, ok := r.TPS["NODC"]; !ok {
+		t.Error("NODC missing")
+	}
+	if r.Extra["NODC"] == nil {
+		t.Error("utilization metric missing")
+	}
+	if out := r.Render(); !strings.Contains(out, "declustered") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestRunControlCostAblationQuick(t *testing.T) {
+	o := quickOpts()
+	o.Lambdas = []float64{0.3}
+	r, err := RunControlCostAblation(o, []int{1, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Variants) != 2 || r.Variants[1] != "x10" {
+		t.Fatalf("variants = %v", r.Variants)
+	}
+	for _, want := range []string{"CHAIN", "K2", "C2PL"} {
+		if _, ok := r.TPS[want]; !ok {
+			t.Errorf("missing %s", want)
+		}
+	}
+}
+
+func TestRunKeepTimeAblationQuick(t *testing.T) {
+	o := quickOpts()
+	o.Lambdas = []float64{0.3}
+	r, err := RunKeepTimeAblation(o, []event.Time{0, 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Variants) != 2 {
+		t.Fatalf("variants = %v", r.Variants)
+	}
+	if r.Extra["CHAIN"] == nil {
+		t.Error("CN utilization metric missing")
+	}
+}
+
+func TestRunRetryDelayAblationQuick(t *testing.T) {
+	o := quickOpts()
+	o.Lambdas = []float64{0.3}
+	r, err := RunRetryDelayAblation(o, []event.Time{250, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Variants) != 2 || r.Variants[0] != "250ms" {
+		t.Fatalf("variants = %v", r.Variants)
+	}
+	for _, want := range []string{"ASL", "CHAIN", "K2", "C2PL"} {
+		if _, ok := r.TPS[want]; !ok {
+			t.Errorf("missing %s", want)
+		}
+	}
+}
+
+func TestRunMixedWorkloadQuick(t *testing.T) {
+	o := quickOpts()
+	r, err := RunMixedWorkload(o, 1.0, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.ShortCompleted == 0 {
+			t.Errorf("%s: no short transactions completed", row.Scheduler)
+		}
+		if row.BATCompleted == 0 {
+			t.Errorf("%s: no BATs completed", row.Scheduler)
+		}
+	}
+	if out := r.Render(); !strings.Contains(out, "short RT") {
+		t.Errorf("render:\n%s", out)
+	}
+}

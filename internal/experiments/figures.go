@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+
+	"batsched/internal/core/sched"
+	"batsched/internal/workload"
+)
+
+// experiment1Factories are the schedulers of Figures 6 and 7.
+func experiment1Factories() []sched.Factory {
+	return []sched.Factory{
+		sched.NODCFactory(),
+		sched.ASLFactory(),
+		sched.ChainFactory(),
+		sched.KWTPGFactory(2),
+		sched.C2PLFactory(),
+	}
+}
+
+// Experiment1Result carries the Experiment 1 sweep, which renders both
+// Figure 6 (mean response time vs. λ) and Figure 7 (throughput vs. λ,
+// with NODC's throughput as the useful-utilization reference).
+type Experiment1Result struct {
+	Sweeps   []Sweep
+	RTTarget float64
+}
+
+// RunExperiment1 runs Experiment 1 (§4.2): Pattern1 over NumParts = 16
+// partitions, schedulers NODC/ASL/CHAIN/K2/C2PL, arrival-rate sweep.
+func RunExperiment1(o Options) (*Experiment1Result, error) {
+	o = o.withDefaults()
+	o.Machine.NumParts = 16
+	lambdas := o.Lambdas
+	if lambdas == nil {
+		lambdas = defaultLambdas()
+	}
+	sweeps, err := runGrid(o, experiment1Factories(), lambdas, func() workload.Generator {
+		return workload.Experiment1(16)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Experiment1Result{Sweeps: sweeps, RTTarget: o.RTTargetSeconds}, nil
+}
+
+// ThroughputTable returns, per scheduler, the throughput at the target
+// response time — the comparison the paper reads off Figure 6.
+func (r *Experiment1Result) ThroughputTable() map[string]float64 {
+	out := make(map[string]float64, len(r.Sweeps))
+	for _, s := range r.Sweeps {
+		tps, _ := s.ThroughputAt(r.RTTarget)
+		out[s.Label] = tps
+	}
+	return out
+}
+
+// Experiment2Result carries Figure 8: for each NumHots, each scheduler's
+// throughput at the target response time.
+type Experiment2Result struct {
+	NumHots  []int
+	RTTarget float64
+	// TPS[label][i] is the throughput at NumHots[i].
+	TPS map[string][]float64
+	// Sweeps[i] holds the underlying sweeps at NumHots[i].
+	Sweeps [][]Sweep
+}
+
+// experiment2Factories are the schedulers of Figures 8 and 9.
+func experiment2Factories() []sched.Factory {
+	return []sched.Factory{
+		sched.ASLFactory(),
+		sched.ChainFactory(),
+		sched.KWTPGFactory(2),
+		sched.C2PLFactory(),
+	}
+}
+
+// RunExperiment2 runs Experiment 2 (§4.3): Pattern2 over 8 read-only
+// partitions plus a hot set of NumHots ∈ {4, 8, 16, 32} partitions;
+// reported is each scheduler's throughput at RT = 70 s.
+func RunExperiment2(o Options) (*Experiment2Result, error) {
+	o = o.withDefaults()
+	lambdas := o.Lambdas
+	if lambdas == nil {
+		lambdas = defaultLambdas()
+	}
+	hots := []int{4, 8, 16, 32}
+	res := &Experiment2Result{
+		NumHots:  hots,
+		RTTarget: o.RTTargetSeconds,
+		TPS:      make(map[string][]float64),
+	}
+	for _, nh := range hots {
+		layout := workload.HotSetLayout{NumReadOnly: 8, NumHots: nh}
+		oo := o
+		oo.Machine.NumParts = layout.NumParts()
+		sweeps, err := runGrid(oo, experiment2Factories(), lambdas, func() workload.Generator {
+			return workload.Experiment2(layout)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("NumHots=%d: %w", nh, err)
+		}
+		res.Sweeps = append(res.Sweeps, sweeps)
+		for _, s := range sweeps {
+			tps, _ := s.ThroughputAt(o.RTTargetSeconds)
+			res.TPS[s.Label] = append(res.TPS[s.Label], tps)
+		}
+	}
+	return res, nil
+}
+
+// Experiment3Result carries Figure 9: the Pattern3 response-time sweep at
+// NumHots = 8.
+type Experiment3Result struct {
+	Sweeps   []Sweep
+	RTTarget float64
+}
+
+// RunExperiment3 runs Experiment 3 (§4.3): Pattern3 (longer blocking
+// time) over a hot set of 8 partitions.
+func RunExperiment3(o Options) (*Experiment3Result, error) {
+	o = o.withDefaults()
+	layout := workload.HotSetLayout{NumReadOnly: 8, NumHots: 8}
+	o.Machine.NumParts = layout.NumParts()
+	lambdas := o.Lambdas
+	if lambdas == nil {
+		lambdas = defaultLambdas()
+	}
+	sweeps, err := runGrid(o, experiment2Factories(), lambdas, func() workload.Generator {
+		return workload.Experiment3(layout)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Experiment3Result{Sweeps: sweeps, RTTarget: o.RTTargetSeconds}, nil
+}
+
+// ThroughputTable returns throughput at the target RT per scheduler.
+func (r *Experiment3Result) ThroughputTable() map[string]float64 {
+	out := make(map[string]float64, len(r.Sweeps))
+	for _, s := range r.Sweeps {
+		tps, _ := s.ThroughputAt(r.RTTarget)
+		out[s.Label] = tps
+	}
+	return out
+}
+
+// Experiment4Result carries Figure 10: throughput at the target RT as a
+// function of the declaration error σ, for CHAIN, K2, C2PL and the
+// CHAIN-C2PL / K2-C2PL lower bounds.
+type Experiment4Result struct {
+	Sigmas   []float64
+	RTTarget float64
+	// TPS[label][i] is the throughput at Sigmas[i].
+	TPS map[string][]float64
+	// Sweeps[i] holds the underlying sweeps at Sigmas[i].
+	Sweeps [][]Sweep
+}
+
+// experiment4Factories are the schedulers of Figure 10. The hybrids and
+// C2PL ignore declared demands, so their results are flat in σ; the
+// paper plots them as reference lines.
+func experiment4Factories() []sched.Factory {
+	return []sched.Factory{
+		sched.ChainFactory(),
+		sched.KWTPGFactory(2),
+		sched.C2PLFactory(),
+		sched.ChainC2PLFactory(),
+		sched.KC2PLFactory(2),
+	}
+}
+
+// RunExperiment4 runs Experiment 4 (§4.4): Pattern1 with erroneous
+// declared I/O demands, C = C0(1+x), x ~ N(0, σ²).
+func RunExperiment4(o Options, sigmas []float64) (*Experiment4Result, error) {
+	o = o.withDefaults()
+	o.Machine.NumParts = 16
+	if sigmas == nil {
+		sigmas = []float64{0, 0.25, 0.5, 0.75, 1.0}
+	}
+	lambdas := o.Lambdas
+	if lambdas == nil {
+		lambdas = defaultLambdas()
+	}
+	res := &Experiment4Result{
+		Sigmas:   sigmas,
+		RTTarget: o.RTTargetSeconds,
+		TPS:      make(map[string][]float64),
+	}
+	for _, sig := range sigmas {
+		sig := sig
+		sweeps, err := runGrid(o, experiment4Factories(), lambdas, func() workload.Generator {
+			return workload.WithDeclarationError(workload.Experiment1(16), sig)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sigma=%g: %w", sig, err)
+		}
+		res.Sweeps = append(res.Sweeps, sweeps)
+		for _, s := range sweeps {
+			tps, _ := s.ThroughputAt(o.RTTargetSeconds)
+			res.TPS[s.Label] = append(res.TPS[s.Label], tps)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,246 @@
+// Package live runs the paper's concurrency-control schedulers against
+// real goroutines, turning the simulated control node into an in-process
+// lock manager. Where package sim *models* a shared-nothing machine,
+// live schedules actual work: each transaction is a goroutine that
+// declares its steps up front, acquires each step's partition lock
+// through the scheduler (CHAIN, K-WTPG, C2PL, ASL, …), runs caller code
+// while holding it, and releases everything at commit.
+//
+// The controller serializes scheduler decisions under one mutex — the
+// moral equivalent of the paper's centralized control node — and blocks
+// refused requests on a broadcast channel that commit events close, plus
+// the paper's fixed retry delay as a fallback. All the guarantees of the
+// scheduler carry over: conflicting holders never coexist, schedules are
+// conflict serializable, and no admitted transaction is ever aborted by
+// the controller (cancellation is the caller's choice).
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"batsched/internal/core/sched"
+	"batsched/internal/event"
+	"batsched/internal/txn"
+)
+
+// Options tunes a Controller.
+type Options struct {
+	// RetryDelay is the paper's fixed resubmission delay for refused
+	// admissions and policy-delayed requests (default 20 ms of wall
+	// time; live workloads want faster retries than the simulated 500 ms
+	// because ObjTime here is real work, usually far below 1 s).
+	RetryDelay time.Duration
+	// OnGrant, if set, observes every granted step (after the decision,
+	// under no lock). OnCommit observes commits.
+	OnGrant  func(t *txn.T, step int)
+	OnCommit func(t *txn.T)
+}
+
+// Controller is a live lock manager driven by one of the paper's
+// schedulers. Create with New; safe for concurrent use.
+type Controller struct {
+	mu     sync.Mutex
+	sch    sched.Scheduler
+	wake   chan struct{}
+	epoch  time.Time
+	opts   Options
+	closed bool
+
+	// Stats counters (atomic under mu).
+	admitted, committed, retries uint64
+}
+
+// ErrClosed is returned when the controller has been shut down.
+var ErrClosed = errors.New("live: controller closed")
+
+// New builds a controller around a scheduler factory, e.g.
+//
+//	ctl := live.New(sched.KWTPGFactory(2), sched.Costs{KeepTime: 100}, live.Options{})
+//
+// The CPU-cost fields of Costs are ignored (decisions take however long
+// they take); KeepTime still bounds W/E cache staleness, measured in
+// wall-clock milliseconds.
+func New(factory sched.Factory, costs sched.Costs, opts Options) *Controller {
+	if opts.RetryDelay <= 0 {
+		opts.RetryDelay = 20 * time.Millisecond
+	}
+	return &Controller{
+		sch:   factory.New(costs),
+		wake:  make(chan struct{}),
+		epoch: time.Now(),
+		opts:  opts,
+	}
+}
+
+// now maps wall time onto the scheduler's clock (ms since start).
+func (c *Controller) now() event.Time {
+	return event.Time(time.Since(c.epoch).Milliseconds())
+}
+
+// Stats reports lifetime counters: admitted and committed transactions
+// and the number of retry waits.
+func (c *Controller) Stats() (admitted, committed, retries uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.admitted, c.committed, c.retries
+}
+
+// Close shuts the controller down; subsequent or blocked operations
+// return ErrClosed.
+func (c *Controller) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.closed = true
+		close(c.wake)
+	}
+}
+
+// broadcast wakes every waiter. Callers must hold mu.
+func (c *Controller) broadcast() {
+	if c.closed {
+		return
+	}
+	close(c.wake)
+	c.wake = make(chan struct{})
+}
+
+// await blocks until a wake broadcast, the retry delay, or ctx ends.
+func (c *Controller) await(ctx context.Context) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	ch := c.wake
+	c.mu.Unlock()
+	return c.awaitOn(ctx, ch)
+}
+
+// awaitOn waits on a wake channel captured earlier (atomically with the
+// refusal it follows), the retry delay, or ctx.
+func (c *Controller) awaitOn(ctx context.Context, ch <-chan struct{}) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.retries++
+	c.mu.Unlock()
+	timer := time.NewTimer(c.opts.RetryDelay)
+	defer timer.Stop()
+	select {
+	case <-ch:
+		return nil
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Progress reports completed work to the scheduler, adjusting the
+// transaction's WTPG weight (the §3.1 object messages). Step work
+// functions receive one.
+type Progress func(objects float64)
+
+// Run executes one declared transaction: admission, then each step under
+// its lock, then commit. The work callback runs for every step while the
+// step's lock is held; it receives the step index and a Progress
+// callback for weight accounting. A non-nil work error aborts the
+// transaction: all locks are released (the work already done is the
+// caller's to undo) and the error is returned. Context cancellation
+// behaves the same way.
+func (c *Controller) Run(ctx context.Context, t *txn.T, work func(step int, p Progress) error) error {
+	if t == nil {
+		return fmt.Errorf("live: nil transaction")
+	}
+	// Admission loop.
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return ErrClosed
+		}
+		out := c.sch.Admit(t, c.now())
+		if out.Decision == sched.Granted {
+			c.admitted++
+			c.mu.Unlock()
+			break
+		}
+		c.mu.Unlock()
+		if err := c.await(ctx); err != nil {
+			return err
+		}
+	}
+	// Steps.
+	for step := range t.Steps {
+		if err := c.acquire(ctx, t, step); err != nil {
+			c.release(t)
+			return err
+		}
+		if c.opts.OnGrant != nil {
+			c.opts.OnGrant(t, step)
+		}
+		progress := func(objects float64) {
+			c.mu.Lock()
+			c.sch.ObjectDone(t, objects, c.now())
+			c.mu.Unlock()
+		}
+		if work != nil {
+			if err := work(step, progress); err != nil {
+				c.release(t)
+				return fmt.Errorf("live: %v step %d: %w", t.ID, step, err)
+			}
+		}
+	}
+	c.release(t)
+	if c.opts.OnCommit != nil {
+		c.opts.OnCommit(t)
+	}
+	return nil
+}
+
+// acquire loops until the step's lock is granted.
+func (c *Controller) acquire(ctx context.Context, t *txn.T, step int) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return ErrClosed
+		}
+		out := c.sch.Request(t, step, c.now())
+		// Capture the wake channel under the same critical section as the
+		// refused decision: a commit between the decision and the wait
+		// would otherwise be missed, costing a full retry delay.
+		ch := c.wake
+		c.mu.Unlock()
+		if out.Decision == sched.Granted {
+			return nil
+		}
+		// Blocked and Delayed both wait for the next commit broadcast or
+		// the retry delay; the scheduler re-decides on resubmission.
+		if err := c.awaitOn(ctx, ch); err != nil {
+			return err
+		}
+	}
+}
+
+// release commits/aborts t: all locks drop and waiters wake.
+func (c *Controller) release(t *txn.T) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sch.Commit(t, c.now())
+	c.committed++
+	c.broadcast()
+}

@@ -1,0 +1,243 @@
+// Package machine models the paper's shared-nothing database machine
+// (§4.1, Figure 5): one centralized control node (CN) that runs the
+// concurrency control and coordinates two-phase commitment, and NumNodes
+// data-processing nodes (DN) that execute bulk operations.
+//
+// Partitions are placed by node = partition mod NumNodes. A DN executes
+// its resident transactions round-robin with a one-object quantum: after
+// each object (ObjTime) the running transaction is parked and the next
+// waiting one resumes; the finished object is reported to the CN so the
+// WTPG weight w(T0→Ti) can be decremented. The CN is a single FIFO
+// server: concurrency-control decisions and commit/startup coordination
+// occupy it for their CPU demand, one at a time.
+package machine
+
+import (
+	"fmt"
+	"math"
+
+	"batsched/internal/core/sched"
+	"batsched/internal/event"
+	"batsched/internal/txn"
+)
+
+// Config carries the Table 1 machine parameters. Values the paper prints
+// only in an unreadable figure are set to plausible defaults and
+// documented in DESIGN.md §4.
+type Config struct {
+	// NumNodes is the number of data-processing nodes (paper: 8).
+	NumNodes int
+	// NumParts is the number of partitions (16 in Experiments 1 and 4).
+	NumParts int
+	// ObjTime is the bulk-processing time of one object at a DN
+	// (paper: 1 second, ≈60 tracks ≈ 2.5 MB per disk in FDS-R).
+	ObjTime event.Time
+	// StartupTime is the CN coordination cost of starting a transaction.
+	StartupTime event.Time
+	// CommitTime is the CN coordination cost of two-phase commitment.
+	CommitTime event.Time
+	// RetryDelay is the fixed delay after which delayed lock-requests and
+	// aborted transactions are resubmitted (§3.2).
+	RetryDelay event.Time
+	// Control carries the concurrency-control CPU costs (ddtime,
+	// chaintime, kwtpgtime) and the §3.4 control-saving period.
+	Control sched.Costs
+}
+
+// DefaultConfig returns the Table 1 defaults (see DESIGN.md §4 for which
+// values are verbatim and which are assumptions).
+func DefaultConfig() Config {
+	return Config{
+		NumNodes:    8,
+		NumParts:    16,
+		ObjTime:     1000,
+		StartupTime: 10,
+		CommitTime:  10,
+		RetryDelay:  500,
+		Control: sched.Costs{
+			DDTime:    1,
+			ChainTime: 5,
+			KWTPGTime: 3,
+			KeepTime:  5000,
+		},
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.NumNodes <= 0 {
+		return fmt.Errorf("machine: NumNodes = %d", c.NumNodes)
+	}
+	if c.NumParts <= 0 {
+		return fmt.Errorf("machine: NumParts = %d", c.NumParts)
+	}
+	if c.ObjTime <= 0 {
+		return fmt.Errorf("machine: ObjTime = %v", c.ObjTime)
+	}
+	if c.StartupTime < 0 || c.CommitTime < 0 || c.RetryDelay < 0 {
+		return fmt.Errorf("machine: negative coordination times")
+	}
+	return nil
+}
+
+// NodeOf places a partition: node ID = partition ID modulo NumNodes
+// (§4.1), the placement that range-partitions every relation across all
+// nodes.
+func (c Config) NodeOf(p txn.PartitionID) int {
+	n := int(p) % c.NumNodes
+	if n < 0 {
+		n += c.NumNodes
+	}
+	return n
+}
+
+// ControlNode is the centralized CN: a FIFO single server for control
+// work (admission, lock decisions, commit coordination).
+type ControlNode struct {
+	q        *event.Queue
+	pending  []Work
+	busy     bool
+	BusyTime event.Time
+	Ops      uint64
+}
+
+// Work is one unit of control processing. It is invoked when the CN
+// reaches it; it must return the CPU duration it consumes and an optional
+// completion callback that fires once that CPU time has elapsed.
+type Work func(now event.Time) (cpu event.Time, done func(now event.Time))
+
+// NewControlNode returns a CN bound to the event queue.
+func NewControlNode(q *event.Queue) *ControlNode {
+	return &ControlNode{q: q}
+}
+
+// Submit enqueues control work; it runs when the CN becomes free.
+func (cn *ControlNode) Submit(w Work) {
+	if w == nil {
+		panic("machine: nil control work")
+	}
+	cn.pending = append(cn.pending, w)
+	cn.pump()
+}
+
+// QueueLen returns the number of control requests waiting (not running).
+func (cn *ControlNode) QueueLen() int { return len(cn.pending) }
+
+func (cn *ControlNode) pump() {
+	if cn.busy || len(cn.pending) == 0 {
+		return
+	}
+	w := cn.pending[0]
+	cn.pending = cn.pending[1:]
+	cn.busy = true
+	cpu, done := w(cn.q.Now())
+	if cpu < 0 {
+		cpu = 0
+	}
+	cn.BusyTime += cpu
+	cn.Ops++
+	cn.q.After(cpu, func(now event.Time) {
+		cn.busy = false
+		if done != nil {
+			done(now)
+		}
+		cn.pump()
+	})
+}
+
+// Job is one step of a transaction resident at a DN: the remaining I/O
+// demand of the step in objects.
+type Job struct {
+	Txn       *txn.T
+	Step      int
+	Remaining float64
+}
+
+// DataNode is one DN: a round-robin processor of bulk jobs with a
+// one-object quantum.
+type DataNode struct {
+	ID   int
+	q    *event.Queue
+	jobs []*Job
+	busy bool
+
+	objTime event.Time
+	// BusyTime accumulates processing time for utilization metrics.
+	BusyTime event.Time
+	// Objects counts processed objects (fractional quanta included).
+	Objects float64
+
+	// OnQuantum fires after each processed quantum (the §3.1 weight
+	// message to the CN). OnStepDone fires when a job's step completes.
+	OnQuantum  func(j *Job, objects float64, now event.Time)
+	OnStepDone func(j *Job, now event.Time)
+}
+
+// NewDataNode returns a DN bound to the event queue.
+func NewDataNode(id int, q *event.Queue, objTime event.Time) *DataNode {
+	if objTime <= 0 {
+		panic(fmt.Sprintf("machine: ObjTime %v", objTime))
+	}
+	return &DataNode{ID: id, q: q, objTime: objTime}
+}
+
+// QueueLen returns the number of jobs waiting or running at the DN.
+func (n *DataNode) QueueLen() int {
+	l := len(n.jobs)
+	if n.busy {
+		l++
+	}
+	return l
+}
+
+// Enqueue adds a job to the round-robin ring.
+func (n *DataNode) Enqueue(j *Job) {
+	if j == nil || j.Txn == nil {
+		panic("machine: bad job")
+	}
+	n.jobs = append(n.jobs, j)
+	n.pump()
+}
+
+const remainingEps = 1e-9
+
+func (n *DataNode) pump() {
+	for !n.busy && len(n.jobs) > 0 {
+		j := n.jobs[0]
+		n.jobs = n.jobs[1:]
+		if j.Remaining <= remainingEps {
+			// Zero-demand step (e.g. a fully filtered selection):
+			// completes without occupying the node.
+			if n.OnStepDone != nil {
+				n.OnStepDone(j, n.q.Now())
+			}
+			continue
+		}
+		quantum := math.Min(1, j.Remaining)
+		dur := event.Time(math.Round(quantum * float64(n.objTime)))
+		if dur < 1 {
+			dur = 1
+		}
+		n.busy = true
+		n.q.After(dur, func(now event.Time) {
+			n.busy = false
+			n.BusyTime += dur
+			n.Objects += quantum
+			j.Remaining -= quantum
+			if j.Remaining <= remainingEps {
+				j.Remaining = 0
+			}
+			if n.OnQuantum != nil {
+				n.OnQuantum(j, quantum, now)
+			}
+			if j.Remaining == 0 {
+				if n.OnStepDone != nil {
+					n.OnStepDone(j, now)
+				}
+			} else {
+				n.jobs = append(n.jobs, j)
+			}
+			n.pump()
+		})
+	}
+}

@@ -1,0 +1,194 @@
+package machine
+
+import (
+	"testing"
+
+	"batsched/internal/event"
+	"batsched/internal/txn"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	c := DefaultConfig()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumNodes != 8 || c.ObjTime != 1000 {
+		t.Errorf("unexpected defaults: %+v", c)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{},
+		{NumNodes: 8, NumParts: 0, ObjTime: 1000},
+		{NumNodes: 8, NumParts: 16, ObjTime: 0},
+		{NumNodes: 8, NumParts: 16, ObjTime: 1000, RetryDelay: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestNodeOf(t *testing.T) {
+	c := DefaultConfig()
+	for p := txn.PartitionID(0); p < 32; p++ {
+		if got := c.NodeOf(p); got != int(p)%8 {
+			t.Errorf("NodeOf(%v) = %d", p, got)
+		}
+	}
+}
+
+func TestControlNodeFIFOAndOccupancy(t *testing.T) {
+	q := event.NewQueue()
+	cn := NewControlNode(q)
+	var order []int
+	var times []event.Time
+	mk := func(id int, cpu event.Time) Work {
+		return func(now event.Time) (event.Time, func(event.Time)) {
+			order = append(order, id)
+			return cpu, func(done event.Time) { times = append(times, done) }
+		}
+	}
+	q.At(0, func(event.Time) {
+		cn.Submit(mk(1, 10))
+		cn.Submit(mk(2, 5))
+		cn.Submit(mk(3, 0))
+	})
+	q.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	// Completions at 10, 15, 15 (zero-cost work completes immediately
+	// after pickup).
+	if times[0] != 10 || times[1] != 15 || times[2] != 15 {
+		t.Errorf("completion times = %v, want [10 15 15]", times)
+	}
+	if cn.BusyTime != 15 {
+		t.Errorf("BusyTime = %v, want 15", cn.BusyTime)
+	}
+	if cn.Ops != 3 {
+		t.Errorf("Ops = %d, want 3", cn.Ops)
+	}
+}
+
+func TestControlNodeInterleavedSubmit(t *testing.T) {
+	q := event.NewQueue()
+	cn := NewControlNode(q)
+	var finished []event.Time
+	q.At(0, func(event.Time) {
+		cn.Submit(func(event.Time) (event.Time, func(event.Time)) {
+			return 100, func(now event.Time) { finished = append(finished, now) }
+		})
+	})
+	// Submitted while CN is busy: must wait.
+	q.At(50, func(event.Time) {
+		cn.Submit(func(event.Time) (event.Time, func(event.Time)) {
+			return 10, func(now event.Time) { finished = append(finished, now) }
+		})
+	})
+	q.Run()
+	if len(finished) != 2 || finished[0] != 100 || finished[1] != 110 {
+		t.Errorf("finished = %v, want [100 110]", finished)
+	}
+}
+
+func TestDataNodeRoundRobin(t *testing.T) {
+	q := event.NewQueue()
+	n := NewDataNode(0, q, 10)
+	type done struct {
+		id txn.ID
+		at event.Time
+	}
+	var stepDone []done
+	var quanta []event.Time
+	n.OnQuantum = func(j *Job, objects float64, now event.Time) {
+		quanta = append(quanta, now)
+		if objects != 1 {
+			t.Errorf("quantum = %g, want 1", objects)
+		}
+	}
+	n.OnStepDone = func(j *Job, now event.Time) {
+		stepDone = append(stepDone, done{j.Txn.ID, now})
+	}
+	t1 := txn.New(1, []txn.Step{{Mode: txn.Read, Part: 0, Cost: 3}})
+	t2 := txn.New(2, []txn.Step{{Mode: txn.Read, Part: 0, Cost: 2}})
+	q.At(0, func(event.Time) {
+		n.Enqueue(&Job{Txn: t1, Step: 0, Remaining: 3})
+		n.Enqueue(&Job{Txn: t2, Step: 0, Remaining: 2})
+	})
+	q.Run()
+	// Round robin: T1@10, T2@20, T1@30, T2@40(done), T1@50(done).
+	want := []event.Time{10, 20, 30, 40, 50}
+	if len(quanta) != len(want) {
+		t.Fatalf("quanta = %v", quanta)
+	}
+	for i := range want {
+		if quanta[i] != want[i] {
+			t.Fatalf("quanta = %v, want %v", quanta, want)
+		}
+	}
+	if len(stepDone) != 2 || stepDone[0].id != 2 || stepDone[0].at != 40 ||
+		stepDone[1].id != 1 || stepDone[1].at != 50 {
+		t.Errorf("stepDone = %v", stepDone)
+	}
+	if n.BusyTime != 50 {
+		t.Errorf("BusyTime = %v, want 50", n.BusyTime)
+	}
+	if n.Objects != 5 {
+		t.Errorf("Objects = %g, want 5", n.Objects)
+	}
+}
+
+func TestDataNodeFractionalTail(t *testing.T) {
+	q := event.NewQueue()
+	n := NewDataNode(0, q, 1000)
+	var quanta []float64
+	var doneAt event.Time
+	n.OnQuantum = func(j *Job, objects float64, now event.Time) { quanta = append(quanta, objects) }
+	n.OnStepDone = func(j *Job, now event.Time) { doneAt = now }
+	t1 := txn.New(1, []txn.Step{{Mode: txn.Write, Part: 0, Cost: 1.2}})
+	q.At(0, func(event.Time) { n.Enqueue(&Job{Txn: t1, Step: 0, Remaining: 1.2}) })
+	q.Run()
+	if len(quanta) != 2 || quanta[0] != 1 || quanta[1] < 0.19 || quanta[1] > 0.21 {
+		t.Fatalf("quanta = %v, want [1 0.2]", quanta)
+	}
+	if doneAt != 1200 {
+		t.Errorf("done at %v, want 1200", doneAt)
+	}
+}
+
+func TestDataNodeZeroCostStep(t *testing.T) {
+	q := event.NewQueue()
+	n := NewDataNode(0, q, 1000)
+	doneCount := 0
+	n.OnStepDone = func(j *Job, now event.Time) { doneCount++ }
+	t1 := txn.New(1, []txn.Step{{Mode: txn.Read, Part: 0, Cost: 0}})
+	q.At(0, func(event.Time) { n.Enqueue(&Job{Txn: t1, Step: 0, Remaining: 0}) })
+	q.Run()
+	if doneCount != 1 {
+		t.Errorf("zero-cost step completed %d times, want 1", doneCount)
+	}
+	if n.BusyTime != 0 {
+		t.Errorf("BusyTime = %v, want 0", n.BusyTime)
+	}
+}
+
+func TestDataNodeQueueLen(t *testing.T) {
+	q := event.NewQueue()
+	n := NewDataNode(0, q, 10)
+	t1 := txn.New(1, []txn.Step{{Mode: txn.Read, Part: 0, Cost: 2}})
+	t2 := txn.New(2, []txn.Step{{Mode: txn.Read, Part: 0, Cost: 1}})
+	q.At(0, func(event.Time) {
+		n.Enqueue(&Job{Txn: t1, Step: 0, Remaining: 2})
+		n.Enqueue(&Job{Txn: t2, Step: 0, Remaining: 1})
+		if n.QueueLen() != 2 {
+			t.Errorf("QueueLen = %d, want 2", n.QueueLen())
+		}
+	})
+	q.Run()
+	if n.QueueLen() != 0 {
+		t.Errorf("QueueLen after drain = %d, want 0", n.QueueLen())
+	}
+}

@@ -1,0 +1,146 @@
+package modelcheck
+
+import (
+	"testing"
+
+	"batsched/internal/core/sched"
+	"batsched/internal/txn"
+)
+
+func r(p txn.PartitionID, c float64) txn.Step { return txn.Step{Mode: txn.Read, Part: p, Cost: c} }
+func w(p txn.PartitionID, c float64) txn.Step { return txn.Step{Mode: txn.Write, Part: p, Cost: c} }
+
+// allSchedulers are the factories whose full state space we explore.
+func allSchedulers() []sched.Factory {
+	return []sched.Factory{
+		sched.ASLFactory(), sched.C2PLFactory(), sched.ChainFactory(),
+		sched.KWTPGFactory(1), sched.KWTPGFactory(2),
+		sched.ChainC2PLFactory(), sched.KC2PLFactory(2),
+	}
+}
+
+// scenarios are the transaction sets explored exhaustively. They include
+// the classic deadlock shapes the cautious schedulers must dodge.
+func scenarios() map[string][]*txn.T {
+	return map[string][]*txn.T{
+		"figure1": {
+			txn.New(1, []txn.Step{r(0, 1), r(1, 3), w(0, 1)}),
+			txn.New(2, []txn.Step{r(2, 1), w(0, 1)}),
+			txn.New(3, []txn.Step{w(2, 1), r(3, 3)}),
+		},
+		"crossing-writers": { // classic 2PL deadlock shape
+			txn.New(1, []txn.Step{r(0, 1), w(1, 1)}),
+			txn.New(2, []txn.Step{r(1, 1), w(0, 1)}),
+		},
+		"upgrade-pair": { // S-S then X-X upgrade deadlock shape
+			txn.New(1, []txn.Step{r(0, 2), w(0, 1)}),
+			txn.New(2, []txn.Step{r(0, 2), w(0, 1)}),
+		},
+		"triangle": { // three mutually conflicting writers
+			txn.New(1, []txn.Step{w(0, 1), w(1, 1)}),
+			txn.New(2, []txn.Step{w(1, 1), w(2, 1)}),
+			txn.New(3, []txn.Step{w(2, 1), w(0, 1)}),
+		},
+		"hot-pair-plus-reader": {
+			txn.New(1, []txn.Step{r(2, 5), w(0, 1), w(1, 1)}),
+			txn.New(2, []txn.Step{r(3, 5), w(1, 1), w(0, 1)}),
+			txn.New(3, []txn.Step{r(0, 1)}),
+		},
+		"disjoint": {
+			txn.New(1, []txn.Step{w(0, 2)}),
+			txn.New(2, []txn.Step{w(1, 2)}),
+			txn.New(3, []txn.Step{r(2, 2)}),
+		},
+	}
+}
+
+// TestNoWedgesNoCycles: across every scheduler and scenario, every
+// reachable schedule completes (no wedges) and is conflict serializable.
+func TestNoWedgesNoCycles(t *testing.T) {
+	for name, txns := range scenarios() {
+		for _, f := range allSchedulers() {
+			name, txns, f := name, txns, f
+			t.Run(name+"/"+f.Label, func(t *testing.T) {
+				t.Parallel()
+				rep, err := Explore(f, txns, 50_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Truncated {
+					t.Fatalf("state space truncated at %d paths", rep.Paths)
+				}
+				if rep.Paths == 0 {
+					t.Fatal("no complete schedules found")
+				}
+				if len(rep.Wedges) > 0 {
+					t.Fatalf("wedged after %v (%d wedges total)", rep.Wedges[0], len(rep.Wedges))
+				}
+				if len(rep.NonSerializable) > 0 {
+					t.Fatalf("non-serializable schedule %v", rep.NonSerializable[0])
+				}
+			})
+		}
+	}
+}
+
+// TestNODCIsNotSerializable: the upper-bound scheduler must exhibit
+// non-serializable schedules on the crossing-writer scenario — a
+// sanity check that the checker can actually find violations.
+func TestNODCIsNotSerializable(t *testing.T) {
+	rep, err := Explore(sched.NODCFactory(), scenarios()["crossing-writers"], 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Wedges) > 0 {
+		t.Fatalf("NODC wedged: %v", rep.Wedges[0])
+	}
+	if len(rep.NonSerializable) == 0 {
+		t.Fatal("checker failed to catch NODC's non-serializable schedules")
+	}
+}
+
+// TestASLSchedulesAreSerial: ASL holds all locks for a transaction's
+// whole lifetime, so on single-partition conflicts every schedule's
+// grant sequence groups by transaction.
+func TestASLSchedulesAreSerial(t *testing.T) {
+	txns := []*txn.T{
+		txn.New(1, []txn.Step{w(0, 1), w(0, 1)}),
+		txn.New(2, []txn.Step{w(0, 1), w(0, 1)}),
+	}
+	rep, err := Explore(sched.ASLFactory(), txns, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Paths == 0 || len(rep.Wedges) > 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestExploreValidation(t *testing.T) {
+	if _, err := Explore(sched.C2PLFactory(), nil, 0); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := Explore(sched.C2PLFactory(), []*txn.T{nil}, 0); err == nil {
+		t.Error("nil transaction accepted")
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if got := (Action{Txn: 1, Step: -1}).String(); got != "T1:admit" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Action{Txn: 2, Step: 3}).String(); got != "T2:s3" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// TestTruncation: a tiny MaxPaths stops the exploration early.
+func TestTruncation(t *testing.T) {
+	rep, err := Explore(sched.C2PLFactory(), scenarios()["figure1"], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated || rep.Paths != 1 {
+		t.Errorf("report: %+v", rep)
+	}
+}

@@ -1,0 +1,245 @@
+// Package planner schedules a *fixed* batch of BATs for minimum
+// makespan — the paper's actual operational problem: "the off-line
+// service needs to finish many BATs in a much shorter time" (§1).
+//
+// Given a batch, a machine and a scheduler, the planner evaluates release
+// strategies by deterministic simulation (everything arrives by explicit
+// schedule, nothing is random) and reports the makespan — the commit time
+// of the last transaction. Strategies:
+//
+//   - Flood: release everything at t = 0 and let the concurrency control
+//     sort it out. Simple; admission-constrained schedulers (ASL, CHAIN,
+//     K-WTPG) burn retry delays at the start.
+//   - Stagger: release at a fixed inter-release gap, smoothing the
+//     admission burst.
+//   - LongestFirst / ShortestFirst: flood, but order the batch by
+//     declared total demand — classic makespan heuristics (LPT) adapted
+//     to release order, which decides lock-table registration order and
+//     therefore grant priority under FIFO control.
+//
+// The planner is a consumer of the public simulation machinery: it shows
+// how a downstream user builds tooling on the library.
+package planner
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"batsched/internal/core/sched"
+	"batsched/internal/event"
+	"batsched/internal/machine"
+	"batsched/internal/sim"
+	"batsched/internal/txn"
+	"batsched/internal/workload"
+)
+
+// Strategy orders and times the release of a batch.
+type Strategy interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Plan returns the release order (indices into the batch) and the
+	// release time of each position.
+	Plan(batch []*txn.T) (order []int, times []event.Time)
+}
+
+// Flood releases the whole batch, in given order, at t = 0.
+type Flood struct{}
+
+// Name implements Strategy.
+func (Flood) Name() string { return "flood" }
+
+// Plan implements Strategy.
+func (Flood) Plan(batch []*txn.T) ([]int, []event.Time) {
+	order := identity(len(batch))
+	return order, make([]event.Time, len(batch))
+}
+
+// Stagger releases one transaction every Gap clocks, in given order.
+type Stagger struct {
+	Gap event.Time
+}
+
+// Name implements Strategy.
+func (s Stagger) Name() string { return fmt.Sprintf("stagger(%v)", s.Gap) }
+
+// Plan implements Strategy.
+func (s Stagger) Plan(batch []*txn.T) ([]int, []event.Time) {
+	order := identity(len(batch))
+	times := make([]event.Time, len(batch))
+	for i := range times {
+		times[i] = event.Time(i) * s.Gap
+	}
+	return order, times
+}
+
+// ByDemand floods the batch ordered by declared total demand.
+type ByDemand struct {
+	// LongestFirst picks LPT order; otherwise shortest-first.
+	LongestFirst bool
+	// Gap optionally staggers the ordered releases.
+	Gap event.Time
+}
+
+// Name implements Strategy.
+func (b ByDemand) Name() string {
+	n := "shortest-first"
+	if b.LongestFirst {
+		n = "longest-first"
+	}
+	if b.Gap > 0 {
+		n += fmt.Sprintf("+stagger(%v)", b.Gap)
+	}
+	return n
+}
+
+// Plan implements Strategy.
+func (b ByDemand) Plan(batch []*txn.T) ([]int, []event.Time) {
+	order := identity(len(batch))
+	sort.SliceStable(order, func(i, j int) bool {
+		di, dj := batch[order[i]].DeclaredTotal(), batch[order[j]].DeclaredTotal()
+		if b.LongestFirst {
+			return di > dj
+		}
+		return di < dj
+	})
+	times := make([]event.Time, len(batch))
+	for i := range times {
+		times[i] = event.Time(i) * b.Gap
+	}
+	return order, times
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Evaluation is the outcome of one (strategy, scheduler) plan.
+type Evaluation struct {
+	Strategy  string
+	Scheduler string
+	// Makespan is the commit time of the last transaction.
+	Makespan event.Time
+	// MeanRT is the mean response time (from release) in seconds.
+	MeanRT float64
+	// Retries counts admission rejections plus request delays.
+	Retries int
+}
+
+// replayWorkload feeds a pre-ordered batch to the simulator.
+type replayWorkload struct {
+	batch []*txn.T
+	next  int
+}
+
+func (r *replayWorkload) Name() string { return "batch-replay" }
+
+func (r *replayWorkload) Next(id txn.ID, _ *rand.Rand) *txn.T {
+	if r.next >= len(r.batch) {
+		panic("planner: batch exhausted")
+	}
+	t := r.batch[r.next]
+	r.next++
+	return &txn.T{ID: id, Steps: t.Steps, Declared: t.Declared}
+}
+
+// Evaluate simulates one plan and returns its evaluation. The horizon is
+// sized automatically from the batch's total demand.
+func Evaluate(batch []*txn.T, mc machine.Config, f sched.Factory, s Strategy) (*Evaluation, error) {
+	if len(batch) == 0 {
+		return nil, fmt.Errorf("planner: empty batch")
+	}
+	order, times := s.Plan(batch)
+	if len(order) != len(batch) || len(times) != len(batch) {
+		return nil, fmt.Errorf("planner: strategy %s returned %d/%d entries for %d transactions",
+			s.Name(), len(order), len(times), len(batch))
+	}
+	ordered := make([]*txn.T, len(batch))
+	for pos, idx := range order {
+		if idx < 0 || idx >= len(batch) {
+			return nil, fmt.Errorf("planner: strategy %s order index %d out of range", s.Name(), idx)
+		}
+		ordered[pos] = batch[idx]
+	}
+	// Horizon: serial execution bound plus generous retry slack.
+	var total float64
+	var lastRelease event.Time
+	for _, t := range batch {
+		total += t.TrueTotal()
+	}
+	for _, at := range times {
+		if at > lastRelease {
+			lastRelease = at
+		}
+	}
+	horizon := lastRelease + event.Time(total)*mc.ObjTime*2 + 600_000
+	cfg := sim.Config{
+		Machine:              mc,
+		Scheduler:            f,
+		Workload:             &replayWorkload{batch: ordered},
+		ArrivalTimes:         times,
+		Horizon:              horizon,
+		Seed:                 1,
+		CheckSerializability: f.Label != "NODC",
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if res.Completed != len(batch) {
+		return nil, fmt.Errorf("planner: %s/%s finished %d of %d transactions within %v",
+			f.Label, s.Name(), res.Completed, len(batch), horizon)
+	}
+	return &Evaluation{
+		Strategy:  s.Name(),
+		Scheduler: res.Scheduler,
+		Makespan:  res.LastCompletion,
+		MeanRT:    res.MeanRT,
+		Retries:   res.AdmissionAborts + res.AdmissionDelays + res.RequestDelays,
+	}, nil
+}
+
+// Compare evaluates every (strategy × scheduler) combination and returns
+// the evaluations sorted by makespan.
+func Compare(batch []*txn.T, mc machine.Config, factories []sched.Factory, strategies []Strategy) ([]*Evaluation, error) {
+	var out []*Evaluation
+	for _, f := range factories {
+		for _, s := range strategies {
+			ev, err := Evaluate(batch, mc, f, s)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ev)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Makespan < out[j].Makespan })
+	return out, nil
+}
+
+// RandomBatch draws n transactions from a workload generator with a
+// fixed seed — a reproducible batch for planning.
+func RandomBatch(gen workload.Generator, n int, seed int64) []*txn.T {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*txn.T, n)
+	for i := range out {
+		out[i] = gen.Next(txn.ID(i+1), rng)
+	}
+	return out
+}
+
+// RenderTable formats evaluations as a fixed-width report.
+func RenderTable(evals []*Evaluation) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %-10s %-26s %12s %10s %8s\n",
+		"scheduler", "strategy", "makespan", "meanRT(s)", "retries")
+	for _, e := range evals {
+		fmt.Fprintf(&b, "  %-10s %-26s %12v %10.1f %8d\n",
+			e.Scheduler, e.Strategy, e.Makespan, e.MeanRT, e.Retries)
+	}
+	return b.String()
+}

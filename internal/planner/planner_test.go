@@ -1,0 +1,148 @@
+package planner
+
+import (
+	"strings"
+	"testing"
+
+	"batsched/internal/core/sched"
+	"batsched/internal/event"
+	"batsched/internal/machine"
+	"batsched/internal/txn"
+	"batsched/internal/workload"
+)
+
+func testBatch(n int) []*txn.T {
+	return RandomBatch(workload.Experiment1(16), n, 7)
+}
+
+func TestStrategyPlans(t *testing.T) {
+	batch := testBatch(5)
+	order, times := Flood{}.Plan(batch)
+	if len(order) != 5 || len(times) != 5 {
+		t.Fatalf("flood plan sizes %d/%d", len(order), len(times))
+	}
+	for i, at := range times {
+		if at != 0 {
+			t.Errorf("flood release %d at %v", i, at)
+		}
+	}
+	_, times = Stagger{Gap: 100}.Plan(batch)
+	for i, at := range times {
+		if at != event.Time(i*100) {
+			t.Errorf("stagger release %d at %v", i, at)
+		}
+	}
+	order, _ = ByDemand{LongestFirst: true}.Plan(batch)
+	for i := 1; i < len(order); i++ {
+		if batch[order[i-1]].DeclaredTotal() < batch[order[i]].DeclaredTotal() {
+			t.Errorf("longest-first out of order at %d", i)
+		}
+	}
+	order, _ = ByDemand{}.Plan(batch)
+	for i := 1; i < len(order); i++ {
+		if batch[order[i-1]].DeclaredTotal() > batch[order[i]].DeclaredTotal() {
+			t.Errorf("shortest-first out of order at %d", i)
+		}
+	}
+}
+
+func TestEvaluateSingleTransaction(t *testing.T) {
+	batch := []*txn.T{txn.New(1, []txn.Step{{Mode: txn.Write, Part: 0, Cost: 2}})}
+	ev, err := Evaluate(batch, machine.DefaultConfig(), sched.C2PLFactory(), Flood{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// admit 11 + grant 12 + 2 objects + commit 10 = 2022 ms.
+	if ev.Makespan != 2022 {
+		t.Errorf("makespan = %v, want 2022ms", ev.Makespan)
+	}
+	if ev.Retries != 0 {
+		t.Errorf("retries = %d", ev.Retries)
+	}
+}
+
+func TestEvaluateCompletesBatch(t *testing.T) {
+	batch := testBatch(20)
+	for _, f := range []sched.Factory{
+		sched.ASLFactory(), sched.C2PLFactory(), sched.ChainFactory(), sched.KWTPGFactory(2),
+	} {
+		ev, err := Evaluate(batch, machine.DefaultConfig(), f, Flood{})
+		if err != nil {
+			t.Fatalf("%s: %v", f.Label, err)
+		}
+		if ev.Makespan <= 0 {
+			t.Errorf("%s: makespan %v", f.Label, ev.Makespan)
+		}
+	}
+}
+
+// The total demand of the test batch bounds the makespan from below:
+// the busiest node must process its share of objects serially.
+func TestMakespanLowerBound(t *testing.T) {
+	mc := machine.DefaultConfig()
+	batch := testBatch(12)
+	perNode := make(map[int]float64)
+	for _, tx := range batch {
+		for _, s := range tx.Steps {
+			perNode[mc.NodeOf(s.Part)] += s.Cost
+		}
+	}
+	var busiest float64
+	for _, v := range perNode {
+		if v > busiest {
+			busiest = v
+		}
+	}
+	lower := event.Time(busiest) * mc.ObjTime
+	ev, err := Evaluate(batch, mc, sched.KWTPGFactory(2), Flood{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Makespan < lower {
+		t.Errorf("makespan %v below busiest-node bound %v", ev.Makespan, lower)
+	}
+}
+
+func TestCompareSortsByMakespan(t *testing.T) {
+	batch := testBatch(10)
+	evals, err := Compare(batch, machine.DefaultConfig(),
+		[]sched.Factory{sched.KWTPGFactory(2), sched.C2PLFactory()},
+		[]Strategy{Flood{}, Stagger{Gap: 2000}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evals) != 4 {
+		t.Fatalf("evals = %d", len(evals))
+	}
+	for i := 1; i < len(evals); i++ {
+		if evals[i-1].Makespan > evals[i].Makespan {
+			t.Error("not sorted by makespan")
+		}
+	}
+	out := RenderTable(evals)
+	if !strings.Contains(out, "makespan") || !strings.Contains(out, "flood") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	if _, err := Evaluate(nil, machine.DefaultConfig(), sched.C2PLFactory(), Flood{}); err == nil {
+		t.Error("empty batch accepted")
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	batch := testBatch(15)
+	a, err := Evaluate(batch, machine.DefaultConfig(), sched.ChainFactory(), ByDemand{LongestFirst: true, Gap: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Evaluate(batch, machine.DefaultConfig(), sched.ChainFactory(), ByDemand{LongestFirst: true, Gap: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.MeanRT != b.MeanRT {
+		t.Errorf("nondeterministic planning: %+v vs %+v", a, b)
+	}
+}

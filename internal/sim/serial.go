@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"batsched/internal/txn"
+)
+
+// serialChecker verifies conflict serializability of an executed
+// schedule. Since every scheduler holds locks until commit, the grant
+// order of conflicting locks is the serialization order; the checker
+// records grants per partition and verifies that the induced conflict
+// graph over committed transactions is acyclic.
+type serialChecker struct {
+	byPart    map[txn.PartitionID][]grantRec
+	committed map[txn.ID]bool
+}
+
+type grantRec struct {
+	id   txn.ID
+	mode txn.Mode
+}
+
+func newSerialChecker() *serialChecker {
+	return &serialChecker{
+		byPart:    make(map[txn.PartitionID][]grantRec),
+		committed: make(map[txn.ID]bool),
+	}
+}
+
+// RecordGrant notes that id acquired a lock on p in the given mode.
+func (c *serialChecker) RecordGrant(id txn.ID, p txn.PartitionID, mode txn.Mode) {
+	c.byPart[p] = append(c.byPart[p], grantRec{id, mode})
+}
+
+// RecordCommit marks a transaction as committed; only committed
+// transactions participate in the final check.
+func (c *serialChecker) RecordCommit(id txn.ID) { c.committed[id] = true }
+
+// Verify returns an error if the conflict graph over committed
+// transactions has a cycle (the schedule is not conflict serializable).
+func (c *serialChecker) Verify() error {
+	succ := make(map[txn.ID]map[txn.ID]bool)
+	addEdge := func(a, b txn.ID) {
+		if succ[a] == nil {
+			succ[a] = make(map[txn.ID]bool)
+		}
+		succ[a][b] = true
+	}
+	for _, grants := range c.byPart {
+		for i := 0; i < len(grants); i++ {
+			if !c.committed[grants[i].id] {
+				continue
+			}
+			for j := i + 1; j < len(grants); j++ {
+				if grants[j].id == grants[i].id || !c.committed[grants[j].id] {
+					continue
+				}
+				if grants[i].mode.Conflicts(grants[j].mode) {
+					addEdge(grants[i].id, grants[j].id)
+				}
+			}
+		}
+	}
+	// Cycle detection over the conflict graph.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[txn.ID]int)
+	var nodes []txn.ID
+	for id := range succ {
+		nodes = append(nodes, id)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	var cycleAt txn.ID
+	var dfs func(u txn.ID) bool
+	dfs = func(u txn.ID) bool {
+		color[u] = grey
+		var next []txn.ID
+		for v := range succ[u] {
+			next = append(next, v)
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		for _, v := range next {
+			switch color[v] {
+			case grey:
+				cycleAt = v
+				return true
+			case white:
+				if dfs(v) {
+					return true
+				}
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for _, u := range nodes {
+		if color[u] == white && dfs(u) {
+			return fmt.Errorf("sim: schedule not conflict serializable (cycle through %v)", cycleAt)
+		}
+	}
+	return nil
+}

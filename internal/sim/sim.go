@@ -1,0 +1,548 @@
+// Package sim runs the paper's simulation model (§4.1, Figure 5): a
+// Poisson stream of BATs arrives at the centralized control node, the
+// configured scheduler decides admissions and lock grants, granted steps
+// execute at the data-processing node holding their partition, and the
+// run reports mean response time, throughput, and utilization — the
+// metrics of Figures 6–10.
+//
+// The simulation is a deterministic function of (Config, Seed): all
+// randomness flows through a single seeded source and all simultaneous
+// events fire in scheduling order.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"batsched/internal/core/sched"
+	"batsched/internal/event"
+	"batsched/internal/machine"
+	"batsched/internal/stats"
+	"batsched/internal/txn"
+	"batsched/internal/workload"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	Machine   machine.Config
+	Scheduler sched.Factory
+	Workload  workload.Generator
+	// ArrivalRate is λ in transactions per second (Poisson arrivals).
+	ArrivalRate float64
+	// Horizon is the simulated duration (paper: 2,000,000 clocks = ms).
+	Horizon event.Time
+	// Warmup excludes transactions arriving before it from the metrics.
+	Warmup event.Time
+	// Seed drives all randomness.
+	Seed int64
+	// MaxTxns optionally caps generated arrivals (0 = unlimited).
+	MaxTxns int
+	// ArrivalTimes, if non-empty, replaces the Poisson process with an
+	// explicit arrival schedule (one transaction per entry, in order).
+	// Used for reproducible scenarios and integration tests.
+	ArrivalTimes []event.Time
+	// CheckSerializability verifies the executed schedule at the end.
+	// Must be false for NODC, which ignores conflicts by design.
+	CheckSerializability bool
+	// Trace, if set, receives one line per simulation event (arrivals,
+	// admissions, grants, blocks, delays, object completions, commits).
+	Trace io.Writer
+	// SelfCheck runs the schedulers' internal invariant checks (no
+	// conflicting lock holders) after every commit. For tests and
+	// debugging; slows large runs down.
+	SelfCheck bool
+	// SampleEvery, if positive, records a time-series sample of system
+	// state every SampleEvery clocks (live transactions, control-node
+	// queue, busy data nodes) — the raw material for watching DC
+	// thrashing build up.
+	SampleEvery event.Time
+	// Classify, if set, assigns each transaction a class label; the
+	// result then carries per-class response times and completion counts
+	// (used by the mixed-workload experiments).
+	Classify func(*txn.T) string
+	// Declustered switches the file placement from the paper's default
+	// (node = partition mod NumNodes) to full declustering: every
+	// partition is spread over all nodes, so one bulk step executes as
+	// NumNodes parallel sub-jobs. This is the intra-transaction
+	// parallelism alternative the paper discusses in §4.3 — it benefits
+	// BATs but, on a real machine, costs short transactions message
+	// overhead that this simulator does not model.
+	Declustered bool
+	// DeclusterWidth enables *partial* declustering ([3]'s placement):
+	// each partition is spread over this many nodes, starting at its home
+	// node. 0 or 1 means no declustering; values ≥ NumNodes (or the
+	// Declustered flag) mean full declustering.
+	DeclusterWidth int
+}
+
+// Result reports one run's metrics.
+type Result struct {
+	Scheduler   string
+	Workload    string
+	ArrivalRate float64
+	Horizon     event.Time
+
+	Arrived         int
+	Admitted        int
+	Completed       int
+	Measured        int // completions counted in the metrics window
+	AdmissionDelays int // ASL start refusals and similar
+	AdmissionAborts int // chain-form / K-conflict rejections
+	RequestDelays   int
+	RequestBlocks   int
+
+	// MeanRT / StdRT are response times in seconds over measured
+	// completions (creation to completion, §4.1); P95RT and MaxRT report
+	// the tail.
+	MeanRT float64
+	StdRT  float64
+	P95RT  float64
+	MaxRT  float64
+	// Throughput is completed transactions per second in the window.
+	Throughput float64
+
+	// CNUtilization is control-node busy fraction; NodeUtilization is
+	// per-DN busy fraction; MeanNodeUtil averages the DNs.
+	CNUtilization   float64
+	NodeUtilization []float64
+	MeanNodeUtil    float64
+
+	// MaxLive is the peak number of concurrently admitted transactions.
+	MaxLive int
+	// LastCompletion is the commit time of the last completed
+	// transaction — the batch makespan when a fixed batch is released
+	// via ArrivalTimes.
+	LastCompletion event.Time
+	// LiveAtEnd counts transactions still admitted-but-uncommitted at the
+	// horizon. Arrived = Completed + LiveAtEnd + (not yet admitted).
+	LiveAtEnd int
+
+	// Response-time decomposition over measured completions (seconds):
+	// admission wait (arrival to admission), lock wait (request
+	// submission to grant, summed over steps), and data-node time (grant
+	// to step completion, queueing included).
+	MeanAdmitWait float64
+	MeanLockWait  float64
+	MeanDNTime    float64
+
+	// SerializabilityChecked / SerializabilityOK report the final check.
+	SerializabilityChecked bool
+
+	// Per-class metrics (populated when Config.Classify is set): mean
+	// response time in seconds and completions per class.
+	ClassMeanRT    map[string]float64
+	ClassCompleted map[string]int
+
+	// Samples is the periodic time series (when Config.SampleEvery > 0).
+	Samples []Sample
+}
+
+// Sample is one periodic observation of system state.
+type Sample struct {
+	At event.Time
+	// Live counts admitted-but-uncommitted transactions.
+	Live int
+	// CNQueue is the number of control requests waiting at the CN.
+	CNQueue int
+	// BusyNodes counts data nodes with work queued or running.
+	BusyNodes int
+}
+
+// txnState tracks one transaction through its lifecycle.
+type txnState struct {
+	t       *txn.T
+	arrived event.Time
+	step    int
+
+	// Response-time decomposition bookkeeping.
+	admittedAt  event.Time
+	requestedAt event.Time // when the current step's request was first submitted
+	grantedAt   event.Time
+	lockWait    event.Time // accumulated over steps
+	dnTime      event.Time // accumulated over steps
+	// outstanding counts sub-jobs of the current step still running at
+	// data nodes (only >1 under declustered placement).
+	outstanding int
+}
+
+type simulator struct {
+	cfg    Config
+	q      *event.Queue
+	rng    *rand.Rand
+	cn     *machine.ControlNode
+	nodes  []*machine.DataNode
+	sch    sched.Scheduler
+	nextID txn.ID
+
+	live    map[txn.ID]*txnState
+	waiting map[txn.PartitionID][]*txnState
+
+	res       Result
+	rt        stats.Welford
+	admitWait stats.Welford
+	lockWait  stats.Welford
+	dnTime    stats.Welford
+	classRT   map[string]*stats.Welford
+	rts       []float64
+	checker   *serialChecker
+	trace     *tracer
+}
+
+// Run executes one simulation and returns its metrics. It returns an
+// error on invalid configuration or on a serializability violation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Workload == nil {
+		return nil, fmt.Errorf("sim: nil workload")
+	}
+	if cfg.Scheduler.New == nil {
+		return nil, fmt.Errorf("sim: nil scheduler factory")
+	}
+	if cfg.ArrivalRate <= 0 && len(cfg.ArrivalTimes) == 0 {
+		return nil, fmt.Errorf("sim: arrival rate %g and no explicit arrivals", cfg.ArrivalRate)
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("sim: horizon %v", cfg.Horizon)
+	}
+	if cfg.Warmup < 0 || cfg.Warmup >= cfg.Horizon {
+		return nil, fmt.Errorf("sim: warmup %v outside horizon %v", cfg.Warmup, cfg.Horizon)
+	}
+
+	s := &simulator{
+		cfg:     cfg,
+		q:       event.NewQueue(),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		live:    make(map[txn.ID]*txnState),
+		waiting: make(map[txn.PartitionID][]*txnState),
+	}
+	s.classRT = make(map[string]*stats.Welford)
+	if cfg.Trace != nil {
+		s.trace = &tracer{w: cfg.Trace}
+	}
+	s.cn = machine.NewControlNode(s.q)
+	s.sch = cfg.Scheduler.New(cfg.Machine.Control)
+	s.res.Scheduler = s.sch.Name()
+	s.res.Workload = cfg.Workload.Name()
+	s.res.ArrivalRate = cfg.ArrivalRate
+	s.res.Horizon = cfg.Horizon
+	if cfg.CheckSerializability {
+		s.checker = newSerialChecker()
+	}
+	for i := 0; i < cfg.Machine.NumNodes; i++ {
+		n := machine.NewDataNode(i, s.q, cfg.Machine.ObjTime)
+		n.OnQuantum = s.onQuantum
+		n.OnStepDone = s.onStepDone
+		s.nodes = append(s.nodes, n)
+	}
+	if cfg.SampleEvery > 0 {
+		s.scheduleSample(cfg.SampleEvery)
+	}
+	if len(cfg.ArrivalTimes) > 0 {
+		for _, at := range cfg.ArrivalTimes {
+			if at > cfg.Horizon {
+				continue
+			}
+			s.q.At(at, func(now event.Time) {
+				s.res.Arrived++
+				s.nextID++
+				st := &txnState{t: s.cfg.Workload.Next(s.nextID, s.rng), arrived: now}
+				s.trace.emit(now, st.t.ID, "arrive")
+				s.submitAdmit(st)
+			})
+		}
+	} else {
+		s.scheduleArrival(0)
+	}
+	s.q.RunUntil(cfg.Horizon)
+	s.finish()
+	if s.checker != nil {
+		s.res.SerializabilityChecked = true
+		if err := s.checker.Verify(); err != nil {
+			return &s.res, err
+		}
+	}
+	return &s.res, nil
+}
+
+// scheduleSample records periodic system-state samples.
+func (s *simulator) scheduleSample(every event.Time) {
+	s.q.After(every, func(now event.Time) {
+		busy := 0
+		for _, n := range s.nodes {
+			if n.QueueLen() > 0 {
+				busy++
+			}
+		}
+		s.res.Samples = append(s.res.Samples, Sample{
+			At:        now,
+			Live:      len(s.live),
+			CNQueue:   s.cn.QueueLen(),
+			BusyNodes: busy,
+		})
+		if now+every <= s.cfg.Horizon {
+			s.scheduleSample(every)
+		}
+	})
+}
+
+// scheduleArrival schedules the next Poisson arrival after `from`.
+func (s *simulator) scheduleArrival(from event.Time) {
+	if s.cfg.MaxTxns > 0 && s.res.Arrived >= s.cfg.MaxTxns {
+		return
+	}
+	ratePerMS := s.cfg.ArrivalRate / 1000.0
+	gap := event.Time(math.Round(s.rng.ExpFloat64() / ratePerMS))
+	at := from + gap
+	if at > s.cfg.Horizon {
+		return
+	}
+	s.q.At(at, func(now event.Time) {
+		s.res.Arrived++
+		s.nextID++
+		st := &txnState{
+			t:       s.cfg.Workload.Next(s.nextID, s.rng),
+			arrived: now,
+		}
+		s.trace.emit(now, st.t.ID, "arrive")
+		s.submitAdmit(st)
+		s.scheduleArrival(now)
+	})
+}
+
+// submitAdmit asks the scheduler to admit st's transaction.
+func (s *simulator) submitAdmit(st *txnState) {
+	s.cn.Submit(func(now event.Time) (event.Time, func(event.Time)) {
+		out := s.sch.Admit(st.t, now)
+		cpu := out.CPU
+		if out.Decision == sched.Granted {
+			// Startup coordination is spent only on an actual start.
+			cpu += s.cfg.Machine.StartupTime
+		}
+		return cpu, func(now event.Time) { s.handleAdmit(st, out.Decision, now) }
+	})
+}
+
+func (s *simulator) handleAdmit(st *txnState, d sched.Decision, now event.Time) {
+	switch d {
+	case sched.Granted:
+		s.res.Admitted++
+		s.live[st.t.ID] = st
+		if len(s.live) > s.res.MaxLive {
+			s.res.MaxLive = len(s.live)
+		}
+		st.step = 0
+		st.admittedAt = now
+		s.trace.emit(now, st.t.ID, "admit")
+		s.advance(st, now)
+	case sched.Delayed:
+		s.res.AdmissionDelays++
+		s.trace.emit(now, st.t.ID, "admit-delayed")
+		s.retryLater(func(event.Time) { s.submitAdmit(st) })
+	case sched.Aborted:
+		s.res.AdmissionAborts++
+		s.trace.emit(now, st.t.ID, "admit-aborted")
+		s.retryLater(func(event.Time) { s.submitAdmit(st) })
+	default:
+		panic(fmt.Sprintf("sim: admit decision %v", d))
+	}
+}
+
+// advance moves st to its next step or to commitment.
+func (s *simulator) advance(st *txnState, now event.Time) {
+	if st.step >= len(st.t.Steps) {
+		s.submitCommit(st)
+		return
+	}
+	st.requestedAt = now
+	s.submitRequest(st)
+}
+
+// submitRequest asks for the lock of st's current step.
+func (s *simulator) submitRequest(st *txnState) {
+	step := st.step
+	s.cn.Submit(func(now event.Time) (event.Time, func(event.Time)) {
+		out := s.sch.Request(st.t, step, now)
+		return out.CPU, func(now event.Time) { s.handleRequest(st, step, out.Decision, now) }
+	})
+}
+
+func (s *simulator) handleRequest(st *txnState, step int, d sched.Decision, now event.Time) {
+	sp := st.t.Steps[step]
+	switch d {
+	case sched.Granted:
+		if s.checker != nil {
+			s.checker.RecordGrant(st.t.ID, sp.Part, sp.Mode)
+		}
+		st.lockWait += now - st.requestedAt
+		st.grantedAt = now
+		s.trace.emit(now, st.t.ID, "grant", "step", step, "part", sp.Part, "mode", sp.Mode)
+		s.dispatch(st, step, sp)
+	case sched.Blocked:
+		s.res.RequestBlocks++
+		s.trace.emit(now, st.t.ID, "blocked", "step", step, "part", sp.Part)
+		s.waiting[sp.Part] = append(s.waiting[sp.Part], st)
+	case sched.Delayed:
+		s.res.RequestDelays++
+		s.trace.emit(now, st.t.ID, "delayed", "step", step, "part", sp.Part)
+		s.retryLater(func(event.Time) { s.submitRequest(st) })
+	default:
+		panic(fmt.Sprintf("sim: request decision %v", d))
+	}
+}
+
+// dispatch sends the granted step to its data node — or, under
+// declustered placement, splits it into one sub-job per node that
+// complete independently (§4.3's intra-transaction parallelism).
+func (s *simulator) dispatch(st *txnState, step int, sp txn.Step) {
+	width := s.cfg.DeclusterWidth
+	if s.cfg.Declustered || width > len(s.nodes) {
+		width = len(s.nodes)
+	}
+	if width <= 1 || len(s.nodes) == 1 {
+		st.outstanding = 1
+		node := s.nodes[s.cfg.Machine.NodeOf(sp.Part)]
+		node.Enqueue(&machine.Job{Txn: st.t, Step: step, Remaining: sp.Cost})
+		return
+	}
+	home := s.cfg.Machine.NodeOf(sp.Part)
+	share := sp.Cost / float64(width)
+	st.outstanding = width
+	for i := 0; i < width; i++ {
+		s.nodes[(home+i)%len(s.nodes)].Enqueue(&machine.Job{Txn: st.t, Step: step, Remaining: share})
+	}
+}
+
+// retryLater resubmits work after the fixed retry delay (§3.2).
+func (s *simulator) retryLater(fn event.Handler) {
+	s.q.After(s.cfg.Machine.RetryDelay, fn)
+}
+
+// onQuantum relays a processed quantum to the scheduler (the §3.1 weight
+// adjustment message; node-side control overhead is ignored per §4.1).
+func (s *simulator) onQuantum(j *machine.Job, objects float64, now event.Time) {
+	s.sch.ObjectDone(j.Txn, objects, now)
+}
+
+// onStepDone sends the transaction back to the control node for its next
+// lock request or its commitment. Under declustered placement the step
+// completes only when every node's sub-job has finished.
+func (s *simulator) onStepDone(j *machine.Job, now event.Time) {
+	st, ok := s.live[j.Txn.ID]
+	if !ok {
+		panic(fmt.Sprintf("sim: step completion of unknown %v", j.Txn.ID))
+	}
+	st.outstanding--
+	if st.outstanding > 0 {
+		return
+	}
+	st.dnTime += now - st.grantedAt
+	s.trace.emit(now, st.t.ID, "step-done", "step", j.Step)
+	st.step = j.Step + 1
+	s.advance(st, now)
+}
+
+// submitCommit coordinates two-phase commitment at the control node.
+func (s *simulator) submitCommit(st *txnState) {
+	s.cn.Submit(func(now event.Time) (event.Time, func(event.Time)) {
+		freed, cpu := s.sch.Commit(st.t, now)
+		return s.cfg.Machine.CommitTime + cpu, func(now event.Time) {
+			s.handleCommit(st, freed, now)
+		}
+	})
+}
+
+func (s *simulator) handleCommit(st *txnState, freed []txn.PartitionID, now event.Time) {
+	delete(s.live, st.t.ID)
+	s.res.Completed++
+	if now > s.res.LastCompletion {
+		s.res.LastCompletion = now
+	}
+	s.trace.emit(now, st.t.ID, "commit", "rt", now-st.arrived)
+	if s.checker != nil {
+		s.checker.RecordCommit(st.t.ID)
+	}
+	if s.cfg.SelfCheck {
+		if c, ok := s.sch.(interface{ CheckInvariants() error }); ok {
+			if err := c.CheckInvariants(); err != nil {
+				panic(err)
+			}
+		}
+	}
+	if st.arrived >= s.cfg.Warmup {
+		s.res.Measured++
+		s.rt.Add((now - st.arrived).Seconds())
+		s.rts = append(s.rts, (now - st.arrived).Seconds())
+		s.admitWait.Add((st.admittedAt - st.arrived).Seconds())
+		s.lockWait.Add(st.lockWait.Seconds())
+		s.dnTime.Add(st.dnTime.Seconds())
+		if s.cfg.Classify != nil {
+			class := s.cfg.Classify(st.t)
+			w := s.classRT[class]
+			if w == nil {
+				w = &stats.Welford{}
+				s.classRT[class] = w
+			}
+			w.Add((now - st.arrived).Seconds())
+		}
+	}
+	// Wake requests blocked on the released partitions, FIFO.
+	for _, p := range freed {
+		waiters := s.waiting[p]
+		if len(waiters) == 0 {
+			continue
+		}
+		delete(s.waiting, p)
+		for _, w := range waiters {
+			s.submitRequest(w)
+		}
+	}
+}
+
+// finish computes the end-of-run metrics.
+func (s *simulator) finish() {
+	s.res.LiveAtEnd = len(s.live)
+	s.res.MeanRT = s.rt.Mean()
+	s.res.StdRT = s.rt.Std()
+	if len(s.rts) > 0 {
+		if p, err := stats.Percentile(s.rts, 95); err == nil {
+			s.res.P95RT = p
+		}
+		max := s.rts[0]
+		for _, v := range s.rts {
+			if v > max {
+				max = v
+			}
+		}
+		s.res.MaxRT = max
+	}
+	if len(s.classRT) > 0 {
+		s.res.ClassMeanRT = make(map[string]float64, len(s.classRT))
+		s.res.ClassCompleted = make(map[string]int, len(s.classRT))
+		for class, w := range s.classRT {
+			s.res.ClassMeanRT[class] = w.Mean()
+			s.res.ClassCompleted[class] = int(w.Count())
+		}
+	}
+	s.res.MeanAdmitWait = s.admitWait.Mean()
+	s.res.MeanLockWait = s.lockWait.Mean()
+	s.res.MeanDNTime = s.dnTime.Mean()
+	window := (s.cfg.Horizon - s.cfg.Warmup).Seconds()
+	if window > 0 {
+		s.res.Throughput = float64(s.res.Measured) / window
+	}
+	total := float64(s.cfg.Horizon)
+	s.res.CNUtilization = float64(s.cn.BusyTime) / total
+	var sum float64
+	for _, n := range s.nodes {
+		u := float64(n.BusyTime) / total
+		s.res.NodeUtilization = append(s.res.NodeUtilization, u)
+		sum += u
+	}
+	if len(s.nodes) > 0 {
+		s.res.MeanNodeUtil = sum / float64(len(s.nodes))
+	}
+}

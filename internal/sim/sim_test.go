@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"batsched/internal/core/sched"
+	"batsched/internal/machine"
+	"batsched/internal/txn"
+	"batsched/internal/workload"
+)
+
+func r(p txn.PartitionID, c float64) txn.Step { return txn.Step{Mode: txn.Read, Part: p, Cost: c} }
+func w(p txn.PartitionID, c float64) txn.Step { return txn.Step{Mode: txn.Write, Part: p, Cost: c} }
+
+func baseConfig() Config {
+	return Config{
+		Machine:              machine.DefaultConfig(),
+		Scheduler:            sched.C2PLFactory(),
+		Workload:             workload.Experiment1(16),
+		ArrivalRate:          0.3,
+		Horizon:              200_000,
+		Seed:                 1,
+		CheckSerializability: true,
+	}
+}
+
+// TestSingleTransactionTiming walks one transaction through the whole
+// machine and checks the exact response time against hand computation:
+// admit (ddtime 1 + startup 10) + request (1) + 2 objects (2000)
+// + request (1) + 1 object (1000) + commit (committime 10) = 3023 ms.
+func TestSingleTransactionTiming(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Workload = &workload.Fixed{Label: "one", Txns: []*txn.T{
+		txn.New(0, []txn.Step{r(0, 2), w(1, 1)}),
+	}}
+	cfg.MaxTxns = 1
+	cfg.Horizon = 100_000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 || res.Arrived != 1 {
+		t.Fatalf("completed %d / arrived %d, want 1/1", res.Completed, res.Arrived)
+	}
+	if want := 3.023; math.Abs(res.MeanRT-want) > 1e-9 {
+		t.Errorf("MeanRT = %g s, want %g s", res.MeanRT, want)
+	}
+	if res.RequestBlocks != 0 || res.RequestDelays != 0 {
+		t.Errorf("uncontended run had blocks=%d delays=%d", res.RequestBlocks, res.RequestDelays)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, f := range []sched.Factory{
+		sched.C2PLFactory(), sched.ChainFactory(), sched.KWTPGFactory(2), sched.ASLFactory(),
+	} {
+		cfg := baseConfig()
+		cfg.Scheduler = f
+		cfg.Horizon = 100_000
+		a, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Label, err)
+		}
+		b, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Label, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed produced different results:\n%+v\n%+v", f.Label, a, b)
+		}
+		cfg.Seed = 2
+		c, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reflect.DeepEqual(a, c) && a.Completed > 0 {
+			t.Logf("%s: different seeds produced identical results (possible but suspicious)", f.Label)
+		}
+	}
+}
+
+// TestAllSchedulersProgressAndSerialize runs every scheduler on the
+// contended Experiment 1 workload and checks progress plus conflict
+// serializability of the executed schedule.
+func TestAllSchedulersProgressAndSerialize(t *testing.T) {
+	for _, f := range []sched.Factory{
+		sched.ASLFactory(), sched.C2PLFactory(), sched.ChainFactory(),
+		sched.KWTPGFactory(2), sched.ChainC2PLFactory(), sched.KC2PLFactory(2),
+	} {
+		f := f
+		t.Run(f.Label, func(t *testing.T) {
+			cfg := baseConfig()
+			cfg.Scheduler = f
+			cfg.ArrivalRate = 0.5
+			cfg.Horizon = 300_000
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("serializability or run error: %v", err)
+			}
+			if !res.SerializabilityChecked {
+				t.Error("check did not run")
+			}
+			if res.Completed == 0 {
+				t.Fatal("no transactions completed")
+			}
+			if res.Completed > res.Arrived {
+				t.Errorf("completed %d > arrived %d", res.Completed, res.Arrived)
+			}
+			if res.MeanRT <= 0 {
+				t.Errorf("MeanRT = %g", res.MeanRT)
+			}
+			if res.MeanNodeUtil <= 0 || res.MeanNodeUtil > 1 {
+				t.Errorf("MeanNodeUtil = %g", res.MeanNodeUtil)
+			}
+			if res.CNUtilization < 0 || res.CNUtilization > 1 {
+				t.Errorf("CNUtilization = %g", res.CNUtilization)
+			}
+		})
+	}
+}
+
+func TestNODCUpperBound(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Scheduler = sched.NODCFactory()
+	cfg.CheckSerializability = false
+	nodc, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := baseConfig()
+	c2pl, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodc.Completed < c2pl.Completed {
+		t.Errorf("NODC completed %d < C2PL %d; NODC must be an upper bound",
+			nodc.Completed, c2pl.Completed)
+	}
+	if nodc.RequestBlocks != 0 || nodc.RequestDelays != 0 || nodc.AdmissionAborts != 0 {
+		t.Errorf("NODC reported contention: %+v", nodc)
+	}
+}
+
+func TestWarmupWindow(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Horizon = 200_000
+	cfg.Warmup = 100_000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Measured > res.Completed {
+		t.Errorf("measured %d > completed %d", res.Measured, res.Completed)
+	}
+	// Throughput is computed over the measurement window only.
+	wantWindow := 100.0 // seconds
+	if got := float64(res.Measured) / wantWindow; math.Abs(got-res.Throughput) > 1e-9 {
+		t.Errorf("Throughput = %g, want %g", res.Throughput, got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.ArrivalRate = 0 },
+		func(c *Config) { c.Horizon = 0 },
+		func(c *Config) { c.Warmup = c.Horizon },
+		func(c *Config) { c.Workload = nil },
+		func(c *Config) { c.Scheduler = sched.Factory{} },
+		func(c *Config) { c.Machine.NumNodes = 0 },
+	}
+	for i, mut := range bad {
+		cfg := baseConfig()
+		mut(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestMaxTxnsCap(t *testing.T) {
+	cfg := baseConfig()
+	cfg.MaxTxns = 5
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrived != 5 {
+		t.Errorf("arrived %d, want 5", res.Arrived)
+	}
+}
+
+// TestHotSetContention drives the Experiment 2 hot-set workload hard and
+// verifies serializable completion for the WTPG schedulers.
+func TestHotSetContention(t *testing.T) {
+	layout := workload.HotSetLayout{NumReadOnly: 8, NumHots: 4}
+	for _, f := range []sched.Factory{sched.ChainFactory(), sched.KWTPGFactory(2)} {
+		cfg := baseConfig()
+		cfg.Machine.NumParts = layout.NumParts()
+		cfg.Workload = workload.Experiment2(layout)
+		cfg.Scheduler = f
+		cfg.ArrivalRate = 0.6
+		cfg.Horizon = 300_000
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Label, err)
+		}
+		if res.Completed == 0 {
+			t.Fatalf("%s made no progress on hot set", f.Label)
+		}
+	}
+}
+
+func TestSerialCheckerDetectsCycle(t *testing.T) {
+	c := newSerialChecker()
+	// T1 reads P0 then T2 writes P0 (T1 < T2), but on P1 the conflicting
+	// order is reversed.
+	c.RecordGrant(1, 0, txn.Read)
+	c.RecordGrant(2, 0, txn.Write)
+	c.RecordGrant(2, 1, txn.Write)
+	c.RecordGrant(1, 1, txn.Write)
+	c.RecordCommit(1)
+	c.RecordCommit(2)
+	if err := c.Verify(); err == nil {
+		t.Fatal("cyclic conflict order not detected")
+	}
+	// Uncommitted transactions are ignored.
+	c2 := newSerialChecker()
+	c2.RecordGrant(1, 0, txn.Write)
+	c2.RecordGrant(2, 0, txn.Write)
+	c2.RecordGrant(2, 1, txn.Write)
+	c2.RecordGrant(1, 1, txn.Write)
+	c2.RecordCommit(1)
+	if err := c2.Verify(); err != nil {
+		t.Errorf("cycle through uncommitted txn reported: %v", err)
+	}
+}
+
+// TestConservation: arrivals are exactly partitioned into completed,
+// still-live and not-yet-admitted transactions at the horizon.
+func TestConservation(t *testing.T) {
+	for _, rate := range []float64{0.3, 0.9} {
+		cfg := baseConfig()
+		cfg.ArrivalRate = rate
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		notAdmitted := res.Arrived - res.Admitted
+		if notAdmitted < 0 {
+			t.Fatalf("admitted %d > arrived %d", res.Admitted, res.Arrived)
+		}
+		if res.Admitted != res.Completed+res.LiveAtEnd {
+			t.Errorf("λ=%g: admitted %d != completed %d + live %d",
+				rate, res.Admitted, res.Completed, res.LiveAtEnd)
+		}
+	}
+}

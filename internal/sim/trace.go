@@ -1,0 +1,34 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"batsched/internal/event"
+	"batsched/internal/txn"
+)
+
+// tracer writes one line per simulation event in a stable, grep-friendly
+// format:
+//
+//	1204 T17 arrive
+//	1215 T17 admit
+//	1216 T17 grant step=0 part=P3 mode=r
+//	2216 T17 object step=0 n=1
+//	5300 T17 commit rt=4096ms
+//
+// Times are clocks (ms). A nil tracer is silent.
+type tracer struct {
+	w io.Writer
+}
+
+func (tr *tracer) emit(now event.Time, id txn.ID, what string, args ...any) {
+	if tr == nil || tr.w == nil {
+		return
+	}
+	fmt.Fprintf(tr.w, "%9d %v %s", int64(now), id, what)
+	for i := 0; i+1 < len(args); i += 2 {
+		fmt.Fprintf(tr.w, " %v=%v", args[i], args[i+1])
+	}
+	fmt.Fprintln(tr.w)
+}

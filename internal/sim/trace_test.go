@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"batsched/internal/core/sched"
+	"batsched/internal/event"
+	"batsched/internal/txn"
+	"batsched/internal/workload"
+)
+
+func TestTraceOutput(t *testing.T) {
+	var b strings.Builder
+	cfg := baseConfig()
+	cfg.Workload = &workload.Fixed{Label: "two", Txns: []*txn.T{
+		txn.New(0, []txn.Step{w(0, 2)}),
+		txn.New(0, []txn.Step{w(0, 1)}),
+	}}
+	cfg.ArrivalTimes = []event.Time{0, 100}
+	cfg.ArrivalRate = 0
+	cfg.Horizon = 50_000
+	cfg.Trace = &b
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 2 {
+		t.Fatalf("completed %d", res.Completed)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"T1 arrive", "T1 admit", "T1 grant step=0 part=P0 mode=w",
+		"T2 blocked step=0 part=P0", "T2 grant", "T1 commit rt=", "T2 commit rt=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+	// Events appear in nondecreasing time order.
+	last := int64(-1)
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		var ts int64
+		if _, err := fmtSscan(line, &ts); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		if ts < last {
+			t.Fatalf("trace out of order at %q", line)
+		}
+		last = ts
+	}
+}
+
+// fmtSscan parses the leading timestamp of a trace line.
+func fmtSscan(line string, ts *int64) (int, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return 0, nil
+	}
+	var v int64
+	for _, c := range fields[0] {
+		if c < '0' || c > '9' {
+			return 0, errBadTS
+		}
+		v = v*10 + int64(c-'0')
+	}
+	*ts = v
+	return 1, nil
+}
+
+var errBadTS = &traceErr{"bad timestamp"}
+
+type traceErr struct{ s string }
+
+func (e *traceErr) Error() string { return e.s }
+
+func TestSelfCheckMode(t *testing.T) {
+	for _, f := range []sched.Factory{
+		sched.ASLFactory(), sched.C2PLFactory(), sched.ChainFactory(), sched.KWTPGFactory(2),
+	} {
+		cfg := baseConfig()
+		cfg.Scheduler = f
+		cfg.SelfCheck = true
+		cfg.ArrivalRate = 0.5
+		cfg.Horizon = 100_000
+		if _, err := Run(cfg); err != nil {
+			t.Fatalf("%s: %v", f.Label, err)
+		}
+	}
+}
+
+func TestTailLatencyMetrics(t *testing.T) {
+	cfg := baseConfig()
+	cfg.ArrivalRate = 0.5
+	cfg.Horizon = 200_000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("no completions")
+	}
+	if res.P95RT < res.MeanRT {
+		t.Errorf("P95 %g below mean %g", res.P95RT, res.MeanRT)
+	}
+	if res.MaxRT < res.P95RT {
+		t.Errorf("Max %g below P95 %g", res.MaxRT, res.P95RT)
+	}
+}

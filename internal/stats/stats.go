@@ -1,0 +1,109 @@
+// Package stats provides the statistics used by the simulation and the
+// experiment harness: streaming mean/variance accumulators, percentiles,
+// and the "throughput at mean response time = X" interpolation the paper
+// uses to compare schedulers (Figures 6, 8 and 10).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford is a streaming mean/variance accumulator (Welford's method).
+// The zero value is ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add observes one value.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() int64 { return w.n }
+
+// Mean returns the sample mean (0 with no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Variance()) }
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of data using
+// linear interpolation between closest ranks. It does not modify data.
+func Percentile(data []float64, p float64) (float64, error) {
+	if len(data) == 0 {
+		return 0, fmt.Errorf("stats: percentile of empty data")
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("stats: percentile %g out of range", p)
+	}
+	s := append([]float64(nil), data...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo], nil
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac, nil
+}
+
+// SweepPoint is one measured point of an arrival-rate sweep.
+type SweepPoint struct {
+	// Lambda is the arrival rate (transactions per second).
+	Lambda float64
+	// RT is the mean response time in seconds.
+	RT float64
+	// TPS is the measured throughput in transactions per second.
+	TPS float64
+}
+
+// ThroughputAtRT interpolates the throughput at the arrival rate where
+// the mean response time first crosses rtTarget seconds — the comparison
+// metric of Figures 6, 8 and 10 ("throughput at RT = 70 sec").
+//
+// Points must be ordered by increasing Lambda. The boolean result is true
+// when a genuine crossing was found; if the response time never reaches
+// the target the throughput of the last point is returned with false
+// (the scheduler is still stable at the highest tested rate), and if even
+// the first point exceeds the target the first throughput is returned
+// with false.
+func ThroughputAtRT(points []SweepPoint, rtTarget float64) (float64, bool) {
+	if len(points) == 0 {
+		return 0, false
+	}
+	if points[0].RT >= rtTarget {
+		return points[0].TPS, false
+	}
+	for i := 1; i < len(points); i++ {
+		lo, hi := points[i-1], points[i]
+		if hi.RT < rtTarget {
+			continue
+		}
+		if hi.RT == lo.RT {
+			return hi.TPS, true
+		}
+		frac := (rtTarget - lo.RT) / (hi.RT - lo.RT)
+		return lo.TPS + frac*(hi.TPS-lo.TPS), true
+	}
+	return points[len(points)-1].TPS, false
+}

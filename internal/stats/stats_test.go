@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.Count() != 8 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %g, want 5", w.Mean())
+	}
+	// Sample variance of this classic dataset is 32/7.
+	if math.Abs(w.Variance()-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance = %g, want %g", w.Variance(), 32.0/7.0)
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Std() != 0 {
+		t.Error("empty accumulator not zero")
+	}
+	w.Add(3)
+	if w.Mean() != 3 || w.Variance() != 0 {
+		t.Errorf("single observation: mean %g var %g", w.Mean(), w.Variance())
+	}
+}
+
+// Property: Welford agrees with the naive two-pass computation.
+func TestQuickWelfordMatchesNaive(t *testing.T) {
+	f := func(raw []float64) bool {
+		var data []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				data = append(data, x)
+			}
+		}
+		if len(data) < 2 {
+			return true
+		}
+		var w Welford
+		sum := 0.0
+		for _, x := range data {
+			w.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(data))
+		var m2 float64
+		for _, x := range data {
+			m2 += (x - mean) * (x - mean)
+		}
+		variance := m2 / float64(len(data)-1)
+		scale := 1 + math.Abs(variance)
+		return math.Abs(w.Mean()-mean) < 1e-6*(1+math.Abs(mean)) &&
+			math.Abs(w.Variance()-variance) < 1e-6*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	data := []float64{15, 20, 35, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 15}, {100, 50}, {50, 35}, {25, 20}, {75, 40},
+	}
+	for _, c := range cases {
+		got, err := Percentile(data, c.p)
+		if err != nil || got != c.want {
+			t.Errorf("Percentile(%g) = %g,%v; want %g", c.p, got, err, c.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Error("empty data accepted")
+	}
+	if _, err := Percentile(data, 101); err == nil {
+		t.Error("out-of-range percentile accepted")
+	}
+	// Does not mutate input.
+	shuffled := []float64{3, 1, 2}
+	if _, err := Percentile(shuffled, 50); err != nil {
+		t.Fatal(err)
+	}
+	if shuffled[0] != 3 || shuffled[1] != 1 || shuffled[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestThroughputAtRT(t *testing.T) {
+	pts := []SweepPoint{
+		{Lambda: 0.2, RT: 10, TPS: 0.2},
+		{Lambda: 0.4, RT: 30, TPS: 0.4},
+		{Lambda: 0.6, RT: 90, TPS: 0.5},
+		{Lambda: 0.8, RT: 300, TPS: 0.45},
+	}
+	got, exact := ThroughputAtRT(pts, 70)
+	if !exact {
+		t.Fatal("crossing not found")
+	}
+	// Crossing between RT=30 (tps .4) and RT=90 (tps .5): frac = 40/60.
+	want := 0.4 + (40.0/60.0)*0.1
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("TPS@70 = %g, want %g", got, want)
+	}
+}
+
+func TestThroughputAtRTEdges(t *testing.T) {
+	if _, ok := ThroughputAtRT(nil, 70); ok {
+		t.Error("empty sweep reported a crossing")
+	}
+	// Never reaches target: last TPS, not exact.
+	pts := []SweepPoint{{0.2, 10, 0.2}, {0.4, 20, 0.4}}
+	got, ok := ThroughputAtRT(pts, 70)
+	if ok || got != 0.4 {
+		t.Errorf("stable sweep = %g,%v; want 0.4,false", got, ok)
+	}
+	// Already above target at the first point.
+	pts = []SweepPoint{{0.2, 100, 0.2}, {0.4, 200, 0.25}}
+	got, ok = ThroughputAtRT(pts, 70)
+	if ok || got != 0.2 {
+		t.Errorf("overloaded sweep = %g,%v; want 0.2,false", got, ok)
+	}
+}
+
+// Property: the interpolated throughput lies between the bracketing
+// points' throughputs.
+func TestQuickThroughputBracket(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(8)
+		pts := make([]SweepPoint, n)
+		rt := 0.0
+		for i := range pts {
+			rt += rng.Float64() * 50
+			pts[i] = SweepPoint{
+				Lambda: float64(i+1) * 0.1,
+				RT:     rt,
+				TPS:    rng.Float64(),
+			}
+		}
+		target := rng.Float64() * 200
+		got, exact := ThroughputAtRT(pts, target)
+		if !exact {
+			continue
+		}
+		for i := 1; i < n; i++ {
+			if pts[i].RT >= target && pts[i-1].RT < target {
+				lo, hi := pts[i-1].TPS, pts[i].TPS
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				if got < lo-1e-9 || got > hi+1e-9 {
+					t.Fatalf("interpolated %g outside [%g,%g]", got, lo, hi)
+				}
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"batsched/internal/txn"
+)
+
+func TestMixtureValidation(t *testing.T) {
+	if _, err := NewMixture("m"); err == nil {
+		t.Error("empty mixture accepted")
+	}
+	if _, err := NewMixture("m", Component{Class: "a", Weight: 0, Gen: Experiment1(16)}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := NewMixture("m", Component{Class: "a", Weight: 1}); err == nil {
+		t.Error("nil generator accepted")
+	}
+}
+
+func TestMixtureSharesAndClasses(t *testing.T) {
+	short := ShortTransactions(16, 0.02)
+	bats := Experiment1(16)
+	m, err := NewMixture("mix",
+		Component{Class: "short", Weight: 3, Gen: short},
+		Component{Class: "bat", Weight: 1, Gen: bats},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	counts := map[string]int{}
+	const n = 4000
+	for i := 1; i <= n; i++ {
+		tx := m.Next(txn.ID(i), rng)
+		class := m.ClassOf(tx.ID)
+		counts[class]++
+		switch class {
+		case "short":
+			if len(tx.Steps) != 2 || tx.Steps[0].Cost != 0.02 {
+				t.Fatalf("short txn shape wrong: %v", tx)
+			}
+		case "bat":
+			if len(tx.Steps) != 4 {
+				t.Fatalf("bat txn shape wrong: %v", tx)
+			}
+		default:
+			t.Fatalf("unknown class %q", class)
+		}
+	}
+	frac := float64(counts["short"]) / n
+	if math.Abs(frac-0.75) > 0.03 {
+		t.Errorf("short share = %g, want ≈0.75", frac)
+	}
+	if m.ClassOf(999999) != "" {
+		t.Error("unknown id has a class")
+	}
+}
+
+func TestShortTransactionsDistinctParts(t *testing.T) {
+	g := ShortTransactions(16, 0.05)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		tx := g.Next(txn.ID(i+1), rng)
+		if tx.Steps[0].Part == tx.Steps[1].Part {
+			t.Fatal("X == Y")
+		}
+		if tx.Steps[0].Mode != txn.Read || tx.Steps[1].Mode != txn.Write {
+			t.Fatalf("modes: %v", tx)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package workload generates the paper's BAT workloads (§4): the three
+// transaction patterns, their random partition bindings, the hot-set
+// layout of Experiments 2 and 3, and Experiment 4's erroneous
+// I/O-demand declaration model.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"batsched/internal/txn"
+)
+
+// The paper's transaction patterns. Step costs are the object counts
+// printed in §4 (already folded through the read/update cost model of
+// §2.2, e.g. w(F1:0.2) = 2 × 10% of the 1-object read of F1).
+var (
+	// Pattern1 (Experiments 1 and 4): "join the selected result of F1 with
+	// F2, and update these partitions depending on the joined result".
+	Pattern1 = txn.MustParsePattern("Pattern1", "r(F1:1) -> r(F2:5) -> w(F1:0.2) -> w(F2:1)")
+	// Pattern2 (Experiment 2): read a read-only partition, update two hot
+	// partitions.
+	Pattern2 = txn.MustParsePattern("Pattern2", "r(B:5) -> w(F1:1) -> w(F2:1)")
+	// Pattern3 (Experiment 3): like Pattern2 with a longer blocking time.
+	Pattern3 = txn.MustParsePattern("Pattern3", "r(B:4) -> w(F1:1) -> w(F2:2)")
+)
+
+// Generator produces the next arriving transaction.
+type Generator interface {
+	// Name identifies the workload in result tables.
+	Name() string
+	// Next builds transaction id using rng for all randomness.
+	Next(id txn.ID, rng *rand.Rand) *txn.T
+}
+
+// PatternGenerator instantiates a fixed pattern with a per-transaction
+// random binding of its variables to partitions.
+type PatternGenerator struct {
+	Label   string
+	Pattern *txn.Pattern
+	// BindVars returns the binding for one transaction instance.
+	BindVars func(rng *rand.Rand) map[string]txn.PartitionID
+}
+
+// Name implements Generator.
+func (g *PatternGenerator) Name() string { return g.Label }
+
+// Next implements Generator.
+func (g *PatternGenerator) Next(id txn.ID, rng *rand.Rand) *txn.T {
+	t, err := g.Pattern.Bind(id, g.BindVars(rng))
+	if err != nil {
+		panic(fmt.Sprintf("workload %s: %v", g.Label, err))
+	}
+	return t
+}
+
+// distinct draws k distinct partitions uniformly from pool.
+func distinct(rng *rand.Rand, pool []txn.PartitionID, k int) []txn.PartitionID {
+	if k > len(pool) {
+		panic(fmt.Sprintf("workload: need %d distinct partitions from pool of %d", k, len(pool)))
+	}
+	idx := rng.Perm(len(pool))[:k]
+	out := make([]txn.PartitionID, k)
+	for i, j := range idx {
+		out[i] = pool[j]
+	}
+	return out
+}
+
+// rangeParts returns [lo, lo+n) as partition ids.
+func rangeParts(lo, n int) []txn.PartitionID {
+	out := make([]txn.PartitionID, n)
+	for i := range out {
+		out[i] = txn.PartitionID(lo + i)
+	}
+	return out
+}
+
+// Experiment1 builds the Experiment 1/4 workload: Pattern1 with F1 and F2
+// chosen randomly and distinctly among numParts partitions (paper: 16
+// partitions of 5 objects each).
+func Experiment1(numParts int) Generator {
+	pool := rangeParts(0, numParts)
+	return &PatternGenerator{
+		Label:   fmt.Sprintf("Pattern1/NumParts=%d", numParts),
+		Pattern: Pattern1,
+		BindVars: func(rng *rand.Rand) map[string]txn.PartitionID {
+			fs := distinct(rng, pool, 2)
+			return map[string]txn.PartitionID{"F1": fs[0], "F2": fs[1]}
+		},
+	}
+}
+
+// HotSetLayout describes the Experiment 2/3 database: numReadOnly
+// read-only partitions (ids 0..numReadOnly-1, one per node when
+// numReadOnly equals NumNodes) followed by numHots hot partitions (ids
+// numReadOnly..numReadOnly+numHots-1).
+type HotSetLayout struct {
+	NumReadOnly int
+	NumHots     int
+}
+
+// NumParts returns the total partition count of the layout.
+func (l HotSetLayout) NumParts() int { return l.NumReadOnly + l.NumHots }
+
+// hotSetGenerator builds Pattern2/Pattern3-style workloads over a hot-set
+// layout: B uniform over the read-only partitions, F1 and F2 distinct
+// uniform over the hot set.
+func hotSetGenerator(label string, p *txn.Pattern, l HotSetLayout) Generator {
+	readOnly := rangeParts(0, l.NumReadOnly)
+	hots := rangeParts(l.NumReadOnly, l.NumHots)
+	return &PatternGenerator{
+		Label:   label,
+		Pattern: p,
+		BindVars: func(rng *rand.Rand) map[string]txn.PartitionID {
+			b := readOnly[rng.Intn(len(readOnly))]
+			fs := distinct(rng, hots, 2)
+			return map[string]txn.PartitionID{"B": b, "F1": fs[0], "F2": fs[1]}
+		},
+	}
+}
+
+// Experiment2 builds the Experiment 2 workload (Pattern2 over a hot set).
+func Experiment2(l HotSetLayout) Generator {
+	return hotSetGenerator(fmt.Sprintf("Pattern2/NumHots=%d", l.NumHots), Pattern2, l)
+}
+
+// Experiment3 builds the Experiment 3 workload (Pattern3 over a hot set;
+// the paper fixes NumHots = 8).
+func Experiment3(l HotSetLayout) Generator {
+	return hotSetGenerator(fmt.Sprintf("Pattern3/NumHots=%d", l.NumHots), Pattern3, l)
+}
+
+// declarationError wraps a generator so that every declared I/O demand is
+// perturbed per Experiment 4: C = C0 × (1 + x), x ~ N(0, σ), clamped to 0
+// when x ≤ -1. True demands are untouched.
+type declarationError struct {
+	inner Generator
+	sigma float64
+}
+
+// WithDeclarationError applies the Experiment 4 error model with standard
+// deviation sigma to a generator's declared demands.
+//
+// sigma = 0 still wraps the generator (producing exact declarations) so
+// that runs at different sigmas consume identical random streams: paired
+// comparisons across sigma then see the same arrival sequence and
+// partition bindings, and only the declared demands differ.
+func WithDeclarationError(inner Generator, sigma float64) Generator {
+	if sigma < 0 {
+		panic(fmt.Sprintf("workload: negative sigma %g", sigma))
+	}
+	return &declarationError{inner: inner, sigma: sigma}
+}
+
+// Name implements Generator.
+func (d *declarationError) Name() string {
+	return fmt.Sprintf("%s/sigma=%g", d.inner.Name(), d.sigma)
+}
+
+// Next implements Generator.
+func (d *declarationError) Next(id txn.ID, rng *rand.Rand) *txn.T {
+	t := d.inner.Next(id, rng)
+	declared := make([]float64, len(t.Steps))
+	for i, s := range t.Steps {
+		x := rng.NormFloat64() * d.sigma
+		c := s.Cost * (1 + x)
+		if c < 0 {
+			c = 0
+		}
+		declared[i] = c
+	}
+	return txn.NewDeclared(t.ID, t.Steps, declared)
+}
+
+// Fixed replays a fixed list of transactions (for tests and examples);
+// after the list is exhausted it panics.
+type Fixed struct {
+	Label string
+	Txns  []*txn.T
+	next  int
+}
+
+// Name implements Generator.
+func (f *Fixed) Name() string { return f.Label }
+
+// Next implements Generator.
+func (f *Fixed) Next(id txn.ID, rng *rand.Rand) *txn.T {
+	if f.next >= len(f.Txns) {
+		panic("workload: Fixed generator exhausted")
+	}
+	t := f.Txns[f.next]
+	f.next++
+	// Re-identify so simulator-assigned ids stay unique.
+	return &txn.T{ID: id, Steps: t.Steps, Declared: t.Declared}
+}
+
+// UniformPattern builds a generator for an arbitrary user pattern: every
+// variable is bound, per transaction, to a distinct partition drawn
+// uniformly from [0, numParts). Used by cmd/batsim's -pattern flag.
+func UniformPattern(p *txn.Pattern, numParts int) Generator {
+	vars := p.Vars()
+	if len(vars) > numParts {
+		panic(fmt.Sprintf("workload: pattern %q has %d variables but only %d partitions",
+			p.Name, len(vars), numParts))
+	}
+	pool := rangeParts(0, numParts)
+	return &PatternGenerator{
+		Label:   fmt.Sprintf("%s/NumParts=%d", p.Name, numParts),
+		Pattern: p,
+		BindVars: func(rng *rand.Rand) map[string]txn.PartitionID {
+			ps := distinct(rng, pool, len(vars))
+			binding := make(map[string]txn.PartitionID, len(vars))
+			for i, v := range vars {
+				binding[v] = ps[i]
+			}
+			return binding
+		},
+	}
+}
