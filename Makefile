@@ -1,0 +1,19 @@
+# Tier-1 check (ROADMAP.md) plus static analysis and the race detector
+# on the concurrency-sensitive packages.
+
+GO ?= go
+
+.PHONY: build test bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+verify: build test
+	$(GO) vet ./...
+	$(GO) test -race ./internal/live/... ./internal/obs/...

@@ -37,6 +37,9 @@
 package batsched
 
 import (
+	"io"
+	"time"
+
 	"batsched/internal/core/chainopt"
 	"batsched/internal/core/estimate"
 	"batsched/internal/core/sched"
@@ -45,6 +48,7 @@ import (
 	"batsched/internal/experiments"
 	"batsched/internal/live"
 	"batsched/internal/machine"
+	"batsched/internal/obs"
 	"batsched/internal/planner"
 	"batsched/internal/sim"
 	"batsched/internal/txn"
@@ -201,8 +205,67 @@ type (
 // DefaultMachine returns the Table 1 defaults (see DESIGN.md §4).
 func DefaultMachine() MachineConfig { return machine.DefaultConfig() }
 
-// Simulate executes one deterministic simulation run.
-func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+// Simulate executes one deterministic simulation run; options attach
+// observability without touching the Config struct:
+//
+//	res, err := batsched.Simulate(cfg, batsched.WithSimTrace(sink))
+func Simulate(cfg SimConfig, opts ...SimOption) (*SimResult, error) { return sim.Run(cfg, opts...) }
+
+// SimOption configures a simulation run (see WithSimTrace).
+type SimOption = sim.Option
+
+// WithSimTrace attaches a structured observer to a simulation run: the
+// simulator emits timeline events and wraps its scheduler so decisions,
+// WTPG edge resolutions and critical-path changes are reported too.
+func WithSimTrace(o Observer) SimOption { return sim.WithTrace(o) }
+
+// Observability (docs/OBSERVABILITY.md): structured trace events,
+// counters and histograms over every layer — schedulers, the simulator,
+// the live controller and the experiment harness.
+type (
+	// TraceEvent is one structured observation.
+	TraceEvent = obs.Event
+	// TraceKind classifies a TraceEvent.
+	TraceKind = obs.Kind
+	// Observer consumes trace events; Sink is a closable Observer.
+	Observer = obs.Observer
+	Sink     = obs.Sink
+	// RingSink keeps the last N events in memory.
+	RingSink = obs.Ring
+	// JSONLSink streams events as JSON Lines.
+	JSONLSink = obs.JSONL
+	// Metrics aggregates events into per-scheduler counters/histograms.
+	Metrics = obs.Metrics
+	// SchedulerMetrics is one scheduler's aggregate.
+	SchedulerMetrics = obs.SchedMetrics
+)
+
+// Trace event kinds.
+const (
+	TraceAdmit              = obs.KindAdmit
+	TraceRequest            = obs.KindRequest
+	TraceDecision           = obs.KindDecision
+	TraceObjectDone         = obs.KindObjectDone
+	TraceCommit             = obs.KindCommit
+	TraceResolve            = obs.KindResolve
+	TraceCriticalPathChange = obs.KindCriticalPathChange
+)
+
+// Sink constructors.
+func NewRingSink(capacity int) *RingSink              { return obs.NewRing(capacity) }
+func NewJSONLSink(w io.Writer) *JSONLSink             { return obs.NewJSONL(w) }
+func CreateJSONLSink(path string) (*JSONLSink, error) { return obs.CreateJSONL(path) }
+func NewMetrics() *Metrics                            { return obs.NewMetrics() }
+
+// MultiObserver fans events out to several observers (nils skipped).
+func MultiObserver(observers ...Observer) Observer { return obs.Multi(observers...) }
+
+// ObserveScheduler wraps a scheduler (or a whole factory) so every
+// decision is reported to o; a nil observer is the identity.
+func ObserveScheduler(s Scheduler, o Observer) Scheduler { return sched.Observed(s, o) }
+func ObserveSchedulerFactory(f SchedulerFactory, o Observer) SchedulerFactory {
+	return sched.ObservedFactory(f, o)
+}
 
 // The paper's workloads.
 func WorkloadExperiment1(numParts int) Workload { return workload.Experiment1(numParts) }
@@ -223,6 +286,9 @@ func WithDeclarationError(w Workload, sigma float64) Workload {
 type (
 	// ExperimentOptions configures a figure regeneration.
 	ExperimentOptions = experiments.Options
+	// ExperimentOption attaches observability to an experiment run (see
+	// WithExperimentTrace and WithExperimentMetrics).
+	ExperimentOption = experiments.Option
 	// Experiment results, one per paper experiment.
 	Experiment1Result = experiments.Experiment1Result
 	Experiment2Result = experiments.Experiment2Result
@@ -238,8 +304,14 @@ type (
 type (
 	// Controller is a live lock manager driven by one of the schedulers.
 	Controller = live.Controller
-	// ControllerOptions tunes retry delay and observation hooks.
+	// ControllerOption configures a Controller at construction.
+	ControllerOption = live.Option
+	// ControllerOptions is the legacy controller configuration struct.
+	//
+	// Deprecated: pass ControllerOption values to NewController instead.
 	ControllerOptions = live.Options
+	// ControllerStats is a snapshot of a Controller's lifetime counters.
+	ControllerStats = live.Stats
 	// Progress reports completed objects from inside a running step.
 	Progress = live.Progress
 )
@@ -247,9 +319,26 @@ type (
 // ErrControllerClosed is returned by a closed Controller.
 var ErrControllerClosed = live.ErrClosed
 
-// NewController builds a live controller around a scheduler.
-func NewController(f SchedulerFactory, costs ControlCosts, opts ControllerOptions) *Controller {
-	return live.New(f, costs, opts)
+// NewController builds a live controller around a scheduler:
+//
+//	ctl := batsched.NewController(batsched.KWTPG(2),
+//		batsched.ControlCosts{KeepTime: 100},
+//		batsched.WithControllerObserver(sink))
+func NewController(f SchedulerFactory, costs ControlCosts, opts ...ControllerOption) *Controller {
+	return live.New(f, costs, opts...)
+}
+
+// NewControllerWithOptions builds a controller from the legacy struct.
+//
+// Deprecated: use NewController with functional options.
+func NewControllerWithOptions(f SchedulerFactory, costs ControlCosts, opts ControllerOptions) *Controller {
+	return live.NewWithOptions(f, costs, opts)
+}
+
+// Controller options.
+func WithRetryDelay(d time.Duration) ControllerOption { return live.WithRetryDelay(d) }
+func WithControllerObserver(o Observer) ControllerOption {
+	return live.WithObserver(o)
 }
 
 // Batch planning (the off-line window's makespan problem, §1).
@@ -310,26 +399,34 @@ func ShortTransactions(numParts int, stepCost float64) Workload {
 }
 
 // Ablations of design choices and the paper's suggested extensions.
-func RunKSweep(o ExperimentOptions, ks []int) (*AblationResult, error) {
-	return experiments.RunKSweep(o, ks)
+func RunKSweep(o ExperimentOptions, ks []int, opts ...ExperimentOption) (*AblationResult, error) {
+	return experiments.RunKSweep(o, ks, opts...)
 }
-func RunPlacementAblation(o ExperimentOptions) (*AblationResult, error) {
-	return experiments.RunPlacementAblation(o)
+func RunPlacementAblation(o ExperimentOptions, opts ...ExperimentOption) (*AblationResult, error) {
+	return experiments.RunPlacementAblation(o, opts...)
 }
-func RunMixedWorkload(o ExperimentOptions, lambda, shortShare float64) (*MixedResult, error) {
-	return experiments.RunMixedWorkload(o, lambda, shortShare)
+func RunMixedWorkload(o ExperimentOptions, lambda, shortShare float64, opts ...ExperimentOption) (*MixedResult, error) {
+	return experiments.RunMixedWorkload(o, lambda, shortShare, opts...)
 }
 
 // The paper's experiments; each result renders its figure(s) as text.
-func RunExperiment1(o ExperimentOptions) (*Experiment1Result, error) {
-	return experiments.RunExperiment1(o)
+func RunExperiment1(o ExperimentOptions, opts ...ExperimentOption) (*Experiment1Result, error) {
+	return experiments.RunExperiment1(o, opts...)
 }
-func RunExperiment2(o ExperimentOptions) (*Experiment2Result, error) {
-	return experiments.RunExperiment2(o)
+func RunExperiment2(o ExperimentOptions, opts ...ExperimentOption) (*Experiment2Result, error) {
+	return experiments.RunExperiment2(o, opts...)
 }
-func RunExperiment3(o ExperimentOptions) (*Experiment3Result, error) {
-	return experiments.RunExperiment3(o)
+func RunExperiment3(o ExperimentOptions, opts ...ExperimentOption) (*Experiment3Result, error) {
+	return experiments.RunExperiment3(o, opts...)
 }
-func RunExperiment4(o ExperimentOptions, sigmas []float64) (*Experiment4Result, error) {
-	return experiments.RunExperiment4(o, sigmas)
+func RunExperiment4(o ExperimentOptions, sigmas []float64, opts ...ExperimentOption) (*Experiment4Result, error) {
+	return experiments.RunExperiment4(o, sigmas, opts...)
 }
+
+// WithExperimentTrace streams every simulation's structured events to o
+// (shared across the parallel grid; events carry their scheduler label).
+func WithExperimentTrace(o Observer) ExperimentOption { return experiments.WithTrace(o) }
+
+// WithExperimentMetrics aggregates per-sweep-point metrics into each
+// resulting point.
+func WithExperimentMetrics() ExperimentOption { return experiments.WithMetrics() }

@@ -8,6 +8,7 @@
 //	batbench -all                   # everything (the full grid; slow)
 //	batbench -fig 8 -quick          # reduced horizon for a fast preview
 //	batbench -fig 7 -csv out.csv    # also dump the sweep as CSV
+//	batbench -fig 6 -trace t.jsonl -metrics   # structured trace + summary
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"batsched/internal/event"
 	"batsched/internal/experiments"
 	"batsched/internal/machine"
+	"batsched/internal/obs"
 )
 
 func main() {
@@ -39,6 +41,8 @@ func main() {
 		csvOut   = flag.String("csv", "", "write raw sweep data as CSV to this file (single-figure mode)")
 		reps     = flag.Int("reps", 1, "replicate seeds per grid cell (metrics averaged)")
 		quiet    = flag.Bool("q", false, "suppress progress output")
+		trace    = flag.String("trace", "", "write a structured JSONL trace of every run to this file ('-' = stdout)")
+		metrics  = flag.Bool("metrics", false, "print per-scheduler decision counts and latency histograms after the runs")
 	)
 	flag.Parse()
 
@@ -80,14 +84,51 @@ func main() {
 		}
 	}
 
+	// Observability: one JSONL sink and/or one metrics aggregate shared
+	// by every run of the grid (events carry their scheduler label).
+	var expOpts []experiments.Option
+	var traceSink *obs.JSONL
+	var agg *obs.Metrics
+	var observers []obs.Observer
+	if *trace == "-" {
+		traceSink = obs.NewJSONL(os.Stdout)
+	} else if *trace != "" {
+		var err error
+		traceSink, err = obs.CreateJSONL(*trace)
+		must(err)
+	}
+	if traceSink != nil {
+		observers = append(observers, traceSink)
+	}
+	if *metrics {
+		agg = obs.NewMetrics()
+		observers = append(observers, agg)
+	}
+	if len(observers) > 0 {
+		expOpts = append(expOpts, experiments.WithTrace(obs.Multi(observers...)))
+	}
+	finishObs := func() {
+		if traceSink != nil {
+			must(traceSink.Close())
+			if *trace != "-" && !*quiet {
+				fmt.Fprintf(os.Stderr, "wrote %s\n", *trace)
+			}
+		}
+		if agg != nil {
+			fmt.Println(agg.Summary())
+		}
+	}
+
 	if *ablation != "" {
-		runAblations(*ablation, opts)
+		runAblations(*ablation, opts, expOpts)
+		finishObs()
 		return
 	}
 	if *mixed {
-		r, err := experiments.RunMixedWorkload(opts, 2.0, 0.8)
+		r, err := experiments.RunMixedWorkload(opts, 2.0, 0.8, expOpts...)
 		must(err)
 		fmt.Println(r.Render())
+		finishObs()
 		return
 	}
 
@@ -113,7 +154,7 @@ func main() {
 	start := time.Now()
 	if needExp1 {
 		var err error
-		exp1, err = experiments.RunExperiment1(opts)
+		exp1, err = experiments.RunExperiment1(opts, expOpts...)
 		must(err)
 	}
 	for _, f := range figs {
@@ -125,7 +166,7 @@ func main() {
 			fmt.Println(exp1.RenderFigure7())
 			writeCSV(*csvOut, experiments.CSV(exp1.Sweeps))
 		case "8":
-			r, err := experiments.RunExperiment2(opts)
+			r, err := experiments.RunExperiment2(opts, expOpts...)
 			must(err)
 			fmt.Println(r.RenderFigure8())
 			variants := make([]string, len(r.NumHots))
@@ -134,12 +175,12 @@ func main() {
 			}
 			writeCSV(*csvOut, experiments.GroupedCSV(variants, r.Sweeps))
 		case "9":
-			r, err := experiments.RunExperiment3(opts)
+			r, err := experiments.RunExperiment3(opts, expOpts...)
 			must(err)
 			fmt.Println(r.RenderFigure9())
 			writeCSV(*csvOut, experiments.CSV(r.Sweeps))
 		case "10":
-			r, err := experiments.RunExperiment4(opts, nil)
+			r, err := experiments.RunExperiment4(opts, nil, expOpts...)
 			must(err)
 			fmt.Println(r.RenderFigure10())
 			variants := make([]string, len(r.Sigmas))
@@ -152,22 +193,29 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	finishObs()
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "total wall time %.1fs\n", time.Since(start).Seconds())
 	}
 }
 
-func runAblations(which string, opts experiments.Options) {
+func runAblations(which string, opts experiments.Options, expOpts []experiments.Option) {
 	type ab struct {
 		name string
 		run  func() (*experiments.AblationResult, error)
 	}
 	abs := []ab{
-		{"ksweep", func() (*experiments.AblationResult, error) { return experiments.RunKSweep(opts, nil) }},
-		{"placement", func() (*experiments.AblationResult, error) { return experiments.RunPlacementAblation(opts) }},
-		{"controlcost", func() (*experiments.AblationResult, error) { return experiments.RunControlCostAblation(opts, nil) }},
-		{"keeptime", func() (*experiments.AblationResult, error) { return experiments.RunKeepTimeAblation(opts, nil) }},
-		{"retrydelay", func() (*experiments.AblationResult, error) { return experiments.RunRetryDelayAblation(opts, nil) }},
+		{"ksweep", func() (*experiments.AblationResult, error) { return experiments.RunKSweep(opts, nil, expOpts...) }},
+		{"placement", func() (*experiments.AblationResult, error) { return experiments.RunPlacementAblation(opts, expOpts...) }},
+		{"controlcost", func() (*experiments.AblationResult, error) {
+			return experiments.RunControlCostAblation(opts, nil, expOpts...)
+		}},
+		{"keeptime", func() (*experiments.AblationResult, error) {
+			return experiments.RunKeepTimeAblation(opts, nil, expOpts...)
+		}},
+		{"retrydelay", func() (*experiments.AblationResult, error) {
+			return experiments.RunRetryDelayAblation(opts, nil, expOpts...)
+		}},
 	}
 	ran := false
 	for _, a := range abs {

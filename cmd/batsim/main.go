@@ -19,6 +19,7 @@ import (
 	"batsched/internal/core/sched"
 	"batsched/internal/event"
 	"batsched/internal/machine"
+	"batsched/internal/obs"
 	"batsched/internal/sim"
 	"batsched/internal/textplot"
 	"batsched/internal/txn"
@@ -40,7 +41,9 @@ func main() {
 		nocheck   = flag.Bool("nocheck", false, "skip the serializability check")
 		verbose   = flag.Bool("v", false, "print per-node utilization")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		traceOut  = flag.String("trace", "", "write a per-event trace to this file ('-' for stdout)")
+		traceOut  = flag.String("trace", "", "write a structured JSONL trace to this file ('-' for stdout)")
+		textTrace = flag.String("texttrace", "", "write the legacy human-readable event log to this file ('-' for stdout)")
+		metrics   = flag.Bool("metrics", false, "print decision counts and latency histograms after the run")
 		selfCheck = flag.Bool("selfcheck", false, "verify lock-table invariants after every commit")
 		plotLive  = flag.Bool("plotlive", false, "chart live transactions over time (DC-thrashing view)")
 		jsonOut   = flag.String("json", "", "also write the full result as JSON to this file ('-' for stdout)")
@@ -117,10 +120,10 @@ func main() {
 			cfg.SampleEvery = 1
 		}
 	}
-	if *traceOut == "-" {
+	if *textTrace == "-" {
 		cfg.Trace = os.Stdout
-	} else if *traceOut != "" {
-		f, err := os.Create(*traceOut)
+	} else if *textTrace != "" {
+		f, err := os.Create(*textTrace)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -128,9 +131,39 @@ func main() {
 		defer f.Close()
 		cfg.Trace = f
 	}
+	var simOpts []sim.Option
+	var observers []obs.Observer
+	var jsonl *obs.JSONL
+	if *traceOut == "-" {
+		jsonl = obs.NewJSONL(os.Stdout)
+	} else if *traceOut != "" {
+		var err error
+		jsonl, err = obs.CreateJSONL(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	if jsonl != nil {
+		observers = append(observers, jsonl)
+	}
+	var agg *obs.Metrics
+	if *metrics {
+		agg = obs.NewMetrics()
+		observers = append(observers, agg)
+	}
+	if len(observers) > 0 {
+		simOpts = append(simOpts, sim.WithTrace(obs.Multi(observers...)))
+	}
 	start := time.Now()
-	res, err := sim.Run(cfg)
+	res, err := sim.Run(cfg, simOpts...)
 	elapsed := time.Since(start)
+	if jsonl != nil {
+		if cerr := jsonl.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "trace:", cerr)
+			os.Exit(1)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "run failed:", err)
 		os.Exit(1)
@@ -150,6 +183,10 @@ func main() {
 	fmt.Printf("max live    %d\n", res.MaxLive)
 	if res.SerializabilityChecked {
 		fmt.Printf("serializable: yes\n")
+	}
+	if agg != nil {
+		fmt.Println()
+		fmt.Println(agg.Summary())
 	}
 	if *verbose {
 		for i, u := range res.NodeUtilization {

@@ -41,7 +41,7 @@ func main() {
 	}
 
 	ctl := batsched.NewController(batsched.KWTPG(2),
-		batsched.ControlCosts{KeepTime: 100}, batsched.ControllerOptions{})
+		batsched.ControlCosts{KeepTime: 100})
 	defer ctl.Close()
 
 	var grants int
@@ -118,10 +118,10 @@ func main() {
 		}
 	}
 	want := initial + int64(numJobs)*2*partSize
-	admitted, committed, retries := ctl.Stats()
+	st := ctl.Stats()
 	fmt.Printf("ran %d jobs over %d partitions in %v\n", numJobs, numParts, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("admitted %d, committed %d, lock grants %d, retry waits %d\n",
-		admitted, committed, grants, retries)
+		st.Admitted, st.Committed, grants, st.Retries)
 	if checksum != want {
 		log.Fatalf("LOST UPDATES: checksum %d, want %d", checksum, want)
 	}

@@ -132,6 +132,12 @@ func (b *wtpgBase) blocked(t *txn.T, step int) bool {
 	return b.locks.IsBlocked(t.ID, s.Part, s.Mode)
 }
 
+// Graph exposes the scheduler's WTPG. Promoted by every wtpgBase
+// scheduler so the observability wrapper (Observed) can report graph
+// size, critical-path length and edge resolutions. Callers must not
+// mutate the graph.
+func (b *wtpgBase) Graph() *wtpg.Graph { return b.graph }
+
 // CheckInvariants verifies the lock table holds no conflicting locks.
 // Promoted by every wtpgBase scheduler; the simulator's SelfCheck mode
 // calls it after each commit.

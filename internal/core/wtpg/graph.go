@@ -113,6 +113,10 @@ type Graph struct {
 	in  map[txn.ID]map[txn.ID]*Edge
 	// stackBuf is scratch space for WouldCycleFrom (single-threaded use).
 	stackBuf []txn.ID
+	// OnResolve, if set, observes every conflicting-edge resolution
+	// from→to at the moment the precedence becomes permanent (used by
+	// the observability layer; nil costs one branch per resolution).
+	OnResolve func(from, to txn.ID)
 }
 
 // New returns an empty WTPG.
@@ -247,6 +251,9 @@ func (g *Graph) Resolve(from, to txn.ID) error {
 		e.Dir = want
 		g.out[e.From()][e.To()] = e
 		g.in[e.To()][e.From()] = e
+		if g.OnResolve != nil {
+			g.OnResolve(e.From(), e.To())
+		}
 		return nil
 	case want:
 		return nil

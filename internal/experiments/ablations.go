@@ -58,9 +58,9 @@ func (r *AblationResult) Render() string {
 // config mutator and returns TPS at the RT target plus the mean DN
 // utilization at the sweep point nearest the crossing.
 func ablationCell(o Options, f sched.Factory, lambdas []float64,
-	newWorkload func() workload.Generator, mutate func(*sim.Config)) (Sweep, error) {
+	newWorkload func() workload.Generator, mutate func(*sim.Config), opts ...Option) (Sweep, error) {
 
-	sweeps, err := runGridMutate(o, []sched.Factory{f}, lambdas, newWorkload, mutate)
+	sweeps, err := runGridMutate(o, []sched.Factory{f}, lambdas, newWorkload, mutate, opts...)
 	if err != nil {
 		return Sweep{}, err
 	}
@@ -70,7 +70,7 @@ func ablationCell(o Options, f sched.Factory, lambdas []float64,
 // RunKSweep extends the paper: it sweeps the K-conflict bound of K-WTPG
 // (the paper evaluates only K = 2) on the Experiment 2 hot-set workload,
 // where the admission constraint binds hardest.
-func RunKSweep(o Options, ks []int) (*AblationResult, error) {
+func RunKSweep(o Options, ks []int, opts ...Option) (*AblationResult, error) {
 	o = o.withDefaults()
 	if ks == nil {
 		ks = []int{0, 1, 2, 4, 8}
@@ -92,7 +92,7 @@ func RunKSweep(o Options, ks []int) (*AblationResult, error) {
 	for _, k := range ks {
 		sw, err := ablationCell(o, sched.KWTPGFactory(k), lambdas, func() workload.Generator {
 			return workload.Experiment2(layout)
-		}, nil)
+		}, nil, opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -108,7 +108,7 @@ func RunKSweep(o Options, ks []int) (*AblationResult, error) {
 // limit — at the (unmodelled) cost of message overhead for short
 // transactions. The secondary metric is mean data-node utilization at
 // the highest stable arrival rate.
-func RunPlacementAblation(o Options) (*AblationResult, error) {
+func RunPlacementAblation(o Options, opts ...Option) (*AblationResult, error) {
 	o = o.withDefaults()
 	o.Machine.NumParts = 16
 	lambdas := o.Lambdas
@@ -131,7 +131,7 @@ func RunPlacementAblation(o Options) (*AblationResult, error) {
 			declustered := declustered
 			sw, err := ablationCell(o, f, lambdas, func() workload.Generator {
 				return workload.Experiment1(16)
-			}, func(c *sim.Config) { c.Declustered = declustered })
+			}, func(c *sim.Config) { c.Declustered = declustered }, opts...)
 			if err != nil {
 				return nil, err
 			}
@@ -158,7 +158,7 @@ func utilNear(s Sweep, rtTarget float64) float64 {
 // RunControlCostAblation scales the concurrency-control CPU costs
 // (ddtime, chaintime, kwtpgtime) to verify the paper's claim that with
 // ObjTime = 1 s the control overhead is overestimated yet harmless.
-func RunControlCostAblation(o Options, multipliers []int) (*AblationResult, error) {
+func RunControlCostAblation(o Options, multipliers []int, opts ...Option) (*AblationResult, error) {
 	o = o.withDefaults()
 	o.Machine.NumParts = 16
 	if multipliers == nil {
@@ -184,7 +184,7 @@ func RunControlCostAblation(o Options, multipliers []int) (*AblationResult, erro
 			oo.Machine.Control.KWTPGTime *= event.Time(m)
 			sw, err := ablationCell(oo, f, lambdas, func() workload.Generator {
 				return workload.Experiment1(16)
-			}, nil)
+			}, nil, opts...)
 			if err != nil {
 				return nil, err
 			}
@@ -199,7 +199,7 @@ func RunControlCostAblation(o Options, multipliers []int) (*AblationResult, erro
 // caching entirely (recompute W / E on every request), larger values
 // reuse stale estimates longer. The secondary metric is control-node
 // utilization at the highest stable load.
-func RunKeepTimeAblation(o Options, keeptimes []event.Time) (*AblationResult, error) {
+func RunKeepTimeAblation(o Options, keeptimes []event.Time, opts ...Option) (*AblationResult, error) {
 	o = o.withDefaults()
 	o.Machine.NumParts = 16
 	if keeptimes == nil {
@@ -225,7 +225,7 @@ func RunKeepTimeAblation(o Options, keeptimes []event.Time) (*AblationResult, er
 			oo.Machine.Control.KeepTime = kt
 			sw, err := ablationCell(oo, f, lambdas, func() workload.Generator {
 				return workload.Experiment1(16)
-			}, nil)
+			}, nil, opts...)
 			if err != nil {
 				return nil, err
 			}
@@ -249,7 +249,7 @@ func cnUtilNear(s Sweep, rtTarget float64) float64 {
 
 // RunRetryDelayAblation varies the fixed resubmission delay of §3.2,
 // which the paper leaves unspecified (DESIGN.md assumes 500 ms).
-func RunRetryDelayAblation(o Options, delays []event.Time) (*AblationResult, error) {
+func RunRetryDelayAblation(o Options, delays []event.Time, opts ...Option) (*AblationResult, error) {
 	o = o.withDefaults()
 	o.Machine.NumParts = 16
 	if delays == nil {
@@ -273,7 +273,7 @@ func RunRetryDelayAblation(o Options, delays []event.Time) (*AblationResult, err
 			oo.Machine.RetryDelay = d
 			sw, err := ablationCell(oo, f, lambdas, func() workload.Generator {
 				return workload.Experiment1(16)
-			}, nil)
+			}, nil, opts...)
 			if err != nil {
 				return nil, err
 			}

@@ -23,6 +23,7 @@ import (
 	"batsched/internal/core/sched"
 	"batsched/internal/event"
 	"batsched/internal/machine"
+	"batsched/internal/obs"
 	"batsched/internal/sim"
 	"batsched/internal/stats"
 	"batsched/internal/workload"
@@ -83,6 +84,10 @@ type Point struct {
 	// TPSStd is the cross-seed standard deviation of the throughput
 	// (0 for single runs).
 	TPSStd float64
+	// Metrics aggregates this cell's trace events (decision counts,
+	// latency histograms, graph sizes) across replicates. Only set when
+	// the run was given WithMetrics.
+	Metrics *obs.Metrics
 }
 
 // Sweep is one scheduler's arrival-rate sweep.
@@ -116,15 +121,16 @@ type job struct {
 // never shared. Serializability checking is enabled for every scheduler
 // except NODC (which is intentionally non-serializable).
 func runGrid(o Options, factories []sched.Factory, lambdas []float64,
-	newWorkload func() workload.Generator) ([]Sweep, error) {
-	return runGridMutate(o, factories, lambdas, newWorkload, nil)
+	newWorkload func() workload.Generator, opts ...Option) ([]Sweep, error) {
+	return runGridMutate(o, factories, lambdas, newWorkload, nil, opts...)
 }
 
 // runGridMutate is runGrid with a per-run config hook (used by the
 // ablation experiments to flip placement, costs, etc.).
 func runGridMutate(o Options, factories []sched.Factory, lambdas []float64,
-	newWorkload func() workload.Generator, mutate func(*sim.Config)) ([]Sweep, error) {
+	newWorkload func() workload.Generator, mutate func(*sim.Config), opts ...Option) ([]Sweep, error) {
 
+	rc := buildRunConfig(opts)
 	reps := o.Replications
 	if reps < 1 {
 		reps = 1
@@ -153,6 +159,7 @@ func runGridMutate(o Options, factories []sched.Factory, lambdas []float64,
 	}
 	results := make([]*sim.Result, len(jobs))
 	errs := make([]error, len(jobs))
+	jobMetrics := make([]*obs.Metrics, len(jobs))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, o.Workers)
 	var mu sync.Mutex
@@ -164,7 +171,9 @@ func runGridMutate(o Options, factories []sched.Factory, lambdas []float64,
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[i], errs[i] = sim.Run(jobs[i].cfg)
+			m, simOpts := rc.forJob()
+			jobMetrics[i] = m
+			results[i], errs[i] = sim.Run(jobs[i].cfg, simOpts...)
 			if o.Progress != nil {
 				mu.Lock()
 				done++
@@ -182,19 +191,30 @@ func runGridMutate(o Options, factories []sched.Factory, lambdas []float64,
 	}
 	// Group replicates per (scheduler, lambda) cell and aggregate.
 	cells := make(map[[2]int][]*sim.Result)
+	cellMetrics := make(map[[2]int][]*obs.Metrics)
 	for i, j := range jobs {
 		key := [2]int{j.schedIdx, j.lambdaIdx}
 		cells[key] = append(cells[key], results[i])
+		if jobMetrics[i] != nil {
+			cellMetrics[key] = append(cellMetrics[key], jobMetrics[i])
+		}
 	}
 	sweeps := make([]Sweep, len(factories))
 	for si, f := range factories {
 		sweeps[si].Label = f.Label
 		for li, l := range lambdas {
-			reps := cells[[2]int{si, li}]
+			key := [2]int{si, li}
+			reps := cells[key]
 			p := Point{Lambda: l, Result: aggregate(reps)}
 			if len(reps) > 1 {
 				p.Replicates = reps
 				p.TPSStd = tpsStd(reps)
+			}
+			if ms := cellMetrics[key]; len(ms) > 0 {
+				p.Metrics = ms[0]
+				for _, m := range ms[1:] {
+					p.Metrics.Merge(m)
+				}
 			}
 			sweeps[si].Points = append(sweeps[si].Points, p)
 		}

@@ -28,7 +28,7 @@ type Experiment1Result struct {
 
 // RunExperiment1 runs Experiment 1 (§4.2): Pattern1 over NumParts = 16
 // partitions, schedulers NODC/ASL/CHAIN/K2/C2PL, arrival-rate sweep.
-func RunExperiment1(o Options) (*Experiment1Result, error) {
+func RunExperiment1(o Options, opts ...Option) (*Experiment1Result, error) {
 	o = o.withDefaults()
 	o.Machine.NumParts = 16
 	lambdas := o.Lambdas
@@ -37,7 +37,7 @@ func RunExperiment1(o Options) (*Experiment1Result, error) {
 	}
 	sweeps, err := runGrid(o, experiment1Factories(), lambdas, func() workload.Generator {
 		return workload.Experiment1(16)
-	})
+	}, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -79,7 +79,7 @@ func experiment2Factories() []sched.Factory {
 // RunExperiment2 runs Experiment 2 (§4.3): Pattern2 over 8 read-only
 // partitions plus a hot set of NumHots ∈ {4, 8, 16, 32} partitions;
 // reported is each scheduler's throughput at RT = 70 s.
-func RunExperiment2(o Options) (*Experiment2Result, error) {
+func RunExperiment2(o Options, opts ...Option) (*Experiment2Result, error) {
 	o = o.withDefaults()
 	lambdas := o.Lambdas
 	if lambdas == nil {
@@ -97,7 +97,7 @@ func RunExperiment2(o Options) (*Experiment2Result, error) {
 		oo.Machine.NumParts = layout.NumParts()
 		sweeps, err := runGrid(oo, experiment2Factories(), lambdas, func() workload.Generator {
 			return workload.Experiment2(layout)
-		})
+		}, opts...)
 		if err != nil {
 			return nil, fmt.Errorf("NumHots=%d: %w", nh, err)
 		}
@@ -119,7 +119,7 @@ type Experiment3Result struct {
 
 // RunExperiment3 runs Experiment 3 (§4.3): Pattern3 (longer blocking
 // time) over a hot set of 8 partitions.
-func RunExperiment3(o Options) (*Experiment3Result, error) {
+func RunExperiment3(o Options, opts ...Option) (*Experiment3Result, error) {
 	o = o.withDefaults()
 	layout := workload.HotSetLayout{NumReadOnly: 8, NumHots: 8}
 	o.Machine.NumParts = layout.NumParts()
@@ -129,7 +129,7 @@ func RunExperiment3(o Options) (*Experiment3Result, error) {
 	}
 	sweeps, err := runGrid(o, experiment2Factories(), lambdas, func() workload.Generator {
 		return workload.Experiment3(layout)
-	})
+	}, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -173,7 +173,7 @@ func experiment4Factories() []sched.Factory {
 
 // RunExperiment4 runs Experiment 4 (§4.4): Pattern1 with erroneous
 // declared I/O demands, C = C0(1+x), x ~ N(0, σ²).
-func RunExperiment4(o Options, sigmas []float64) (*Experiment4Result, error) {
+func RunExperiment4(o Options, sigmas []float64, opts ...Option) (*Experiment4Result, error) {
 	o = o.withDefaults()
 	o.Machine.NumParts = 16
 	if sigmas == nil {
@@ -192,7 +192,7 @@ func RunExperiment4(o Options, sigmas []float64) (*Experiment4Result, error) {
 		sig := sig
 		sweeps, err := runGrid(o, experiment4Factories(), lambdas, func() workload.Generator {
 			return workload.WithDeclarationError(workload.Experiment1(16), sig)
-		})
+		}, opts...)
 		if err != nil {
 			return nil, fmt.Errorf("sigma=%g: %w", sig, err)
 		}

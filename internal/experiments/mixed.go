@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"batsched/internal/core/sched"
+	"batsched/internal/obs"
 	"batsched/internal/sim"
 	"batsched/internal/txn"
 	"batsched/internal/workload"
@@ -27,6 +28,9 @@ type MixedRow struct {
 	ShortCompleted int
 	BATCompleted   int
 	Throughput     float64
+	// Metrics holds this run's trace aggregates when the experiment was
+	// given WithMetrics.
+	Metrics *obs.Metrics
 }
 
 // RunMixedWorkload runs the paper's conclusion scenario: a mixture of
@@ -35,8 +39,9 @@ type MixedRow struct {
 // rate lambda. It reports per-class response times for each scheduler —
 // quantifying "different schedulers are necessary for different classes
 // of jobs".
-func RunMixedWorkload(o Options, lambda, shortShare float64) (*MixedResult, error) {
+func RunMixedWorkload(o Options, lambda, shortShare float64, opts ...Option) (*MixedResult, error) {
 	o = o.withDefaults()
+	rc := buildRunConfig(opts)
 	o.Machine.NumParts = 16
 	if lambda <= 0 {
 		lambda = 1.0
@@ -69,7 +74,8 @@ func RunMixedWorkload(o Options, lambda, shortShare float64) (*MixedResult, erro
 			CheckSerializability: f.Label != "NODC",
 			Classify:             func(t *txn.T) string { return mix.ClassOf(t.ID) },
 		}
-		r, err := sim.Run(cfg)
+		m, simOpts := rc.forJob()
+		r, err := sim.Run(cfg, simOpts...)
 		if err != nil {
 			return nil, fmt.Errorf("mixed %s: %w", f.Label, err)
 		}
@@ -80,6 +86,7 @@ func RunMixedWorkload(o Options, lambda, shortShare float64) (*MixedResult, erro
 			ShortCompleted: r.ClassCompleted["short"],
 			BATCompleted:   r.ClassCompleted["bat"],
 			Throughput:     r.Throughput,
+			Metrics:        m,
 		})
 	}
 	sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i].Scheduler < res.Rows[j].Scheduler })

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"batsched/internal/obs"
+	"batsched/internal/sim"
+)
+
+// Option attaches observability to an experiment run. The Options struct
+// keeps the simulation parameters (machine, horizon, sweep); Options
+// values stay plain data while cross-cutting concerns arrive as
+// functional options:
+//
+//	res, err := experiments.RunExperiment1(o,
+//		experiments.WithMetrics(),
+//		experiments.WithTrace(sink))
+type Option func(*runConfig)
+
+type runConfig struct {
+	trace   obs.Observer
+	metrics bool
+}
+
+func buildRunConfig(opts []Option) runConfig {
+	var rc runConfig
+	for _, opt := range opts {
+		opt(&rc)
+	}
+	return rc
+}
+
+// WithTrace streams every simulation's structured events to o. One
+// observer is shared by all runs of the grid, which execute in parallel —
+// the obs sinks are goroutine-safe, and each event's Sched label tells
+// the runs apart.
+func WithTrace(o obs.Observer) Option {
+	return func(rc *runConfig) { rc.trace = o }
+}
+
+// WithMetrics aggregates per-sweep-point metrics: every resulting Point
+// carries an obs.Metrics with decision counts, latency histograms and
+// graph-size distributions, merged across replicates of the same cell.
+func WithMetrics() Option {
+	return func(rc *runConfig) { rc.metrics = true }
+}
+
+// forJob builds the sim.Run options for one grid job. The returned
+// Metrics (nil unless WithMetrics) is private to the job, so the
+// per-point aggregates never mix schedulers or sweep points.
+func (rc runConfig) forJob() (*obs.Metrics, []sim.Option) {
+	var observers []obs.Observer
+	if rc.trace != nil {
+		observers = append(observers, rc.trace)
+	}
+	var m *obs.Metrics
+	if rc.metrics {
+		m = obs.NewMetrics()
+		observers = append(observers, m)
+	}
+	if len(observers) == 0 {
+		return nil, nil
+	}
+	return m, []sim.Option{sim.WithTrace(obs.Multi(observers...))}
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"testing"
+
+	"batsched/internal/obs"
+)
+
+// TestRunGridWithMetricsAndTrace runs a tiny Experiment 1 grid with both
+// observability options and checks every point carries consistent
+// per-scheduler aggregates while a shared sink sees all runs.
+func TestRunGridWithMetricsAndTrace(t *testing.T) {
+	ring := obs.NewRing(1 << 16)
+	o := Options{Horizon: 60_000, Lambdas: []float64{0.4}, Replications: 2}
+	res, err := RunExperiment1(o, WithMetrics(), WithTrace(ring))
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := map[string]bool{}
+	for _, sw := range res.Sweeps {
+		labels[sw.Label] = true
+		for _, p := range sw.Points {
+			if p.Metrics == nil {
+				t.Fatalf("%s λ=%g: no metrics attached", sw.Label, p.Lambda)
+			}
+			sm := p.Metrics.Sched(sw.Label)
+			if sm == nil {
+				t.Fatalf("%s λ=%g: metrics keyed %v, want own label",
+					sw.Label, p.Lambda, p.Metrics.Schedulers())
+			}
+			// Replicates were merged into the point: completions in the
+			// aggregate result are summed the same way.
+			if int(sm.Commits) != p.Result.Completed {
+				t.Errorf("%s λ=%g: metrics commits %d, result completed %d",
+					sw.Label, p.Lambda, sm.Commits, p.Result.Completed)
+			}
+			if others := p.Metrics.Schedulers(); len(others) != 1 {
+				t.Errorf("%s: point metrics mixes schedulers %v", sw.Label, others)
+			}
+		}
+	}
+	// The shared trace observer saw every scheduler of the grid.
+	seen := map[string]bool{}
+	for _, e := range ring.Events() {
+		seen[e.Sched] = true
+	}
+	for l := range labels {
+		if !seen[l] {
+			t.Errorf("shared trace sink has no events from %s (saw %v)", l, seen)
+		}
+	}
+}
+
+// TestRunGridWithoutOptionsUnchanged: the default path attaches nothing.
+func TestRunGridWithoutOptionsUnchanged(t *testing.T) {
+	o := Options{Horizon: 40_000, Lambdas: []float64{0.3}}
+	res, err := RunExperiment1(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sw := range res.Sweeps {
+		for _, p := range sw.Points {
+			if p.Metrics != nil {
+				t.Fatalf("%s: metrics attached without WithMetrics", sw.Label)
+			}
+		}
+	}
+}

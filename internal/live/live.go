@@ -13,6 +13,18 @@
 // scheduler carry over: conflicting holders never coexist, schedules are
 // conflict serializable, and no admitted transaction is ever aborted by
 // the controller (cancellation is the caller's choice).
+//
+// Construction uses functional options:
+//
+//	ctl := live.New(sched.KWTPGFactory(2), sched.Costs{KeepTime: 100},
+//		live.WithRetryDelay(time.Millisecond),
+//		live.WithObserver(sink))
+//
+// Every blocking method takes a context.Context first, so callers get
+// cancellation and timeouts; Close remains the whole-controller
+// shutdown and keeps its ErrClosed semantics. Transactions usually go
+// through Run, but the admission/acquire/commit primitives are exported
+// for callers that need step-level control.
 package live
 
 import (
@@ -24,20 +36,83 @@ import (
 
 	"batsched/internal/core/sched"
 	"batsched/internal/event"
+	"batsched/internal/obs"
 	"batsched/internal/txn"
 )
 
-// Options tunes a Controller.
+// Option configures a Controller at construction.
+type Option func(*Controller)
+
+// WithRetryDelay sets the paper's fixed resubmission delay for refused
+// admissions and policy-delayed requests (default 20 ms of wall time;
+// live workloads want faster retries than the simulated 500 ms because
+// ObjTime here is real work, usually far below 1 s). Non-positive
+// values keep the default.
+func WithRetryDelay(d time.Duration) Option {
+	return func(c *Controller) {
+		if d > 0 {
+			c.retryDelay = d
+		}
+	}
+}
+
+// WithObserver attaches a structured trace observer: the controller
+// emits timeline events (Admit, Request, ObjectDone, Commit) and wraps
+// its scheduler with sched.Observed so every decision, WTPG edge
+// resolution and critical-path change is reported too. Observers run
+// under the controller mutex — in admission/commit order — and must be
+// fast; the obs sinks (Ring, JSONL, Metrics) all qualify.
+func WithObserver(o obs.Observer) Option {
+	return func(c *Controller) { c.observer = o }
+}
+
+// WithGrantHook observes every granted step (after the decision, under
+// no lock).
+//
+// Deprecated: use WithObserver; grant decisions arrive as obs Decision
+// events with Op "request" and Decision "granted".
+func WithGrantHook(fn func(t *txn.T, step int)) Option {
+	return func(c *Controller) { c.onGrant = fn }
+}
+
+// WithCommitHook observes commits.
+//
+// Deprecated: use WithObserver; commits arrive as obs Commit events.
+func WithCommitHook(fn func(t *txn.T)) Option {
+	return func(c *Controller) { c.onCommit = fn }
+}
+
+// Options is the legacy configuration struct.
+//
+// Deprecated: pass functional options to New (WithRetryDelay,
+// WithObserver, …). Retained, with NewWithOptions, so code written
+// against the struct API keeps compiling.
 type Options struct {
-	// RetryDelay is the paper's fixed resubmission delay for refused
-	// admissions and policy-delayed requests (default 20 ms of wall
-	// time; live workloads want faster retries than the simulated 500 ms
-	// because ObjTime here is real work, usually far below 1 s).
+	// RetryDelay is the fixed resubmission delay (see WithRetryDelay).
 	RetryDelay time.Duration
-	// OnGrant, if set, observes every granted step (after the decision,
-	// under no lock). OnCommit observes commits.
+	// OnGrant observes every granted step; OnCommit observes commits.
+	//
+	// Deprecated: use WithObserver.
 	OnGrant  func(t *txn.T, step int)
 	OnCommit func(t *txn.T)
+}
+
+// Stats is a consistent snapshot of the controller's lifetime counters.
+type Stats struct {
+	// Admitted counts granted admissions; Committed and Aborted split
+	// the finished transactions by outcome (an abort here is the
+	// *caller* abandoning an admitted transaction — a work error or
+	// cancellation — never a scheduler decision).
+	Admitted  uint64
+	Committed uint64
+	Aborted   uint64
+	// Granted counts granted step locks.
+	Granted uint64
+	// Retries counts retry waits (refused admissions and requests).
+	Retries uint64
+	// Active is the number of currently admitted, unfinished
+	// transactions at snapshot time.
+	Active int
 }
 
 // Controller is a live lock manager driven by one of the paper's
@@ -45,13 +120,20 @@ type Options struct {
 type Controller struct {
 	mu     sync.Mutex
 	sch    sched.Scheduler
+	label  string
 	wake   chan struct{}
 	epoch  time.Time
-	opts   Options
 	closed bool
 
-	// Stats counters (atomic under mu).
-	admitted, committed, retries uint64
+	retryDelay time.Duration
+	observer   obs.Observer
+	onGrant    func(t *txn.T, step int)
+	onCommit   func(t *txn.T)
+
+	// started maps each admitted transaction to its admission time
+	// (drives Stats.Active and commit-event response times).
+	started map[txn.ID]event.Time
+	stats   Stats
 }
 
 // ErrClosed is returned when the controller has been shut down.
@@ -59,21 +141,37 @@ var ErrClosed = errors.New("live: controller closed")
 
 // New builds a controller around a scheduler factory, e.g.
 //
-//	ctl := live.New(sched.KWTPGFactory(2), sched.Costs{KeepTime: 100}, live.Options{})
+//	ctl := live.New(sched.KWTPGFactory(2), sched.Costs{KeepTime: 100})
 //
 // The CPU-cost fields of Costs are ignored (decisions take however long
 // they take); KeepTime still bounds W/E cache staleness, measured in
 // wall-clock milliseconds.
-func New(factory sched.Factory, costs sched.Costs, opts Options) *Controller {
-	if opts.RetryDelay <= 0 {
-		opts.RetryDelay = 20 * time.Millisecond
+func New(factory sched.Factory, costs sched.Costs, opts ...Option) *Controller {
+	c := &Controller{
+		wake:       make(chan struct{}),
+		epoch:      time.Now(),
+		retryDelay: 20 * time.Millisecond,
+		started:    make(map[txn.ID]event.Time),
 	}
-	return &Controller{
-		sch:   factory.New(costs),
-		wake:  make(chan struct{}),
-		epoch: time.Now(),
-		opts:  opts,
+	for _, opt := range opts {
+		opt(c)
 	}
+	c.sch = factory.New(costs)
+	c.label = c.sch.Name()
+	if c.observer != nil {
+		c.sch = sched.Observed(c.sch, c.observer)
+	}
+	return c
+}
+
+// NewWithOptions builds a controller from the legacy Options struct.
+//
+// Deprecated: use New with functional options.
+func NewWithOptions(factory sched.Factory, costs sched.Costs, opts Options) *Controller {
+	return New(factory, costs,
+		WithRetryDelay(opts.RetryDelay),
+		WithGrantHook(opts.OnGrant),
+		WithCommitHook(opts.OnCommit))
 }
 
 // now maps wall time onto the scheduler's clock (ms since start).
@@ -81,12 +179,24 @@ func (c *Controller) now() event.Time {
 	return event.Time(time.Since(c.epoch).Milliseconds())
 }
 
-// Stats reports lifetime counters: admitted and committed transactions
-// and the number of retry waits.
-func (c *Controller) Stats() (admitted, committed, retries uint64) {
+// emitLocked sends one trace event. Callers must hold mu, which makes
+// event order identical to decision/commit order.
+func (c *Controller) emitLocked(e obs.Event) {
+	if c.observer == nil {
+		return
+	}
+	e.Sched = c.label
+	e.WallNS = time.Now().UnixNano()
+	c.observer.Observe(e)
+}
+
+// Stats returns a consistent snapshot of the lifetime counters.
+func (c *Controller) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.admitted, c.committed, c.retries
+	s := c.stats
+	s.Active = len(c.started)
+	return s
 }
 
 // Close shuts the controller down; subsequent or blocked operations
@@ -109,18 +219,6 @@ func (c *Controller) broadcast() {
 	c.wake = make(chan struct{})
 }
 
-// await blocks until a wake broadcast, the retry delay, or ctx ends.
-func (c *Controller) await(ctx context.Context) error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return ErrClosed
-	}
-	ch := c.wake
-	c.mu.Unlock()
-	return c.awaitOn(ctx, ch)
-}
-
 // awaitOn waits on a wake channel captured earlier (atomically with the
 // refusal it follows), the retry delay, or ctx.
 func (c *Controller) awaitOn(ctx context.Context, ch <-chan struct{}) error {
@@ -129,9 +227,9 @@ func (c *Controller) awaitOn(ctx context.Context, ch <-chan struct{}) error {
 		c.mu.Unlock()
 		return ErrClosed
 	}
-	c.retries++
+	c.stats.Retries++
 	c.mu.Unlock()
-	timer := time.NewTimer(c.opts.RetryDelay)
+	timer := time.NewTimer(c.retryDelay)
 	defer timer.Stop()
 	select {
 	case <-ch:
@@ -159,57 +257,35 @@ func (c *Controller) Run(ctx context.Context, t *txn.T, work func(step int, p Pr
 	if t == nil {
 		return fmt.Errorf("live: nil transaction")
 	}
-	// Admission loop.
-	for {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		c.mu.Lock()
-		if c.closed {
-			c.mu.Unlock()
-			return ErrClosed
-		}
-		out := c.sch.Admit(t, c.now())
-		if out.Decision == sched.Granted {
-			c.admitted++
-			c.mu.Unlock()
-			break
-		}
-		c.mu.Unlock()
-		if err := c.await(ctx); err != nil {
-			return err
-		}
+	if err := c.Admit(ctx, t); err != nil {
+		return err
 	}
-	// Steps.
 	for step := range t.Steps {
-		if err := c.acquire(ctx, t, step); err != nil {
-			c.release(t)
+		if err := c.Acquire(ctx, t, step); err != nil {
+			c.Abort(t)
 			return err
-		}
-		if c.opts.OnGrant != nil {
-			c.opts.OnGrant(t, step)
-		}
-		progress := func(objects float64) {
-			c.mu.Lock()
-			c.sch.ObjectDone(t, objects, c.now())
-			c.mu.Unlock()
 		}
 		if work != nil {
+			progress := func(objects float64) { c.ObjectDone(t, objects) }
 			if err := work(step, progress); err != nil {
-				c.release(t)
+				c.Abort(t)
 				return fmt.Errorf("live: %v step %d: %w", t.ID, step, err)
 			}
 		}
 	}
-	c.release(t)
-	if c.opts.OnCommit != nil {
-		c.opts.OnCommit(t)
-	}
+	c.Commit(t)
 	return nil
 }
 
-// acquire loops until the step's lock is granted.
-func (c *Controller) acquire(ctx context.Context, t *txn.T, step int) error {
+// Admit blocks until the scheduler admits t (or ctx ends, or the
+// controller closes). After a successful Admit the caller owns the
+// transaction's lifecycle and must finish it with Commit or Abort.
+// Most callers want Run instead.
+func (c *Controller) Admit(ctx context.Context, t *txn.T) error {
+	if t == nil {
+		return fmt.Errorf("live: nil transaction")
+	}
+	first := true
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -219,13 +295,58 @@ func (c *Controller) acquire(ctx context.Context, t *txn.T, step int) error {
 			c.mu.Unlock()
 			return ErrClosed
 		}
-		out := c.sch.Request(t, step, c.now())
+		now := c.now()
+		if first {
+			first = false
+			c.emitLocked(obs.Event{Kind: obs.KindAdmit, At: now, Txn: t.ID})
+		}
+		out := c.sch.Admit(t, now)
+		ch := c.wake
+		if out.Decision == sched.Granted {
+			c.stats.Admitted++
+			c.started[t.ID] = now
+			c.mu.Unlock()
+			return nil
+		}
+		c.mu.Unlock()
+		if err := c.awaitOn(ctx, ch); err != nil {
+			return err
+		}
+	}
+}
+
+// Acquire blocks until the lock needed by step of t is granted (or ctx
+// ends, or the controller closes). Valid only between Admit and
+// Commit/Abort.
+func (c *Controller) Acquire(ctx context.Context, t *txn.T, step int) error {
+	first := true
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return ErrClosed
+		}
+		now := c.now()
+		if first {
+			first = false
+			c.emitLocked(obs.Event{Kind: obs.KindRequest, At: now, Txn: t.ID, Step: step, Part: t.Steps[step].Part})
+		}
+		out := c.sch.Request(t, step, now)
 		// Capture the wake channel under the same critical section as the
 		// refused decision: a commit between the decision and the wait
 		// would otherwise be missed, costing a full retry delay.
 		ch := c.wake
+		if out.Decision == sched.Granted {
+			c.stats.Granted++
+		}
 		c.mu.Unlock()
 		if out.Decision == sched.Granted {
+			if c.onGrant != nil {
+				c.onGrant(t, step)
+			}
 			return nil
 		}
 		// Blocked and Delayed both wait for the next commit broadcast or
@@ -236,11 +357,48 @@ func (c *Controller) acquire(ctx context.Context, t *txn.T, step int) error {
 	}
 }
 
-// release commits/aborts t: all locks drop and waiters wake.
-func (c *Controller) release(t *txn.T) {
+// ObjectDone reports completed work for an admitted transaction — the
+// §3.1 weight-adjustment message behind the Progress callback.
+func (c *Controller) ObjectDone(t *txn.T, objects float64) {
+	c.mu.Lock()
+	now := c.now()
+	c.sch.ObjectDone(t, objects, now)
+	c.emitLocked(obs.Event{Kind: obs.KindObjectDone, At: now, Txn: t.ID, Objects: objects})
+	c.mu.Unlock()
+}
+
+// Commit finishes an admitted transaction: all its locks drop and
+// waiters wake.
+func (c *Controller) Commit(t *txn.T) {
+	c.finish(t, true)
+	if c.onCommit != nil {
+		c.onCommit(t)
+	}
+}
+
+// Abort abandons an admitted transaction (work error, cancellation):
+// all its locks drop and waiters wake. Undoing completed work is the
+// caller's responsibility.
+func (c *Controller) Abort(t *txn.T) {
+	c.finish(t, false)
+}
+
+func (c *Controller) finish(t *txn.T, committed bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.sch.Commit(t, c.now())
-	c.committed++
+	now := c.now()
+	c.sch.Commit(t, now)
+	e := obs.Event{Kind: obs.KindCommit, At: now, Txn: t.ID}
+	if start, ok := c.started[t.ID]; ok {
+		e.RT = now - start
+		delete(c.started, t.ID)
+	}
+	if committed {
+		c.stats.Committed++
+	} else {
+		c.stats.Aborted++
+		e.Decision = "aborted"
+	}
+	c.emitLocked(e)
 	c.broadcast()
 }

@@ -28,7 +28,7 @@ func TestMutualExclusion(t *testing.T) {
 		f := f
 		t.Run(f.Label, func(t *testing.T) {
 			t.Parallel()
-			ctl := New(f, liveCosts, Options{RetryDelay: time.Millisecond})
+			ctl := New(f, liveCosts, WithRetryDelay(time.Millisecond))
 			defer ctl.Close()
 			var inside int32
 			var wg sync.WaitGroup
@@ -58,9 +58,9 @@ func TestMutualExclusion(t *testing.T) {
 			for err := range errs {
 				t.Fatal(err)
 			}
-			admitted, committed, _ := ctl.Stats()
-			if admitted != 16 || committed != 16 {
-				t.Errorf("admitted %d committed %d, want 16/16", admitted, committed)
+			st := ctl.Stats()
+			if st.Admitted != 16 || st.Committed != 16 || st.Aborted != 0 || st.Active != 0 {
+				t.Errorf("stats %+v, want 16 admitted/committed, none aborted or active", st)
 			}
 		})
 	}
@@ -69,7 +69,7 @@ func TestMutualExclusion(t *testing.T) {
 // TestReadersShare: concurrent readers of one partition overlap (at
 // least sometimes), proving S locks are shared in the live path.
 func TestReadersShare(t *testing.T) {
-	ctl := New(sched.C2PLFactory(), liveCosts, Options{RetryDelay: time.Millisecond})
+	ctl := New(sched.C2PLFactory(), liveCosts, WithRetryDelay(time.Millisecond))
 	defer ctl.Close()
 	var inside, maxInside int32
 	var mu sync.Mutex
@@ -117,14 +117,13 @@ func TestConflictSerializability(t *testing.T) {
 			var mu sync.Mutex
 			var grants []grant
 			var txns sync.Map
-			ctl := New(f, liveCosts, Options{
-				RetryDelay: time.Millisecond,
-				OnGrant: func(tx *txn.T, step int) {
+			ctl := New(f, liveCosts,
+				WithRetryDelay(time.Millisecond),
+				WithGrantHook(func(tx *txn.T, step int) {
 					mu.Lock()
 					grants = append(grants, grant{tx.ID, tx.Steps[step].Part, tx.Steps[step].Mode})
 					mu.Unlock()
-				},
-			})
+				}))
 			defer ctl.Close()
 			var wg sync.WaitGroup
 			for i := 0; i < 24; i++ {
@@ -192,7 +191,7 @@ func TestConflictSerializability(t *testing.T) {
 // TestWorkErrorReleasesLocks: a failing step aborts the transaction and
 // frees its locks so others proceed.
 func TestWorkErrorReleasesLocks(t *testing.T) {
-	ctl := New(sched.C2PLFactory(), liveCosts, Options{RetryDelay: time.Millisecond})
+	ctl := New(sched.C2PLFactory(), liveCosts, WithRetryDelay(time.Millisecond))
 	defer ctl.Close()
 	boom := errors.New("boom")
 	tx1 := txn.New(1, []txn.Step{w(0, 1), w(1, 1)})
@@ -224,7 +223,7 @@ func TestWorkErrorReleasesLocks(t *testing.T) {
 // TestContextCancellationWhileBlocked: a blocked transaction honours
 // cancellation and releases whatever it held.
 func TestContextCancellationWhileBlocked(t *testing.T) {
-	ctl := New(sched.C2PLFactory(), liveCosts, Options{RetryDelay: time.Millisecond})
+	ctl := New(sched.C2PLFactory(), liveCosts, WithRetryDelay(time.Millisecond))
 	defer ctl.Close()
 	hold := make(chan struct{})
 	holderIn := make(chan struct{})
@@ -258,7 +257,7 @@ func TestContextCancellationWhileBlocked(t *testing.T) {
 
 // TestClose: Close unblocks waiters with ErrClosed and poisons new work.
 func TestClose(t *testing.T) {
-	ctl := New(sched.ASLFactory(), liveCosts, Options{RetryDelay: time.Hour})
+	ctl := New(sched.ASLFactory(), liveCosts, WithRetryDelay(time.Hour))
 	started := make(chan struct{})
 	blocked := make(chan error, 1)
 	go func() {
@@ -292,7 +291,7 @@ func TestClose(t *testing.T) {
 // TestThroughputAcrossPartitions sanity-checks parallelism: disjoint
 // transactions complete concurrently (wall time well under serial sum).
 func TestThroughputAcrossPartitions(t *testing.T) {
-	ctl := New(sched.KWTPGFactory(2), liveCosts, Options{RetryDelay: time.Millisecond})
+	ctl := New(sched.KWTPGFactory(2), liveCosts, WithRetryDelay(time.Millisecond))
 	defer ctl.Close()
 	const n = 8
 	const stepSleep = 20 * time.Millisecond
@@ -319,7 +318,7 @@ func TestThroughputAcrossPartitions(t *testing.T) {
 }
 
 func ExampleController() {
-	ctl := New(sched.ChainFactory(), sched.Costs{KeepTime: 100}, Options{})
+	ctl := New(sched.ChainFactory(), sched.Costs{KeepTime: 100})
 	defer ctl.Close()
 	tx := txn.New(1, []txn.Step{
 		{Mode: txn.Read, Part: 0, Cost: 1},

@@ -1,0 +1,319 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+)
+
+// Histogram is a bucketed histogram over fixed upper bounds (ascending,
+// with an implicit +Inf bucket at the end). It is not goroutine-safe on
+// its own; Metrics serializes access.
+type Histogram struct {
+	bounds []float64
+	counts []uint64
+	n      uint64
+	sum    float64
+	max    float64
+}
+
+// NewHistogram returns a histogram over the given ascending upper
+// bounds (plus an implicit +Inf overflow bucket).
+func NewHistogram(bounds ...float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// decadeBounds is the 1-2-5 series used by the default histograms.
+func decadeBounds(lo, hi float64) []float64 {
+	var out []float64
+	for d := lo; d <= hi; d *= 10 {
+		out = append(out, d, 2*d, 5*d)
+	}
+	return out
+}
+
+// Add observes one value.
+func (h *Histogram) Add(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Mean returns the exact mean of the observed values.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Max returns the largest observed value.
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the buckets: the
+// upper bound of the bucket holding the q-th observation (Max for the
+// overflow bucket). Coarse by design — it answers "which decade", not
+// "which millisecond".
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// Merge folds another histogram with identical bounds into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if len(o.counts) != len(h.counts) {
+		// Mismatched shapes should not happen inside this package; fold
+		// what we can (totals) so nothing is silently lost.
+		h.n += o.n
+		h.sum += o.sum
+		if o.max > h.max {
+			h.max = o.max
+		}
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// format renders the histogram's headline statistics with a unit.
+func (h *Histogram) format(unit string) string {
+	if h.n == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.3g p50≤%.3g p95≤%.3g max=%.3g %s",
+		h.n, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.max, unit)
+}
+
+// SchedMetrics aggregates one scheduler's events.
+type SchedMetrics struct {
+	Sched string
+
+	// Submission counters (timeline events).
+	Admits   uint64
+	Requests uint64
+	Commits  uint64
+	Aborts   uint64 // Commit events carrying decision "aborted"
+	Objects  float64
+
+	// Decision counters by outcome, split by operation.
+	AdmitDecisions   map[string]uint64
+	RequestDecisions map[string]uint64
+
+	// Control-plane counters.
+	Resolves        uint64
+	CritPathChanges uint64
+	CritPathMax     float64
+
+	// Histograms: decision control-CPU cost (clocks), decision wall
+	// duration (µs), lock-queue depth at request submission, WTPG size
+	// at decision time, and commit response times (seconds).
+	DecisionCPU  *Histogram
+	DecisionWall *Histogram
+	QueueDepth   *Histogram
+	GraphSize    *Histogram
+	ResponseTime *Histogram
+}
+
+func newSchedMetrics(label string) *SchedMetrics {
+	return &SchedMetrics{
+		Sched:            label,
+		AdmitDecisions:   make(map[string]uint64),
+		RequestDecisions: make(map[string]uint64),
+		DecisionCPU:      NewHistogram(decadeBounds(1, 1e4)...),
+		DecisionWall:     NewHistogram(decadeBounds(1, 1e5)...),
+		QueueDepth:       NewHistogram(decadeBounds(1, 1e3)...),
+		GraphSize:        NewHistogram(decadeBounds(1, 1e3)...),
+		ResponseTime:     NewHistogram(decadeBounds(0.1, 1e3)...),
+	}
+}
+
+// Metrics is a Sink accumulating counters and histograms per scheduler
+// label. Safe for concurrent use; the zero value is not ready — use
+// NewMetrics.
+type Metrics struct {
+	mu  sync.Mutex
+	per map[string]*SchedMetrics
+}
+
+// NewMetrics returns an empty metrics accumulator.
+func NewMetrics() *Metrics {
+	return &Metrics{per: make(map[string]*SchedMetrics)}
+}
+
+func (m *Metrics) sched(label string) *SchedMetrics {
+	if label == "" {
+		label = "(unlabeled)"
+	}
+	sm := m.per[label]
+	if sm == nil {
+		sm = newSchedMetrics(label)
+		m.per[label] = sm
+	}
+	return sm
+}
+
+// Observe dispatches one event into the counters.
+func (m *Metrics) Observe(e Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sm := m.sched(e.Sched)
+	switch e.Kind {
+	case KindAdmit:
+		sm.Admits++
+	case KindRequest:
+		sm.Requests++
+		sm.QueueDepth.Add(float64(e.Queue))
+	case KindDecision:
+		if e.Op == "admit" {
+			sm.AdmitDecisions[e.Decision]++
+		} else {
+			sm.RequestDecisions[e.Decision]++
+		}
+		sm.DecisionCPU.Add(float64(e.CPU))
+		if e.DurNS > 0 {
+			sm.DecisionWall.Add(float64(e.DurNS) / 1e3)
+		}
+		sm.GraphSize.Add(float64(e.Graph))
+	case KindObjectDone:
+		sm.Objects += e.Objects
+	case KindCommit:
+		if e.Decision == "aborted" {
+			sm.Aborts++
+		} else {
+			sm.Commits++
+			sm.ResponseTime.Add(e.RT.Seconds())
+		}
+	case KindResolve:
+		sm.Resolves++
+	case KindCriticalPathChange:
+		sm.CritPathChanges++
+		if e.CritPath > sm.CritPathMax {
+			sm.CritPathMax = e.CritPath
+		}
+	}
+}
+
+// Close does nothing; the accumulated metrics stay readable.
+func (m *Metrics) Close() error { return nil }
+
+// Schedulers returns the observed scheduler labels, sorted.
+func (m *Metrics) Schedulers() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.per))
+	for label := range m.per {
+		out = append(out, label)
+	}
+	sortStrings(out)
+	return out
+}
+
+// Sched returns a snapshot-by-reference of one scheduler's metrics
+// (nil if the label was never observed). The caller must not mutate it
+// while events are still being observed.
+func (m *Metrics) Sched(label string) *SchedMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.per[label]
+}
+
+// Merge folds another Metrics (e.g. a replicate run's) into m.
+func (m *Metrics) Merge(o *Metrics) {
+	if o == nil || o == m {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for label, osm := range o.per {
+		sm := m.sched(label)
+		sm.Admits += osm.Admits
+		sm.Requests += osm.Requests
+		sm.Commits += osm.Commits
+		sm.Aborts += osm.Aborts
+		sm.Objects += osm.Objects
+		sm.Resolves += osm.Resolves
+		sm.CritPathChanges += osm.CritPathChanges
+		if osm.CritPathMax > sm.CritPathMax {
+			sm.CritPathMax = osm.CritPathMax
+		}
+		for k, v := range osm.AdmitDecisions {
+			sm.AdmitDecisions[k] += v
+		}
+		for k, v := range osm.RequestDecisions {
+			sm.RequestDecisions[k] += v
+		}
+		sm.DecisionCPU.Merge(osm.DecisionCPU)
+		sm.DecisionWall.Merge(osm.DecisionWall)
+		sm.QueueDepth.Merge(osm.QueueDepth)
+		sm.GraphSize.Merge(osm.GraphSize)
+		sm.ResponseTime.Merge(osm.ResponseTime)
+	}
+}
+
+// sortStrings is sort.Strings without importing sort twice across
+// files; kept tiny and allocation-free.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// decisionLine renders a decision-count map as "1234 granted, 5 delayed".
+func decisionLine(counts map[string]uint64) string {
+	if len(counts) == 0 {
+		return "none"
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		if k == "" {
+			k = "?"
+		}
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%d %s", counts[k], k))
+	}
+	return strings.Join(parts, ", ")
+}

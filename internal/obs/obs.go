@@ -1,0 +1,242 @@
+// Package obs is the observability subsystem: structured trace events
+// and cheap metrics explaining *why* a schedule came out the way it did.
+//
+// The paper's argument is all about visibility into contention — WTPG
+// critical paths estimate schedule completion, E(q) estimates local
+// contention — but aggregate results (mean response time, throughput)
+// cannot show which decisions produced them. This package defines typed
+// trace events covering the whole life of a transaction, from admission
+// through lock decisions to commit, plus the control-plane internals
+// (edge resolutions, critical-path changes), and pluggable sinks that
+// consume them:
+//
+//   - Ring: a fixed-capacity in-memory buffer (flight recorder),
+//   - JSONL: one JSON object per line on any io.Writer,
+//   - Metrics: counters and bucketed histograms with a human-readable
+//     summary table,
+//   - Multi: a fan-out combinator,
+//   - Nop: the explicit no-op.
+//
+// Emission sites (package sim, live, and the sched.Observed wrapper)
+// check their observer for nil before building an event, so the default
+// — no observer — costs nothing.
+//
+// All sinks in this package are safe for concurrent use; the live
+// controller and the experiment harness emit from many goroutines.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"batsched/internal/event"
+	"batsched/internal/txn"
+)
+
+// Kind classifies a trace event.
+type Kind uint8
+
+const (
+	// KindAdmit: a transaction was submitted for admission (its arrival
+	// at the control node). The admission *outcome* is a Decision event.
+	KindAdmit Kind = iota
+	// KindRequest: a lock request for one step was submitted.
+	KindRequest
+	// KindDecision: the scheduler decided an admit or lock request
+	// (Op says which); carries the decision, its control-CPU cost, and
+	// the WTPG size at decision time.
+	KindDecision
+	// KindObjectDone: bulk processing progressed by Objects objects
+	// (the §3.1 weight-adjustment message).
+	KindObjectDone
+	// KindCommit: a transaction committed (RT is its response time) or,
+	// when Decision is "aborted", released its locks without committing.
+	KindCommit
+	// KindResolve: a WTPG conflicting-edge was resolved From→To (a
+	// precedence was fixed forever).
+	KindResolve
+	// KindCriticalPathChange: the length of the WTPG critical path
+	// T0→…→Tf changed; CritPath is the new length in objects.
+	KindCriticalPathChange
+)
+
+var kindNames = [...]string{
+	KindAdmit:              "admit",
+	KindRequest:            "request",
+	KindDecision:           "decision",
+	KindObjectDone:         "object-done",
+	KindCommit:             "commit",
+	KindResolve:            "resolve",
+	KindCriticalPathChange: "critical-path",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// MarshalJSON encodes the kind as its string name.
+func (k Kind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON decodes a kind from its string name.
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	for i, name := range kindNames {
+		if name == s {
+			*k = Kind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown event kind %q", s)
+}
+
+// Event is one structured trace event. Fields beyond Kind, At and Txn
+// are populated per kind (see the Kind constants); zero values mean
+// "not applicable".
+type Event struct {
+	Kind Kind `json:"kind"`
+	// At is the scheduler clock: simulation time in package sim,
+	// wall milliseconds since controller start in package live.
+	At event.Time `json:"at"`
+	// WallNS is the wall-clock emission time (ns since the Unix epoch);
+	// zero in deterministic simulation traces.
+	WallNS int64 `json:"wall_ns,omitempty"`
+	// Sched is the scheduler label ("CHAIN", "K2", …).
+	Sched string `json:"sched,omitempty"`
+	// Txn is the transaction the event concerns (0 for graph-level
+	// events such as critical-path changes).
+	Txn txn.ID `json:"txn,omitempty"`
+	// Step and Part locate a lock request (Request / Decision-request).
+	Step int             `json:"step"`
+	Part txn.PartitionID `json:"part"`
+	// Op distinguishes Decision events: "admit" or "request".
+	Op string `json:"op,omitempty"`
+	// Decision is the outcome ("granted", "blocked", "delayed",
+	// "aborted") of a Decision event, or "aborted" on a Commit event
+	// that released locks without committing.
+	Decision string `json:"decision,omitempty"`
+	// CPU is the control-node CPU cost of a decision, in clocks
+	// (simulation only; live decisions report DurNS instead).
+	CPU event.Time `json:"cpu,omitempty"`
+	// DurNS is the wall-clock duration of the scheduler call in
+	// nanoseconds (populated by the sched.Observed wrapper).
+	DurNS int64 `json:"dur_ns,omitempty"`
+	// Objects is the processed-object count of an ObjectDone event.
+	Objects float64 `json:"objects,omitempty"`
+	// RT is the response time carried by a Commit event.
+	RT event.Time `json:"rt,omitempty"`
+	// From and To name the resolved precedence of a Resolve event.
+	From txn.ID `json:"from,omitempty"`
+	To   txn.ID `json:"to,omitempty"`
+	// CritPath is the critical-path length (objects) after the change.
+	CritPath float64 `json:"crit_path,omitempty"`
+	// Graph is the WTPG size (live transactions) at decision time.
+	Graph int `json:"graph,omitempty"`
+	// Queue is the number of requests already waiting on Part when a
+	// Request event was emitted (lock-queue depth).
+	Queue int `json:"queue,omitempty"`
+}
+
+// String renders the event in the grep-friendly one-line style of the
+// legacy text tracer.
+func (e Event) String() string {
+	s := fmt.Sprintf("%9d %v %s", int64(e.At), e.Txn, e.Kind)
+	switch e.Kind {
+	case KindRequest:
+		s += fmt.Sprintf(" step=%d part=P%d queue=%d", e.Step, e.Part, e.Queue)
+	case KindDecision:
+		s += fmt.Sprintf(" op=%s decision=%s cpu=%d graph=%d", e.Op, e.Decision, int64(e.CPU), e.Graph)
+	case KindObjectDone:
+		s += fmt.Sprintf(" n=%g", e.Objects)
+	case KindCommit:
+		if e.Decision != "" {
+			s += " decision=" + e.Decision
+		}
+		s += fmt.Sprintf(" rt=%v", e.RT)
+	case KindResolve:
+		s += fmt.Sprintf(" %v->%v", e.From, e.To)
+	case KindCriticalPathChange:
+		s += fmt.Sprintf(" len=%.3g graph=%d", e.CritPath, e.Graph)
+	}
+	return s
+}
+
+// Observer receives trace events. Implementations must be safe for
+// concurrent use when attached to the live controller or the experiment
+// harness; a nil Observer at an emission site means "don't observe" and
+// costs only the nil check.
+type Observer interface {
+	Observe(Event)
+}
+
+// Sink is an Observer with a lifecycle: Close flushes and releases any
+// underlying resources. Every sink in this package implements it.
+type Sink interface {
+	Observer
+	Close() error
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Event)
+
+// Observe calls f(e).
+func (f ObserverFunc) Observe(e Event) { f(e) }
+
+// Nop is the explicit no-op sink: every event is discarded.
+type Nop struct{}
+
+// Observe discards the event.
+func (Nop) Observe(Event) {}
+
+// Close does nothing.
+func (Nop) Close() error { return nil }
+
+// multi fans events out to several observers in order.
+type multi struct {
+	obs []Observer
+}
+
+// Multi returns an observer that forwards every event to each of the
+// given observers in order. Nil entries are skipped; with zero or one
+// usable observers the combinator collapses to Nop or the observer
+// itself.
+func Multi(observers ...Observer) Observer {
+	kept := make([]Observer, 0, len(observers))
+	for _, o := range observers {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return Nop{}
+	case 1:
+		return kept[0]
+	}
+	return &multi{obs: kept}
+}
+
+func (m *multi) Observe(e Event) {
+	for _, o := range m.obs {
+		o.Observe(e)
+	}
+}
+
+// Close closes every wrapped observer that is a Sink, returning the
+// first error.
+func (m *multi) Close() error {
+	var first error
+	for _, o := range m.obs {
+		if s, ok := o.(Sink); ok {
+			if err := s.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

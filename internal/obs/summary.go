@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Summary renders the accumulated metrics as a human-readable report:
+// one block per scheduler with decision counts, rates, and the headline
+// statistics of each histogram.
+func (m *Metrics) Summary() string {
+	labels := m.Schedulers()
+	var b strings.Builder
+	b.WriteString("Observability summary\n")
+	if len(labels) == 0 {
+		b.WriteString("  (no events observed)\n")
+		return b.String()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, label := range labels {
+		sm := m.per[label]
+		fmt.Fprintf(&b, "\n== %s ==\n", sm.Sched)
+		fmt.Fprintf(&b, "  %-16s %d submitted; decisions: %s\n", "admissions", sm.Admits, decisionLine(sm.AdmitDecisions))
+		fmt.Fprintf(&b, "  %-16s %d submitted; decisions: %s\n", "lock requests", sm.Requests, decisionLine(sm.RequestDecisions))
+		fmt.Fprintf(&b, "  %-16s %d commits, %d aborts, %.0f objects processed\n", "completions", sm.Commits, sm.Aborts, sm.Objects)
+		if total := decisionTotal(sm.RequestDecisions); total > 0 {
+			fmt.Fprintf(&b, "  %-16s blocked %.1f%%, delayed %.1f%% of %d request decisions\n", "contention",
+				100*float64(sm.RequestDecisions["blocked"])/float64(total),
+				100*float64(sm.RequestDecisions["delayed"])/float64(total), total)
+		}
+		if sm.Resolves > 0 || sm.CritPathChanges > 0 {
+			fmt.Fprintf(&b, "  %-16s %d edge resolutions, %d critical-path changes (max %.4g objects)\n",
+				"wtpg", sm.Resolves, sm.CritPathChanges, sm.CritPathMax)
+		}
+		fmt.Fprintf(&b, "  %-16s %s\n", "decision cpu", sm.DecisionCPU.format("clocks"))
+		if sm.DecisionWall.Count() > 0 {
+			fmt.Fprintf(&b, "  %-16s %s\n", "decision wall", sm.DecisionWall.format("µs"))
+		}
+		fmt.Fprintf(&b, "  %-16s %s\n", "queue depth", sm.QueueDepth.format("waiters"))
+		if sm.GraphSize.Count() > 0 {
+			fmt.Fprintf(&b, "  %-16s %s\n", "wtpg size", sm.GraphSize.format("txns"))
+		}
+		fmt.Fprintf(&b, "  %-16s %s\n", "response time", sm.ResponseTime.format("s"))
+	}
+	return b.String()
+}
+
+func decisionTotal(counts map[string]uint64) uint64 {
+	var total uint64
+	for _, v := range counts {
+		total += v
+	}
+	return total
+}

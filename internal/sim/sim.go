@@ -19,10 +19,29 @@ import (
 	"batsched/internal/core/sched"
 	"batsched/internal/event"
 	"batsched/internal/machine"
+	"batsched/internal/obs"
 	"batsched/internal/stats"
 	"batsched/internal/txn"
 	"batsched/internal/workload"
 )
+
+// Option configures one Run beyond the positional Config — the pattern
+// for new knobs (DESIGN.md §9), keeping Config stable for callers that
+// build it as a literal.
+type Option func(*runOpts)
+
+type runOpts struct {
+	observer obs.Observer
+}
+
+// WithTrace attaches a structured trace observer to the run: the
+// simulator emits timeline events (Admit, Request, ObjectDone, Commit)
+// and wraps the scheduler with sched.Observed so every decision, edge
+// resolution and critical-path change is reported too. A nil observer
+// is ignored; without one the run pays nothing.
+func WithTrace(o obs.Observer) Option {
+	return func(rc *runOpts) { rc.observer = o }
+}
 
 // Config describes one simulation run.
 type Config struct {
@@ -188,11 +207,14 @@ type simulator struct {
 	rts       []float64
 	checker   *serialChecker
 	trace     *tracer
+	obs       obs.Observer // nil = no structured trace
+	obsLabel  string
 }
 
 // Run executes one simulation and returns its metrics. It returns an
 // error on invalid configuration or on a serializability violation.
-func Run(cfg Config) (*Result, error) {
+// Options extend the run without growing Config (e.g. WithTrace).
+func Run(cfg Config, opts ...Option) (*Result, error) {
 	if err := cfg.Machine.Validate(); err != nil {
 		return nil, err
 	}
@@ -219,13 +241,22 @@ func Run(cfg Config) (*Result, error) {
 		live:    make(map[txn.ID]*txnState),
 		waiting: make(map[txn.PartitionID][]*txnState),
 	}
+	var rc runOpts
+	for _, opt := range opts {
+		opt(&rc)
+	}
 	s.classRT = make(map[string]*stats.Welford)
 	if cfg.Trace != nil {
 		s.trace = &tracer{w: cfg.Trace}
 	}
 	s.cn = machine.NewControlNode(s.q)
 	s.sch = cfg.Scheduler.New(cfg.Machine.Control)
+	if rc.observer != nil {
+		s.obs = rc.observer
+		s.sch = sched.Observed(s.sch, rc.observer)
+	}
 	s.res.Scheduler = s.sch.Name()
+	s.obsLabel = s.res.Scheduler // matches the sched.Observed label
 	s.res.Workload = cfg.Workload.Name()
 	s.res.ArrivalRate = cfg.ArrivalRate
 	s.res.Horizon = cfg.Horizon
@@ -251,6 +282,7 @@ func Run(cfg Config) (*Result, error) {
 				s.nextID++
 				st := &txnState{t: s.cfg.Workload.Next(s.nextID, s.rng), arrived: now}
 				s.trace.emit(now, st.t.ID, "arrive")
+				s.emitObs(obs.Event{Kind: obs.KindAdmit, At: now, Txn: st.t.ID})
 				s.submitAdmit(st)
 			})
 		}
@@ -308,6 +340,7 @@ func (s *simulator) scheduleArrival(from event.Time) {
 			arrived: now,
 		}
 		s.trace.emit(now, st.t.ID, "arrive")
+		s.emitObs(obs.Event{Kind: obs.KindAdmit, At: now, Txn: st.t.ID})
 		s.submitAdmit(st)
 		s.scheduleArrival(now)
 	})
@@ -351,6 +384,15 @@ func (s *simulator) handleAdmit(st *txnState, d sched.Decision, now event.Time) 
 	}
 }
 
+// emitObs sends one structured trace event (nil observer = one branch).
+func (s *simulator) emitObs(e obs.Event) {
+	if s.obs == nil {
+		return
+	}
+	e.Sched = s.obsLabel
+	s.obs.Observe(e)
+}
+
 // advance moves st to its next step or to commitment.
 func (s *simulator) advance(st *txnState, now event.Time) {
 	if st.step >= len(st.t.Steps) {
@@ -358,6 +400,17 @@ func (s *simulator) advance(st *txnState, now event.Time) {
 		return
 	}
 	st.requestedAt = now
+	if s.obs != nil {
+		sp := st.t.Steps[st.step]
+		s.emitObs(obs.Event{
+			Kind:  obs.KindRequest,
+			At:    now,
+			Txn:   st.t.ID,
+			Step:  st.step,
+			Part:  sp.Part,
+			Queue: len(s.waiting[sp.Part]),
+		})
+	}
 	s.submitRequest(st)
 }
 
@@ -425,6 +478,7 @@ func (s *simulator) retryLater(fn event.Handler) {
 // adjustment message; node-side control overhead is ignored per §4.1).
 func (s *simulator) onQuantum(j *machine.Job, objects float64, now event.Time) {
 	s.sch.ObjectDone(j.Txn, objects, now)
+	s.emitObs(obs.Event{Kind: obs.KindObjectDone, At: now, Txn: j.Txn.ID, Step: j.Step, Objects: objects})
 }
 
 // onStepDone sends the transaction back to the control node for its next
@@ -462,6 +516,7 @@ func (s *simulator) handleCommit(st *txnState, freed []txn.PartitionID, now even
 		s.res.LastCompletion = now
 	}
 	s.trace.emit(now, st.t.ID, "commit", "rt", now-st.arrived)
+	s.emitObs(obs.Event{Kind: obs.KindCommit, At: now, Txn: st.t.ID, RT: now - st.arrived})
 	if s.checker != nil {
 		s.checker.RecordCommit(st.t.ID)
 	}
