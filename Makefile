@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench verify
+.PHONY: build test bench chaos verify
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,14 @@ test:
 bench:
 	$(GO) test -bench=. -benchmem
 
-verify: build test
+# chaos runs the fault-injection suites (docs/ROBUSTNESS.md) under the
+# race detector: the simulator's 100-seed × scheduler matrix, the live
+# controller's goroutine chaos, and the abort/watchdog regression tests.
+# Seeds are fixed — a red chaos run reproduces.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos|TestAbort|TestWatchdog|TestFaults' \
+		./internal/sim/ ./internal/live/ ./internal/fault/ ./internal/core/sched/
+
+verify: build test chaos
 	$(GO) vet ./...
 	$(GO) test -race ./internal/live/... ./internal/obs/...

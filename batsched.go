@@ -46,6 +46,7 @@ import (
 	"batsched/internal/core/wtpg"
 	"batsched/internal/event"
 	"batsched/internal/experiments"
+	"batsched/internal/fault"
 	"batsched/internal/live"
 	"batsched/internal/machine"
 	"batsched/internal/obs"
@@ -219,6 +220,36 @@ type SimOption = sim.Option
 // WTPG edge resolutions and critical-path changes are reported too.
 func WithSimTrace(o Observer) SimOption { return sim.WithTrace(o) }
 
+// Fault injection (docs/ROBUSTNESS.md): deterministic, seedable faults
+// for the simulator and the live controller.
+type (
+	// FaultConfig sets per-kind fault rates (zero value = no faults).
+	FaultConfig = fault.Config
+	// FaultInjector makes deterministic fault decisions from a seed; nil
+	// injects nothing.
+	FaultInjector = fault.Injector
+)
+
+// Sentinel errors reported for injected faults.
+var (
+	ErrInjectedAbort = fault.ErrInjectedAbort
+	ErrInjectedCrash = fault.ErrInjectedCrash
+)
+
+// NewFaultInjector builds an injector whose decisions are pure
+// functions of (seed, transaction/partition id) — the same seed replays
+// the same fault schedule.
+func NewFaultInjector(seed uint64, cfg FaultConfig) (*FaultInjector, error) {
+	return fault.New(seed, cfg)
+}
+
+// WithSimFaults injects faults into a simulation run; every injected
+// fault is followed by a scheduler invariant check.
+func WithSimFaults(in *FaultInjector) SimOption { return sim.WithFaults(in) }
+
+// WithControllerFaults injects faults into a live controller.
+func WithControllerFaults(in *FaultInjector) ControllerOption { return live.WithFaults(in) }
+
 // Observability (docs/OBSERVABILITY.md): structured trace events,
 // counters and histograms over every layer — schedulers, the simulator,
 // the live controller and the experiment harness.
@@ -319,6 +350,11 @@ type (
 // ErrControllerClosed is returned by a closed Controller.
 var ErrControllerClosed = live.ErrClosed
 
+// ErrWatchdogAborted is returned when the controller's no-progress
+// watchdog (WithWatchdog) force-aborted a blocked transaction to break
+// a stall. The transaction may be resubmitted.
+var ErrWatchdogAborted = live.ErrWatchdogAborted
+
 // NewController builds a live controller around a scheduler:
 //
 //	ctl := batsched.NewController(batsched.KWTPG(2),
@@ -340,6 +376,16 @@ func WithRetryDelay(d time.Duration) ControllerOption { return live.WithRetryDel
 func WithControllerObserver(o Observer) ControllerOption {
 	return live.WithObserver(o)
 }
+
+// WithBackoff replaces the fixed retry delay with jittered exponential
+// backoff in [d/2, d], d = min(base·2ⁿ, max) for the n-th consecutive
+// refusal (docs/ROBUSTNESS.md).
+func WithBackoff(base, max time.Duration) ControllerOption { return live.WithBackoff(base, max) }
+
+// WithWatchdog enables the controller's no-progress watchdog: after one
+// silent period it re-broadcasts the wake channel, after two it
+// force-aborts the youngest blocked transaction (docs/ROBUSTNESS.md).
+func WithWatchdog(d time.Duration) ControllerOption { return live.WithWatchdog(d) }
 
 // Batch planning (the off-line window's makespan problem, §1).
 type (

@@ -57,5 +57,11 @@ func (a *asl) Commit(t *txn.T, now event.Time) ([]txn.PartitionID, event.Time) {
 	return a.locks.Release(t.ID), 0
 }
 
+// Abort releases everything the transaction acquired atomically at
+// start; ASL keeps no graph state to repair.
+func (a *asl) Abort(t *txn.T, now event.Time) ([]txn.PartitionID, event.Time) {
+	return a.locks.Release(t.ID), 0
+}
+
 // CheckInvariants verifies the lock table holds no conflicting locks.
 func (a *asl) CheckInvariants() error { return a.locks.CheckInvariants() }

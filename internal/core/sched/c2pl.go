@@ -96,3 +96,10 @@ func (c *c2pl) ObjectDone(t *txn.T, objects float64, now event.Time) {
 func (c *c2pl) Commit(t *txn.T, now event.Time) ([]txn.PartitionID, event.Time) {
 	return c.commit(t), 0
 }
+
+// Abort recovers from an external abort of an admitted transaction: the
+// precedence test needs no extra repair beyond the base splice because
+// c2pl keeps no cached plan.
+func (c *c2pl) Abort(t *txn.T, now event.Time) ([]txn.PartitionID, event.Time) {
+	return c.abort(t), c.costs.DDTime
+}

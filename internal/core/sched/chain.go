@@ -26,6 +26,15 @@ type chain struct {
 	planDirty  bool
 	havePlan   bool
 	recomputes int
+	// degraded is set when the WTPG's chain form breaks or W becomes
+	// uncomputable — a state pure CHAIN operation never produces, but
+	// abort recovery and defensive programming must survive. In degraded
+	// mode CHAIN admits only transactions that conflict with nothing live
+	// (ASL-like: isolated nodes whose every request is trivially
+	// grantable) and grants requests under C2PL's cautious cycle test
+	// instead of consulting W, until the graph drains and full CHAIN
+	// operation is restored. See docs/ROBUSTNESS.md.
+	degraded bool
 }
 
 type pairKey struct{ a, b txn.ID }
@@ -45,6 +54,19 @@ func NewChain(costs Costs) Scheduler {
 func (c *chain) Name() string { return "CHAIN" }
 
 func (c *chain) Admit(t *txn.T, now event.Time) Outcome {
+	if c.degraded {
+		// Degraded admission: only transactions that conflict with
+		// nothing live may enter, so the broken component drains while
+		// isolated work keeps flowing.
+		if err := c.register(t); err != nil {
+			return Outcome{Decision: Delayed, CPU: c.costs.DDTime}
+		}
+		if c.graph.ConflictDegree(t.ID) > 0 {
+			c.unregister(t)
+			return Outcome{Decision: Aborted, CPU: c.costs.DDTime}
+		}
+		return Outcome{Decision: Granted, CPU: c.costs.DDTime}
+	}
 	if err := c.register(t); err != nil {
 		return Outcome{Decision: Delayed, CPU: c.costs.DDTime}
 	}
@@ -137,19 +159,34 @@ func (c *chain) Request(t *txn.T, step int, now event.Time) Outcome {
 	if c.blocked(t, step) {
 		return Outcome{Decision: Blocked, CPU: cpu}
 	}
-	recomputed, err := c.refreshPlan(now)
-	if err != nil {
-		return Outcome{Decision: Delayed, CPU: cpu}
-	}
-	if recomputed {
-		cpu += c.costs.ChainTime
-	}
-	targets := c.impliedTargets(t, step)
-	// Step 3 of CC1: delay if any implied resolution disagrees with W.
-	for _, to := range targets {
-		if first, ok := c.plan[pairOf(t.ID, to)]; !ok || first != t.ID {
-			return Outcome{Decision: Delayed, CPU: cpu}
+	if !c.degraded {
+		recomputed, err := c.refreshPlan(now)
+		if err != nil {
+			// W is uncomputable (chain form broken, optimizer failure):
+			// degrade instead of delaying this request forever.
+			c.degrade()
+		} else {
+			if recomputed {
+				cpu += c.costs.ChainTime
+			}
+			targets := c.impliedTargets(t, step)
+			// Step 3 of CC1: delay if any implied resolution disagrees
+			// with W.
+			for _, to := range targets {
+				if first, ok := c.plan[pairOf(t.ID, to)]; !ok || first != t.ID {
+					return Outcome{Decision: Delayed, CPU: cpu}
+				}
+			}
+			if err := c.grant(t, step, targets); err != nil {
+				return Outcome{Decision: Delayed, CPU: cpu}
+			}
+			return Outcome{Decision: Granted, CPU: cpu}
 		}
+	}
+	// Degraded grants: C2PL's cautious cycle test, safe on any graph.
+	targets := c.impliedTargets(t, step)
+	if c.graph.WouldCycleFrom(t.ID, targets) {
+		return Outcome{Decision: Delayed, CPU: cpu}
 	}
 	if err := c.grant(t, step, targets); err != nil {
 		return Outcome{Decision: Delayed, CPU: cpu}
@@ -164,5 +201,42 @@ func (c *chain) ObjectDone(t *txn.T, objects float64, now event.Time) {
 func (c *chain) Commit(t *txn.T, now event.Time) ([]txn.PartitionID, event.Time) {
 	freed := c.commit(t)
 	c.planDirty = true
+	c.maybeRestore()
 	return freed, 0
 }
+
+// Abort recovers from an external abort of an admitted transaction: the
+// base splice repairs the WTPG, the cached W is invalidated, and chain
+// form is re-verified — if it no longer holds the scheduler degrades
+// rather than wedging on an uncomputable plan.
+func (c *chain) Abort(t *txn.T, now event.Time) ([]txn.PartitionID, event.Time) {
+	freed := c.abort(t)
+	c.planDirty = true
+	if !c.degraded {
+		if _, ok := c.graph.Chains(); !ok {
+			c.degrade()
+		}
+	}
+	c.maybeRestore()
+	return freed, c.costs.DDTime
+}
+
+// degrade enters the ASL/C2PL fallback mode and drops the stale plan.
+func (c *chain) degrade() {
+	c.degraded = true
+	c.havePlan = false
+	c.plan = make(map[pairKey]txn.ID)
+}
+
+// maybeRestore returns to full CHAIN operation once the graph has
+// drained: an empty WTPG is trivially chain-form again.
+func (c *chain) maybeRestore() {
+	if c.degraded && len(c.live) == 0 {
+		c.degraded = false
+		c.planDirty = true
+	}
+}
+
+// Degraded reports whether the scheduler is running in its fallback
+// mode (see Degradable).
+func (c *chain) Degraded() bool { return c.degraded }

@@ -146,3 +146,12 @@ func (s *kwtpg) Commit(t *txn.T, now event.Time) ([]txn.PartitionID, event.Time)
 	s.cacheDirty = true
 	return freed, 0
 }
+
+// Abort recovers from an external abort: base splice plus invalidating
+// every cached E value (the graph changed exactly like on a commit, and
+// splice resolutions add precedence-edges — §3.4 rule 3).
+func (s *kwtpg) Abort(t *txn.T, now event.Time) ([]txn.PartitionID, event.Time) {
+	freed := s.abort(t)
+	s.cacheDirty = true
+	return freed, s.costs.DDTime
+}

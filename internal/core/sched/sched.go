@@ -12,10 +12,18 @@
 // control-node CPU it consumed, following Table 1's ddtime / chaintime /
 // kwtpgtime parameters and §3.4's control-saving rules.
 //
-// No scheduler in this package ever aborts a running transaction: bulk
-// operations are too expensive to redo, so all of them are deadlock-free
-// by construction (atomic acquisition, cautious cycle tests, or W
-// consistency).
+// No scheduler in this package ever *decides* to abort a running
+// transaction: bulk operations are too expensive to redo, so all of them
+// are deadlock-free by construction (atomic acquisition, cautious cycle
+// tests, or W consistency). External failures are another matter — a
+// caller may abandon an admitted transaction, a fault may be injected,
+// or the live controller's watchdog may force one out. For those the
+// schedulers expose an abort-recovery path (see Aborter and AbortTxn):
+// locks are released, unresolved conflicting-edges retracted, resolved
+// precedence spliced past the dead transaction (wtpg.Splice), and cached
+// plans/estimates invalidated; CHAIN additionally degrades to a safe
+// fallback mode if its chain-form invariant is ever broken
+// (docs/ROBUSTNESS.md).
 package sched
 
 import (

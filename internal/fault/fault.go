@@ -1,0 +1,209 @@
+// Package fault injects deterministic, seedable faults into the BAT
+// simulator and the live controller.
+//
+// Bulk access transactions run for minutes; the schedulers are proved
+// deadlock-free but the proofs assume nothing ever dies. This package
+// supplies the deaths: transaction aborts mid-bulk-processing, slow I/O
+// on a partition, refused admission bursts, and controller-goroutine
+// crashes. Every decision is a pure function of (seed, identifier), so
+// a fault schedule is reproducible from its seed alone and — crucially
+// for the simulator's golden tests — independent of the order in which
+// questions are asked. An Injector never consults a stateful RNG
+// stream.
+//
+// All methods are nil-safe: a nil *Injector injects nothing, so call
+// sites need no guards. See docs/ROBUSTNESS.md for the fault model and
+// the recovery semantics each fault exercises.
+package fault
+
+import (
+	"errors"
+	"fmt"
+
+	"batsched/internal/txn"
+)
+
+// Sentinel errors reported by fault-aware components when an injected
+// fault, rather than a real condition, caused a failure.
+var (
+	// ErrInjectedAbort marks a transaction killed by an injected abort.
+	ErrInjectedAbort = errors.New("fault: injected abort")
+	// ErrInjectedCrash marks a worker goroutine killed by an injected
+	// crash (a recovered panic in the live controller).
+	ErrInjectedCrash = errors.New("fault: injected crash")
+)
+
+// Config sets the per-kind fault rates. All rates are probabilities in
+// [0,1] evaluated independently per transaction (or per partition for
+// SlowIORate); zero disables the kind.
+type Config struct {
+	// AbortRate is the fraction of transactions that die mid-run: the
+	// victim aborts after processing a deterministic fraction of its
+	// declared demand (between 15% and 95%).
+	AbortRate float64
+	// SlowIORate is the fraction of partitions whose bulk I/O runs slow;
+	// SlowIOFactor is the multiplier applied there (default 4).
+	SlowIORate   float64
+	SlowIOFactor float64
+	// AdmitRefusalRate is the fraction of transactions whose admission
+	// is refused at the control node before the scheduler even sees
+	// them (a control-node overload / message-loss stand-in); refusals
+	// repeat for AdmitRefusalBurst consecutive attempts (default 2).
+	AdmitRefusalRate  float64
+	AdmitRefusalBurst int
+	// CrashRate is the fraction of transactions whose worker goroutine
+	// crashes (panics) at a deterministic step. Only meaningful in the
+	// live controller; the simulator has no goroutine to kill.
+	CrashRate float64
+}
+
+// Validate rejects rates outside [0,1] and negative tuning knobs.
+func (c Config) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"AbortRate", c.AbortRate},
+		{"SlowIORate", c.SlowIORate},
+		{"AdmitRefusalRate", c.AdmitRefusalRate},
+		{"CrashRate", c.CrashRate},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("fault: %s = %v outside [0,1]", r.name, r.v)
+		}
+	}
+	if c.SlowIOFactor < 0 || c.AdmitRefusalBurst < 0 {
+		return errors.New("fault: negative tuning parameter")
+	}
+	return nil
+}
+
+// Injector makes deterministic fault decisions from a seed. The zero
+// value (and nil) injects nothing.
+type Injector struct {
+	seed uint64
+	cfg  Config
+}
+
+// New builds an injector for the given seed and config, applying
+// defaults: SlowIOFactor 4, AdmitRefusalBurst 2.
+func New(seed uint64, cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SlowIOFactor == 0 {
+		cfg.SlowIOFactor = 4
+	}
+	if cfg.AdmitRefusalBurst == 0 {
+		cfg.AdmitRefusalBurst = 2
+	}
+	return &Injector{seed: seed, cfg: cfg}, nil
+}
+
+// Seed returns the injector's seed (0 for nil).
+func (in *Injector) Seed() uint64 {
+	if in == nil {
+		return 0
+	}
+	return in.seed
+}
+
+// Config returns the effective configuration (zero for nil).
+func (in *Injector) Config() Config {
+	if in == nil {
+		return Config{}
+	}
+	return in.cfg
+}
+
+// mix is a splitmix64 finalizer: a high-quality 64-bit mixing function
+// turning (seed, domain, id) into an independent uniform draw.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Per-fault-kind domain separators so the same id draws independently
+// for each fault kind.
+const (
+	domAbort uint64 = 0xA110C8ED << 1
+	domSlow  uint64 = 0x51070D ^ 0xFFFF0000
+	domAdmit uint64 = 0xAD317000
+	domCrash uint64 = 0xC4A54000
+)
+
+// unit maps (seed, domain, id) to a uniform float64 in [0,1).
+func (in *Injector) unit(domain, id uint64) float64 {
+	h := mix(in.seed ^ mix(domain+id))
+	return float64(h>>11) / (1 << 53)
+}
+
+// AbortAt reports whether t is scheduled to die, and if so after how
+// many processed objects: a deterministic fraction in [0.15, 0.95] of
+// its declared total demand, so the abort always lands mid-run with
+// real work (locks held, weights partially adjusted) to unwind.
+func (in *Injector) AbortAt(t *txn.T) (objects float64, ok bool) {
+	if in == nil || in.cfg.AbortRate == 0 {
+		return 0, false
+	}
+	if in.unit(domAbort, uint64(t.ID)) >= in.cfg.AbortRate {
+		return 0, false
+	}
+	frac := 0.15 + 0.80*in.unit(domAbort+1, uint64(t.ID))
+	return frac * t.DeclaredTotal(), true
+}
+
+// IOFactor returns the bulk-I/O time multiplier for partition p:
+// SlowIOFactor for partitions drawn slow, 1 otherwise.
+func (in *Injector) IOFactor(p txn.PartitionID) float64 {
+	if in == nil || in.cfg.SlowIORate == 0 {
+		return 1
+	}
+	if in.unit(domSlow, uint64(p)) < in.cfg.SlowIORate {
+		return in.cfg.SlowIOFactor
+	}
+	return 1
+}
+
+// RefuseAdmit reports whether admission attempt number `attempt`
+// (0-based) of transaction id should be refused before reaching the
+// scheduler. Selected transactions are refused for the first
+// AdmitRefusalBurst attempts and then admitted normally, modelling a
+// transient control-node overload.
+func (in *Injector) RefuseAdmit(id txn.ID, attempt int) bool {
+	if in == nil || in.cfg.AdmitRefusalRate == 0 {
+		return false
+	}
+	if attempt >= in.cfg.AdmitRefusalBurst {
+		return false
+	}
+	return in.unit(domAdmit, uint64(id)) < in.cfg.AdmitRefusalRate
+}
+
+// Crash reports whether t's worker goroutine should crash, and if so
+// at which step (always a valid step index). Meaningful only for the
+// live controller.
+func (in *Injector) Crash(t *txn.T) (step int, ok bool) {
+	if in == nil || in.cfg.CrashRate == 0 {
+		return 0, false
+	}
+	if in.unit(domCrash, uint64(t.ID)) >= in.cfg.CrashRate {
+		return 0, false
+	}
+	n := len(t.Steps)
+	if n == 0 {
+		return 0, false
+	}
+	return int(mix(in.seed^mix(domCrash+2+uint64(t.ID))) % uint64(n)), true
+}
+
+// Enabled reports whether the injector can produce any fault at all.
+func (in *Injector) Enabled() bool {
+	if in == nil {
+		return false
+	}
+	c := in.cfg
+	return c.AbortRate > 0 || c.SlowIORate > 0 || c.AdmitRefusalRate > 0 || c.CrashRate > 0
+}

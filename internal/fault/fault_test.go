@@ -1,0 +1,152 @@
+package fault
+
+import (
+	"testing"
+
+	"batsched/internal/txn"
+)
+
+func testTxn(id txn.ID) *txn.T {
+	return txn.New(id, []txn.Step{
+		{Mode: txn.Write, Part: 0, Cost: 10},
+		{Mode: txn.Write, Part: 1, Cost: 10},
+	})
+}
+
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	var in *Injector
+	if _, ok := in.AbortAt(testTxn(1)); ok {
+		t.Error("nil injector aborted")
+	}
+	if f := in.IOFactor(3); f != 1 {
+		t.Errorf("nil IOFactor = %v, want 1", f)
+	}
+	if in.RefuseAdmit(1, 0) {
+		t.Error("nil injector refused admission")
+	}
+	if _, ok := in.Crash(testTxn(1)); ok {
+		t.Error("nil injector crashed")
+	}
+	if in.Enabled() {
+		t.Error("nil injector enabled")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := New(42, Config{AbortRate: 0.5, SlowIORate: 0.5, AdmitRefusalRate: 0.5, CrashRate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := New(42, Config{AbortRate: 0.5, SlowIORate: 0.5, AdmitRefusalRate: 0.5, CrashRate: 0.5})
+	for id := txn.ID(1); id <= 200; id++ {
+		tx := testTxn(id)
+		ao, aok := a.AbortAt(tx)
+		bo, bok := b.AbortAt(tx)
+		if ao != bo || aok != bok {
+			t.Fatalf("AbortAt(%v) differs across identically-seeded injectors", id)
+		}
+		if a.IOFactor(txn.PartitionID(id)) != b.IOFactor(txn.PartitionID(id)) {
+			t.Fatalf("IOFactor(%v) differs", id)
+		}
+		if a.RefuseAdmit(id, 0) != b.RefuseAdmit(id, 0) {
+			t.Fatalf("RefuseAdmit(%v) differs", id)
+		}
+		as, aok2 := a.Crash(tx)
+		bs, bok2 := b.Crash(tx)
+		if as != bs || aok2 != bok2 {
+			t.Fatalf("Crash(%v) differs", id)
+		}
+	}
+}
+
+func TestSeedsProduceDifferentSchedules(t *testing.T) {
+	a, _ := New(1, Config{AbortRate: 0.5})
+	b, _ := New(2, Config{AbortRate: 0.5})
+	same := 0
+	for id := txn.ID(1); id <= 200; id++ {
+		_, aok := a.AbortAt(testTxn(id))
+		_, bok := b.AbortAt(testTxn(id))
+		if aok == bok {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Error("seeds 1 and 2 produced identical abort schedules")
+	}
+}
+
+func TestRatesApproximatelyRespected(t *testing.T) {
+	in, _ := New(7, Config{AbortRate: 0.3})
+	hit := 0
+	const n = 2000
+	for id := txn.ID(1); id <= n; id++ {
+		if _, ok := in.AbortAt(testTxn(id)); ok {
+			hit++
+		}
+	}
+	got := float64(hit) / n
+	if got < 0.25 || got > 0.35 {
+		t.Errorf("abort rate %.3f, want ≈0.30", got)
+	}
+}
+
+func TestAbortAtLandsMidRun(t *testing.T) {
+	in, _ := New(3, Config{AbortRate: 1})
+	for id := txn.ID(1); id <= 100; id++ {
+		tx := testTxn(id)
+		at, ok := in.AbortAt(tx)
+		if !ok {
+			t.Fatalf("AbortRate 1 skipped txn %v", id)
+		}
+		total := tx.DeclaredTotal()
+		if at < 0.15*total || at > 0.95*total {
+			t.Errorf("abort point %v outside [0.15, 0.95] of total %v", at, total)
+		}
+	}
+}
+
+func TestRefusalBurstEnds(t *testing.T) {
+	in, _ := New(11, Config{AdmitRefusalRate: 1, AdmitRefusalBurst: 3})
+	id := txn.ID(5)
+	for attempt := 0; attempt < 3; attempt++ {
+		if !in.RefuseAdmit(id, attempt) {
+			t.Fatalf("attempt %d should be refused", attempt)
+		}
+	}
+	if in.RefuseAdmit(id, 3) {
+		t.Error("attempt past the burst should be admitted")
+	}
+}
+
+func TestCrashStepInRange(t *testing.T) {
+	in, _ := New(13, Config{CrashRate: 1})
+	for id := txn.ID(1); id <= 100; id++ {
+		tx := testTxn(id)
+		step, ok := in.Crash(tx)
+		if !ok {
+			t.Fatalf("CrashRate 1 skipped txn %v", id)
+		}
+		if step < 0 || step >= len(tx.Steps) {
+			t.Errorf("crash step %d out of range", step)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if _, err := New(0, Config{AbortRate: 1.5}); err == nil {
+		t.Error("rate > 1 accepted")
+	}
+	if _, err := New(0, Config{SlowIOFactor: -1}); err == nil {
+		t.Error("negative factor accepted")
+	}
+	in, err := New(0, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Enabled() {
+		t.Error("zero config should be disabled")
+	}
+	if in.Config().SlowIOFactor != 4 || in.Config().AdmitRefusalBurst != 2 {
+		t.Errorf("defaults not applied: %+v", in.Config())
+	}
+}

@@ -9,10 +9,14 @@
 // The controller serializes scheduler decisions under one mutex — the
 // moral equivalent of the paper's centralized control node — and blocks
 // refused requests on a broadcast channel that commit events close, plus
-// the paper's fixed retry delay as a fallback. All the guarantees of the
-// scheduler carry over: conflicting holders never coexist, schedules are
-// conflict serializable, and no admitted transaction is ever aborted by
-// the controller (cancellation is the caller's choice).
+// a retry-delay fallback (fixed by default, jittered-exponential with
+// WithBackoff). All the guarantees of the scheduler carry over:
+// conflicting holders never coexist and schedules are conflict
+// serializable. Admitted transactions are normally never aborted by the
+// controller; the two exceptions are explicit robustness features — a
+// panic in caller work is recovered into an abort, and the optional
+// no-progress watchdog (WithWatchdog) force-aborts a blocked transaction
+// after two silent deadlines (see docs/ROBUSTNESS.md).
 //
 // Construction uses functional options:
 //
@@ -31,11 +35,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
 	"batsched/internal/core/sched"
 	"batsched/internal/event"
+	"batsched/internal/fault"
 	"batsched/internal/obs"
 	"batsched/internal/txn"
 )
@@ -43,15 +49,71 @@ import (
 // Option configures a Controller at construction.
 type Option func(*Controller)
 
-// WithRetryDelay sets the paper's fixed resubmission delay for refused
+// WithRetryDelay sets the fixed resubmission delay for refused
 // admissions and policy-delayed requests (default 20 ms of wall time;
 // live workloads want faster retries than the simulated 500 ms because
 // ObjTime here is real work, usually far below 1 s). Non-positive
-// values keep the default.
+// values keep the default. WithBackoff supersedes the fixed delay.
 func WithRetryDelay(d time.Duration) Option {
 	return func(c *Controller) {
 		if d > 0 {
 			c.retryDelay = d
+		}
+	}
+}
+
+// WithBackoff replaces the fixed retry delay with jittered exponential
+// backoff: the n-th consecutive refusal of one admission or lock
+// request waits a uniformly-jittered delay in [d/2, d] where
+// d = min(base·2ⁿ, max). The wake broadcast still short-circuits every
+// wait, so backoff only bounds the polling rate under sustained
+// contention. A non-positive max defaults to 32·base; a non-positive
+// base keeps the fixed delay.
+func WithBackoff(base, max time.Duration) Option {
+	return func(c *Controller) {
+		if base <= 0 {
+			return
+		}
+		if max <= 0 {
+			max = 32 * base
+		}
+		if max < base {
+			max = base
+		}
+		c.backoffBase, c.backoffMax = base, max
+	}
+}
+
+// WithWatchdog enables the no-progress watchdog: a background goroutine
+// that checks every d whether any scheduler progress (admission, grant,
+// object completion, commit or abort) happened since the last check
+// while transactions were waiting. The first silent deadline emits a
+// Stall event (Op "kick") and re-broadcasts the wake channel — curing
+// lost-wakeup classes of stall. A second consecutive silent deadline
+// force-aborts the youngest blocked transaction (Stall event with Op
+// "abort"): its Acquire returns ErrWatchdogAborted and its locks are
+// released through the scheduler's abort-recovery path, unblocking the
+// rest. Non-positive d disables the watchdog.
+func WithWatchdog(d time.Duration) Option {
+	return func(c *Controller) {
+		if d > 0 {
+			c.watchdog = d
+		}
+	}
+}
+
+// WithFaults attaches a fault injector (see internal/fault): selected
+// transactions abort after a threshold of reported progress or crash
+// (panic) at a chosen step, selected partitions pay a slow-I/O delay on
+// every acquired step, and selected admissions are refused before the
+// scheduler sees them. Faults exercise exactly the public recovery
+// machinery — Abort, panic recovery, retries — so a faulted controller
+// must stay correct; the chaos tests assert it. A nil injector is
+// ignored.
+func WithFaults(in *fault.Injector) Option {
+	return func(c *Controller) {
+		if in.Enabled() {
+			c.inj = in
 		}
 	}
 }
@@ -100,9 +162,11 @@ type Options struct {
 // Stats is a consistent snapshot of the controller's lifetime counters.
 type Stats struct {
 	// Admitted counts granted admissions; Committed and Aborted split
-	// the finished transactions by outcome (an abort here is the
-	// *caller* abandoning an admitted transaction — a work error or
-	// cancellation — never a scheduler decision).
+	// the finished transactions by outcome. An abort is the caller
+	// abandoning an admitted transaction (a work error, a cancellation,
+	// a recovered panic) — or, with WithWatchdog, the watchdog forcing
+	// out a blocked transaction (those are counted here too, and
+	// additionally visible as Stall events with Op "abort").
 	Admitted  uint64
 	Committed uint64
 	Aborted   uint64
@@ -110,6 +174,12 @@ type Stats struct {
 	Granted uint64
 	// Retries counts retry waits (refused admissions and requests).
 	Retries uint64
+	// Stalled counts watchdog deadlines that elapsed with waiters
+	// present and no scheduler progress; Recovered counts stalls that
+	// subsequently cleared (progress resumed before the controller
+	// closed).
+	Stalled   uint64
+	Recovered uint64
 	// Active is the number of currently admitted, unfinished
 	// transactions at snapshot time.
 	Active int
@@ -125,19 +195,41 @@ type Controller struct {
 	epoch  time.Time
 	closed bool
 
-	retryDelay time.Duration
-	observer   obs.Observer
-	onGrant    func(t *txn.T, step int)
-	onCommit   func(t *txn.T)
+	retryDelay  time.Duration
+	backoffBase time.Duration // 0 = fixed retryDelay
+	backoffMax  time.Duration
+	watchdog    time.Duration // 0 = no watchdog
+	rng         *rand.Rand    // jitter source; guarded by mu
+	inj         *fault.Injector
+	observer    obs.Observer
+	onGrant     func(t *txn.T, step int)
+	onCommit    func(t *txn.T)
 
 	// started maps each admitted transaction to its admission time
-	// (drives Stats.Active and commit-event response times).
-	started map[txn.ID]event.Time
-	stats   Stats
+	// (drives Stats.Active and commit-event response times). blocked
+	// tracks the admitted transactions currently parked in Acquire
+	// (candidates for a watchdog abort); doomed carries the error a
+	// watchdog-aborted transaction finds at its next Acquire loop.
+	// progress counts scheduler-state changes for the watchdog; waiters
+	// counts goroutines parked in any retry wait.
+	started  map[txn.ID]event.Time
+	blocked  map[txn.ID]event.Time
+	doomed   map[txn.ID]error
+	progress uint64
+	waiters  int
+	stats    Stats
+
+	stopWatch chan struct{}
+	watchWG   sync.WaitGroup
 }
 
 // ErrClosed is returned when the controller has been shut down.
 var ErrClosed = errors.New("live: controller closed")
+
+// ErrWatchdogAborted is returned from Acquire (and Run) when the
+// no-progress watchdog force-aborted the transaction to break a stall.
+// The transaction's locks are released; the caller may resubmit it.
+var ErrWatchdogAborted = errors.New("live: aborted by no-progress watchdog")
 
 // New builds a controller around a scheduler factory, e.g.
 //
@@ -152,6 +244,9 @@ func New(factory sched.Factory, costs sched.Costs, opts ...Option) *Controller {
 		epoch:      time.Now(),
 		retryDelay: 20 * time.Millisecond,
 		started:    make(map[txn.ID]event.Time),
+		blocked:    make(map[txn.ID]event.Time),
+		doomed:     make(map[txn.ID]error),
+		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -160,6 +255,11 @@ func New(factory sched.Factory, costs sched.Costs, opts ...Option) *Controller {
 	c.label = c.sch.Name()
 	if c.observer != nil {
 		c.sch = sched.Observed(c.sch, c.observer)
+	}
+	if c.watchdog > 0 {
+		c.stopWatch = make(chan struct{})
+		c.watchWG.Add(1)
+		go c.watchdogLoop()
 	}
 	return c
 }
@@ -190,6 +290,16 @@ func (c *Controller) emitLocked(e obs.Event) {
 	c.observer.Observe(e)
 }
 
+// emit sends one trace event, taking the controller mutex itself.
+func (c *Controller) emit(e obs.Event) {
+	if c.observer == nil {
+		return
+	}
+	c.mu.Lock()
+	c.emitLocked(e)
+	c.mu.Unlock()
+}
+
 // Stats returns a consistent snapshot of the lifetime counters.
 func (c *Controller) Stats() Stats {
 	c.mu.Lock()
@@ -199,14 +309,31 @@ func (c *Controller) Stats() Stats {
 	return s
 }
 
-// Close shuts the controller down; subsequent or blocked operations
-// return ErrClosed.
-func (c *Controller) Close() {
+// CheckInvariants runs the scheduler's internal consistency checks (no
+// conflicting lock holders, acyclic WTPG) under the controller mutex.
+// The chaos tests call it after every injected fault.
+func (c *Controller) CheckInvariants() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if !c.closed {
+	if ci, ok := c.sch.(interface{ CheckInvariants() error }); ok {
+		return ci.CheckInvariants()
+	}
+	return nil
+}
+
+// Close shuts the controller down; subsequent or blocked operations
+// return ErrClosed. The watchdog goroutine, if any, is joined.
+func (c *Controller) Close() {
+	c.mu.Lock()
+	already := c.closed
+	if !already {
 		c.closed = true
 		close(c.wake)
+	}
+	c.mu.Unlock()
+	if !already && c.stopWatch != nil {
+		close(c.stopWatch)
+		c.watchWG.Wait()
 	}
 }
 
@@ -219,17 +346,59 @@ func (c *Controller) broadcast() {
 	c.wake = make(chan struct{})
 }
 
+// progressLocked records one unit of scheduler progress for the
+// watchdog. Callers must hold mu.
+func (c *Controller) progressLocked() { c.progress++ }
+
+// retryWait computes the delay before the attempt-th resubmission
+// (0-based): the fixed retry delay, or jittered exponential backoff
+// when WithBackoff is configured.
+func (c *Controller) retryWait(attempt int) time.Duration {
+	if c.backoffBase <= 0 {
+		return c.retryDelay
+	}
+	d := c.backoffBase
+	for i := 0; i < attempt && d < c.backoffMax; i++ {
+		d *= 2
+	}
+	if d > c.backoffMax {
+		d = c.backoffMax
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	c.mu.Lock()
+	j := time.Duration(c.rng.Int63n(int64(half) + 1))
+	c.mu.Unlock()
+	return half + j
+}
+
 // awaitOn waits on a wake channel captured earlier (atomically with the
-// refusal it follows), the retry delay, or ctx.
-func (c *Controller) awaitOn(ctx context.Context, ch <-chan struct{}) error {
+// refusal it follows), the retry delay for this attempt, or ctx. When
+// t is non-nil the transaction is registered as blocked for the
+// duration of the wait, making it a candidate for a watchdog abort.
+func (c *Controller) awaitOn(ctx context.Context, ch <-chan struct{}, t *txn.T, attempt int) error {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return ErrClosed
 	}
 	c.stats.Retries++
+	c.waiters++
+	if t != nil {
+		c.blocked[t.ID] = c.started[t.ID]
+	}
 	c.mu.Unlock()
-	timer := time.NewTimer(c.retryDelay)
+	defer func() {
+		c.mu.Lock()
+		c.waiters--
+		if t != nil {
+			delete(c.blocked, t.ID)
+		}
+		c.mu.Unlock()
+	}()
+	timer := time.NewTimer(c.retryWait(attempt))
 	defer timer.Stop()
 	select {
 	case <-ch:
@@ -251,30 +420,74 @@ type Progress func(objects float64)
 // step's lock is held; it receives the step index and a Progress
 // callback for weight accounting. A non-nil work error aborts the
 // transaction: all locks are released (the work already done is the
-// caller's to undo) and the error is returned. Context cancellation
-// behaves the same way.
-func (c *Controller) Run(ctx context.Context, t *txn.T, work func(step int, p Progress) error) error {
+// caller's to undo) and the error is returned. Context cancellation and
+// a watchdog abort behave the same way. A panic in the work callback is
+// recovered: the transaction aborts (locks released, other transactions
+// unaffected) and Run returns the panic as an error.
+func (c *Controller) Run(ctx context.Context, t *txn.T, work func(step int, p Progress) error) (err error) {
 	if t == nil {
 		return fmt.Errorf("live: nil transaction")
 	}
 	if err := c.Admit(ctx, t); err != nil {
 		return err
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			c.Abort(t)
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("live: %v: recovered panic: %w", t.ID, e)
+			} else {
+				err = fmt.Errorf("live: %v: recovered panic: %v", t.ID, r)
+			}
+		}
+	}()
+	abortAt, hasAbort := c.inj.AbortAt(t)
+	crashStep, hasCrash := c.inj.Crash(t)
+	processed := 0.0
 	for step := range t.Steps {
 		if err := c.Acquire(ctx, t, step); err != nil {
 			c.Abort(t)
 			return err
 		}
+		c.slowIO(ctx, t, step)
+		if hasCrash && step == crashStep {
+			c.emit(obs.Event{Kind: obs.KindFault, At: c.now(), Txn: t.ID, Step: step, Op: "crash"})
+			panic(fmt.Errorf("%w: txn %v step %d", fault.ErrInjectedCrash, t.ID, step))
+		}
 		if work != nil {
-			progress := func(objects float64) { c.ObjectDone(t, objects) }
+			progress := func(objects float64) {
+				processed += objects
+				c.ObjectDone(t, objects)
+			}
 			if err := work(step, progress); err != nil {
 				c.Abort(t)
 				return fmt.Errorf("live: %v step %d: %w", t.ID, step, err)
 			}
 		}
+		if hasAbort && processed >= abortAt {
+			c.emit(obs.Event{Kind: obs.KindFault, At: c.now(), Txn: t.ID, Step: step, Op: "abort"})
+			c.Abort(t)
+			return fmt.Errorf("%w: txn %v after %g objects", fault.ErrInjectedAbort, t.ID, processed)
+		}
 	}
 	c.Commit(t)
 	return nil
+}
+
+// slowIO pays the injected slow-partition delay for the acquired step,
+// if any: (factor−1)·retryDelay of extra latency, context-aware.
+func (c *Controller) slowIO(ctx context.Context, t *txn.T, step int) {
+	f := c.inj.IOFactor(t.Steps[step].Part)
+	if f <= 1 {
+		return
+	}
+	c.emit(obs.Event{Kind: obs.KindFault, At: c.now(), Txn: t.ID, Step: step, Part: t.Steps[step].Part, Op: "slow-io"})
+	timer := time.NewTimer(time.Duration(float64(c.retryDelay) * (f - 1)))
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-ctx.Done():
+	}
 }
 
 // Admit blocks until the scheduler admits t (or ctx ends, or the
@@ -285,8 +498,7 @@ func (c *Controller) Admit(ctx context.Context, t *txn.T) error {
 	if t == nil {
 		return fmt.Errorf("live: nil transaction")
 	}
-	first := true
-	for {
+	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -296,31 +508,39 @@ func (c *Controller) Admit(ctx context.Context, t *txn.T) error {
 			return ErrClosed
 		}
 		now := c.now()
-		if first {
-			first = false
+		if attempt == 0 {
 			c.emitLocked(obs.Event{Kind: obs.KindAdmit, At: now, Txn: t.ID})
+		}
+		if c.inj.RefuseAdmit(t.ID, attempt) {
+			c.emitLocked(obs.Event{Kind: obs.KindFault, At: now, Txn: t.ID, Op: "refuse-admit"})
+			ch := c.wake
+			c.mu.Unlock()
+			if err := c.awaitOn(ctx, ch, nil, attempt); err != nil {
+				return err
+			}
+			continue
 		}
 		out := c.sch.Admit(t, now)
 		ch := c.wake
 		if out.Decision == sched.Granted {
 			c.stats.Admitted++
 			c.started[t.ID] = now
+			c.progressLocked()
 			c.mu.Unlock()
 			return nil
 		}
 		c.mu.Unlock()
-		if err := c.awaitOn(ctx, ch); err != nil {
+		if err := c.awaitOn(ctx, ch, nil, attempt); err != nil {
 			return err
 		}
 	}
 }
 
 // Acquire blocks until the lock needed by step of t is granted (or ctx
-// ends, or the controller closes). Valid only between Admit and
-// Commit/Abort.
+// ends, the controller closes, or the watchdog force-aborts t — then
+// ErrWatchdogAborted). Valid only between Admit and Commit/Abort.
 func (c *Controller) Acquire(ctx context.Context, t *txn.T, step int) error {
-	first := true
-	for {
+	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -329,9 +549,13 @@ func (c *Controller) Acquire(ctx context.Context, t *txn.T, step int) error {
 			c.mu.Unlock()
 			return ErrClosed
 		}
+		if err := c.doomed[t.ID]; err != nil {
+			delete(c.doomed, t.ID)
+			c.mu.Unlock()
+			return err
+		}
 		now := c.now()
-		if first {
-			first = false
+		if attempt == 0 {
 			c.emitLocked(obs.Event{Kind: obs.KindRequest, At: now, Txn: t.ID, Step: step, Part: t.Steps[step].Part})
 		}
 		out := c.sch.Request(t, step, now)
@@ -341,6 +565,7 @@ func (c *Controller) Acquire(ctx context.Context, t *txn.T, step int) error {
 		ch := c.wake
 		if out.Decision == sched.Granted {
 			c.stats.Granted++
+			c.progressLocked()
 		}
 		c.mu.Unlock()
 		if out.Decision == sched.Granted {
@@ -350,8 +575,9 @@ func (c *Controller) Acquire(ctx context.Context, t *txn.T, step int) error {
 			return nil
 		}
 		// Blocked and Delayed both wait for the next commit broadcast or
-		// the retry delay; the scheduler re-decides on resubmission.
-		if err := c.awaitOn(ctx, ch); err != nil {
+		// the retry delay; the scheduler re-decides on resubmission. The
+		// wait registers t as blocked — a watchdog-abort candidate.
+		if err := c.awaitOn(ctx, ch, t, attempt); err != nil {
 			return err
 		}
 	}
@@ -363,42 +589,144 @@ func (c *Controller) ObjectDone(t *txn.T, objects float64) {
 	c.mu.Lock()
 	now := c.now()
 	c.sch.ObjectDone(t, objects, now)
+	c.progressLocked()
 	c.emitLocked(obs.Event{Kind: obs.KindObjectDone, At: now, Txn: t.ID, Objects: objects})
 	c.mu.Unlock()
 }
 
 // Commit finishes an admitted transaction: all its locks drop and
-// waiters wake.
-func (c *Controller) Commit(t *txn.T) {
-	c.finish(t, true)
+// waiters wake. It returns an error only for a transaction the
+// controller does not consider admitted (double finish, never
+// admitted).
+func (c *Controller) Commit(t *txn.T) error {
+	if err := c.finish(t, true); err != nil {
+		return err
+	}
 	if c.onCommit != nil {
 		c.onCommit(t)
 	}
+	return nil
 }
 
-// Abort abandons an admitted transaction (work error, cancellation):
-// all its locks drop and waiters wake. Undoing completed work is the
-// caller's responsibility.
-func (c *Controller) Abort(t *txn.T) {
-	c.finish(t, false)
+// Abort abandons an admitted transaction (work error, cancellation,
+// recovered panic, watchdog): its locks are released through the
+// scheduler's abort-recovery path — unresolved conflicting-edges
+// retracted, resolved precedence spliced past it — and waiters wake.
+// Undoing completed work is the caller's responsibility. It returns an
+// error only for a transaction the controller does not consider
+// admitted.
+func (c *Controller) Abort(t *txn.T) error {
+	return c.finish(t, false)
 }
 
-func (c *Controller) finish(t *txn.T, committed bool) {
+func (c *Controller) finish(t *txn.T, committed bool) error {
+	if t == nil {
+		return fmt.Errorf("live: nil transaction")
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	now := c.now()
-	c.sch.Commit(t, now)
-	e := obs.Event{Kind: obs.KindCommit, At: now, Txn: t.ID}
-	if start, ok := c.started[t.ID]; ok {
-		e.RT = now - start
-		delete(c.started, t.ID)
+	start, ok := c.started[t.ID]
+	if !ok {
+		return fmt.Errorf("live: %v is not an admitted transaction", t.ID)
 	}
+	now := c.now()
+	if committed {
+		c.sch.Commit(t, now)
+	} else {
+		sched.AbortTxn(c.sch, t, now)
+	}
+	e := obs.Event{Kind: obs.KindCommit, At: now, Txn: t.ID, RT: now - start}
+	delete(c.started, t.ID)
+	delete(c.doomed, t.ID)
 	if committed {
 		c.stats.Committed++
 	} else {
 		c.stats.Aborted++
 		e.Decision = "aborted"
 	}
+	c.progressLocked()
 	c.emitLocked(e)
 	c.broadcast()
+	return nil
+}
+
+// watchdogLoop is the no-progress watchdog (WithWatchdog): every period
+// it compares the progress counter against the previous tick. A silent
+// period with waiters present is a stall — first kick, then abort.
+func (c *Controller) watchdogLoop() {
+	defer c.watchWG.Done()
+	ticker := time.NewTicker(c.watchdog)
+	defer ticker.Stop()
+	var lastProgress uint64
+	kicked := false
+	stalled := false
+	for {
+		select {
+		case <-c.stopWatch:
+			return
+		case <-ticker.C:
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		if c.progress != lastProgress {
+			lastProgress = c.progress
+			kicked = false
+			if stalled {
+				stalled = false
+				c.stats.Recovered++
+			}
+			c.mu.Unlock()
+			continue
+		}
+		if len(c.started) == 0 && c.waiters == 0 {
+			// Idle, not stalled: nothing is waiting for progress.
+			c.mu.Unlock()
+			continue
+		}
+		c.stats.Stalled++
+		stalled = true
+		if !kicked {
+			// First silent deadline: re-broadcast. If the stall was a lost
+			// wakeup (or everyone is sitting out a long backoff), this
+			// alone cures it.
+			kicked = true
+			c.emitLocked(obs.Event{Kind: obs.KindStall, At: c.now(), Op: "kick"})
+			c.broadcast()
+			c.mu.Unlock()
+			continue
+		}
+		// Second consecutive silent deadline: force-abort the youngest
+		// blocked transaction. Blocked means parked in Acquire — no caller
+		// work is running, so releasing its locks is safe; youngest means
+		// the least completed work is thrown away.
+		if victim, ok := c.youngestBlockedLocked(); ok {
+			c.doomed[victim] = ErrWatchdogAborted
+			c.emitLocked(obs.Event{Kind: obs.KindStall, At: c.now(), Txn: victim, Op: "abort"})
+		} else {
+			c.emitLocked(obs.Event{Kind: obs.KindStall, At: c.now(), Op: "kick"})
+		}
+		c.broadcast()
+		c.mu.Unlock()
+	}
+}
+
+// youngestBlockedLocked picks the blocked transaction with the latest
+// admission time (ties broken by higher ID for determinism). Callers
+// must hold mu.
+func (c *Controller) youngestBlockedLocked() (txn.ID, bool) {
+	var best txn.ID
+	var bestAt event.Time
+	found := false
+	for id, at := range c.blocked {
+		if c.doomed[id] != nil {
+			continue // already sentenced, give it a tick to act
+		}
+		if !found || at > bestAt || (at == bestAt && id > best) {
+			best, bestAt, found = id, at, true
+		}
+	}
+	return best, found
 }

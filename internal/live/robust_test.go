@@ -1,0 +1,377 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"batsched/internal/core/sched"
+	"batsched/internal/fault"
+	"batsched/internal/obs"
+	"batsched/internal/txn"
+)
+
+// TestAbortReleasesLocksAndUnblocksWaiters admits a holder on every
+// partition, parks one waiter per partition behind it, aborts the
+// holder, and requires every waiter to proceed to commit. Run with
+// -race; the waiters block and wake concurrently.
+func TestAbortReleasesLocksAndUnblocksWaiters(t *testing.T) {
+	for _, f := range []sched.Factory{
+		sched.ASLFactory(), sched.C2PLFactory(), sched.ChainFactory(), sched.KWTPGFactory(2),
+	} {
+		f := f
+		t.Run(f.Label, func(t *testing.T) {
+			t.Parallel()
+			ctl := New(f, liveCosts, WithRetryDelay(time.Millisecond))
+			defer ctl.Close()
+			const parts = 4
+			steps := make([]txn.Step, parts)
+			for i := range steps {
+				steps[i] = w(txn.PartitionID(i), 1)
+			}
+			holder := txn.New(1, steps)
+			ctx := context.Background()
+			if err := ctl.Admit(ctx, holder); err != nil {
+				t.Fatal(err)
+			}
+			for step := 0; step < parts; step++ {
+				if err := ctl.Acquire(ctx, holder, step); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			var wg sync.WaitGroup
+			errs := make(chan error, parts)
+			for i := 0; i < parts; i++ {
+				i := i
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					tx := txn.New(txn.ID(10+i), []txn.Step{w(txn.PartitionID(i), 1)})
+					wctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+					defer cancel()
+					if err := ctl.Run(wctx, tx, nil); err != nil {
+						errs <- fmt.Errorf("waiter %d: %w", i, err)
+					}
+				}()
+			}
+			// Let the waiters pile up behind the holder's exclusive locks,
+			// then abort it.
+			time.Sleep(20 * time.Millisecond)
+			if err := ctl.Abort(holder); err != nil {
+				t.Fatal(err)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			if err := ctl.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			st := ctl.Stats()
+			if st.Aborted != 1 || st.Committed != uint64(parts) || st.Active != 0 {
+				t.Fatalf("stats after abort: %+v", st)
+			}
+		})
+	}
+}
+
+// TestFinishErrors locks in the error contract of Commit/Abort: a
+// transaction the controller never admitted (or already finished)
+// cannot be finished.
+func TestFinishErrors(t *testing.T) {
+	ctl := New(sched.C2PLFactory(), liveCosts)
+	defer ctl.Close()
+	tx := txn.New(1, []txn.Step{w(0, 1)})
+	if err := ctl.Commit(tx); err == nil {
+		t.Error("commit of a never-admitted transaction succeeded")
+	}
+	if err := ctl.Admit(context.Background(), tx); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Abort(tx); err == nil {
+		t.Error("double finish succeeded")
+	}
+}
+
+// TestRunReturnsCtxErrPromptly parks a transaction behind a huge retry
+// delay (so only the broadcast or ctx can wake it), cancels the
+// context, and requires Run to return ctx.Err() well before the delay.
+func TestRunReturnsCtxErrPromptly(t *testing.T) {
+	ctl := New(sched.C2PLFactory(), liveCosts, WithRetryDelay(time.Hour))
+	defer ctl.Close()
+	ctx := context.Background()
+	holder := txn.New(1, []txn.Step{w(0, 1)})
+	if err := ctl.Admit(ctx, holder); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Acquire(ctx, holder, 0); err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	done := make(chan error, 1)
+	go func() {
+		done <- ctl.Run(cctx, txn.New(2, []txn.Step{w(0, 1)}), nil)
+	}()
+	time.Sleep(10 * time.Millisecond) // let it block on the held lock
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run returned %v, want context.Canceled", err)
+		}
+		if waited := time.Since(start); waited > time.Second {
+			t.Fatalf("Run took %v to notice cancellation", waited)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run never returned after cancellation")
+	}
+	if err := ctl.Commit(holder); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBackoffStillCompletes exercises the jittered-exponential retry
+// path under contention: correctness must not depend on the delay
+// schedule.
+func TestBackoffStillCompletes(t *testing.T) {
+	ctl := New(sched.KWTPGFactory(2), liveCosts,
+		WithBackoff(200*time.Microsecond, 5*time.Millisecond))
+	defer ctl.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 12)
+	for i := 0; i < 12; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tx := txn.New(txn.ID(i+1), []txn.Step{w(0, 1), w(1, 1)})
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := ctl.Run(ctx, tx, func(step int, p Progress) error {
+				p(1)
+				return nil
+			}); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := ctl.Stats(); st.Committed != 12 {
+		t.Fatalf("committed %d, want 12", st.Committed)
+	}
+}
+
+// TestWatchdogBreaksStall wedges T2 behind a lock whose holder never
+// commits (a stuck caller) and verifies the watchdog escalates: a
+// Stall "kick" event, then a forced abort of the blocked T2 with
+// ErrWatchdogAborted. The holder itself — mid-"work" — is never
+// touched.
+func TestWatchdogBreaksStall(t *testing.T) {
+	ring := obs.NewRing(256)
+	ctl := New(sched.C2PLFactory(), liveCosts,
+		WithRetryDelay(5*time.Millisecond),
+		WithWatchdog(15*time.Millisecond),
+		WithObserver(ring))
+	defer ctl.Close()
+	ctx := context.Background()
+	holder := txn.New(1, []txn.Step{w(0, 1)})
+	if err := ctl.Admit(ctx, holder); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Acquire(ctx, holder, 0); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- ctl.Run(ctx, txn.New(2, []txn.Step{w(0, 1)}), nil)
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrWatchdogAborted) {
+			t.Fatalf("blocked transaction returned %v, want ErrWatchdogAborted", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog never aborted the blocked transaction")
+	}
+	st := ctl.Stats()
+	if st.Stalled == 0 {
+		t.Error("Stalled counter did not advance")
+	}
+	if st.Aborted != 1 {
+		t.Errorf("Aborted = %d, want 1 (the watchdog victim)", st.Aborted)
+	}
+	var kicks, aborts int
+	for _, e := range ring.Events() {
+		if e.Kind == obs.KindStall {
+			switch e.Op {
+			case "kick":
+				kicks++
+			case "abort":
+				aborts++
+			}
+		}
+	}
+	if kicks == 0 || aborts == 0 {
+		t.Errorf("stall events: %d kicks, %d aborts, want ≥1 of each", kicks, aborts)
+	}
+	// The holder is unaffected and can still finish.
+	if err := ctl.Commit(holder); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// With the stall cleared and progress resumed, the watchdog records
+	// a recovery.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if ctl.Stats().Recovered > 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Error("Recovered counter never advanced after the stall cleared")
+}
+
+// TestWatchdogIdleIsQuiet runs an idle controller under a fast
+// watchdog: no transactions, no waiters — no stalls.
+func TestWatchdogIdleIsQuiet(t *testing.T) {
+	ctl := New(sched.ChainFactory(), liveCosts, WithWatchdog(5*time.Millisecond))
+	time.Sleep(40 * time.Millisecond)
+	st := ctl.Stats()
+	ctl.Close()
+	if st.Stalled != 0 {
+		t.Errorf("idle controller recorded %d stalls", st.Stalled)
+	}
+}
+
+// TestLiveChaos is the live half of the chaos suite: goroutine swarms
+// under every fault kind at once — injected aborts, crashes
+// (recovered panics), slow partitions, admission refusals — on each
+// scheduler, with the watchdog armed. Every transaction must finish
+// (commit or injected fault), the lock table must end clean, and the
+// stats must balance. Run with -race via `make chaos`.
+func TestLiveChaos(t *testing.T) {
+	schedulers := []sched.Factory{
+		sched.ASLFactory(), sched.C2PLFactory(), sched.ChainFactory(), sched.KWTPGFactory(2),
+	}
+	seeds := []uint64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, f := range schedulers {
+		f := f
+		t.Run(f.Label, func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range seeds {
+				inj, err := fault.New(seed, fault.Config{
+					AbortRate:        0.25,
+					SlowIORate:       0.25,
+					SlowIOFactor:     2,
+					AdmitRefusalRate: 0.25,
+					CrashRate:        0.15,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ctl := New(f, liveCosts,
+					WithRetryDelay(time.Millisecond),
+					WithBackoff(500*time.Microsecond, 8*time.Millisecond),
+					WithWatchdog(50*time.Millisecond),
+					WithFaults(inj))
+				const workers = 24
+				var wg sync.WaitGroup
+				errs := make(chan error, workers)
+				for i := 0; i < workers; i++ {
+					i := i
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						tx := txn.New(txn.ID(seed*1000)+txn.ID(i+1), []txn.Step{
+							w(txn.PartitionID(i%4), 2),
+							w(txn.PartitionID((i+1)%4), 2),
+						})
+						ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+						defer cancel()
+						err := ctl.Run(ctx, tx, func(step int, p Progress) error {
+							p(1)
+							p(1)
+							return nil
+						})
+						switch {
+						case err == nil:
+						case errors.Is(err, fault.ErrInjectedAbort),
+							errors.Is(err, fault.ErrInjectedCrash),
+							errors.Is(err, ErrWatchdogAborted):
+							// expected fault outcomes
+						default:
+							errs <- fmt.Errorf("worker %d: %w", i, err)
+						}
+					}()
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					t.Fatal(err)
+				}
+				if err := ctl.CheckInvariants(); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				st := ctl.Stats()
+				if st.Active != 0 {
+					t.Fatalf("seed %d: %d transactions leaked", seed, st.Active)
+				}
+				if st.Committed+st.Aborted != st.Admitted {
+					t.Fatalf("seed %d: admitted %d != committed %d + aborted %d",
+						seed, st.Admitted, st.Committed, st.Aborted)
+				}
+				if st.Aborted == 0 {
+					t.Errorf("seed %d: chaos run injected no aborts", seed)
+				}
+				ctl.Close()
+			}
+		})
+	}
+}
+
+// TestPanicInWorkIsRecovered locks in the panic-recovery contract: a
+// panicking step aborts its transaction, returns the panic as an
+// error, and leaves the controller fully usable.
+func TestPanicInWorkIsRecovered(t *testing.T) {
+	ctl := New(sched.ChainFactory(), liveCosts, WithRetryDelay(time.Millisecond))
+	defer ctl.Close()
+	ctx := context.Background()
+	err := ctl.Run(ctx, txn.New(1, []txn.Step{w(0, 1)}), func(step int, p Progress) error {
+		panic("boom")
+	})
+	if err == nil {
+		t.Fatal("panicking work returned nil")
+	}
+	st := ctl.Stats()
+	if st.Aborted != 1 {
+		t.Fatalf("Aborted = %d, want 1", st.Aborted)
+	}
+	// The partition is free again.
+	if err := ctl.Run(ctx, txn.New(2, []txn.Step{w(0, 1)}), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -151,6 +151,15 @@ type Job struct {
 	Txn       *txn.T
 	Step      int
 	Remaining float64
+	// Cancelled marks a job whose transaction was aborted: the DN drops
+	// it at the next scheduling point without reporting OnQuantum or
+	// OnStepDone. An in-flight quantum still completes (the I/O is
+	// already issued) but is not reported.
+	Cancelled bool
+	// TimeFactor scales the per-object processing time of this job
+	// (slow-I/O fault injection). Zero means 1 so the zero value stays
+	// byte-identical to the unfaulted machine.
+	TimeFactor float64
 }
 
 // DataNode is one DN: a round-robin processor of bulk jobs with a
@@ -205,6 +214,10 @@ func (n *DataNode) pump() {
 	for !n.busy && len(n.jobs) > 0 {
 		j := n.jobs[0]
 		n.jobs = n.jobs[1:]
+		if j.Cancelled {
+			// Aborted transaction: the job evaporates without callbacks.
+			continue
+		}
 		if j.Remaining <= remainingEps {
 			// Zero-demand step (e.g. a fully filtered selection):
 			// completes without occupying the node.
@@ -214,7 +227,11 @@ func (n *DataNode) pump() {
 			continue
 		}
 		quantum := math.Min(1, j.Remaining)
-		dur := event.Time(math.Round(quantum * float64(n.objTime)))
+		factor := j.TimeFactor
+		if factor <= 0 {
+			factor = 1
+		}
+		dur := event.Time(math.Round(quantum * float64(n.objTime) * factor))
 		if dur < 1 {
 			dur = 1
 		}
@@ -227,14 +244,19 @@ func (n *DataNode) pump() {
 			if j.Remaining <= remainingEps {
 				j.Remaining = 0
 			}
-			if n.OnQuantum != nil {
+			// OnQuantum may cancel the job (the simulator's injected-abort
+			// path), so the cancellation check runs both before and after.
+			if n.OnQuantum != nil && !j.Cancelled {
 				n.OnQuantum(j, quantum, now)
 			}
-			if j.Remaining == 0 {
+			switch {
+			case j.Cancelled:
+				// Dropped: no completion callback, no requeue.
+			case j.Remaining == 0:
 				if n.OnStepDone != nil {
 					n.OnStepDone(j, now)
 				}
-			} else {
+			default:
 				n.jobs = append(n.jobs, j)
 			}
 			n.pump()

@@ -140,6 +140,15 @@ type SchedMetrics struct {
 	CritPathChanges uint64
 	CritPathMax     float64
 
+	// Robustness counters: scheduler abort-recovery runs, live-controller
+	// stall-watchdog firings, degraded-mode transitions, and injected
+	// faults.
+	Recoveries uint64
+	Stalls     uint64
+	Degrades   uint64
+	Restores   uint64
+	Faults     uint64
+
 	// Histograms: decision control-CPU cost (clocks), decision wall
 	// duration (µs), lock-queue depth at request submission, WTPG size
 	// at decision time, and commit response times (seconds).
@@ -226,6 +235,16 @@ func (m *Metrics) Observe(e Event) {
 		if e.CritPath > sm.CritPathMax {
 			sm.CritPathMax = e.CritPath
 		}
+	case KindAbort:
+		sm.Recoveries++
+	case KindStall:
+		sm.Stalls++
+	case KindDegrade:
+		sm.Degrades++
+	case KindRestore:
+		sm.Restores++
+	case KindFault:
+		sm.Faults++
 	}
 }
 
@@ -270,6 +289,11 @@ func (m *Metrics) Merge(o *Metrics) {
 		sm.Aborts += osm.Aborts
 		sm.Objects += osm.Objects
 		sm.Resolves += osm.Resolves
+		sm.Recoveries += osm.Recoveries
+		sm.Stalls += osm.Stalls
+		sm.Degrades += osm.Degrades
+		sm.Restores += osm.Restores
+		sm.Faults += osm.Faults
 		sm.CritPathChanges += osm.CritPathChanges
 		if osm.CritPathMax > sm.CritPathMax {
 			sm.CritPathMax = osm.CritPathMax

@@ -58,6 +58,24 @@ const (
 	// KindCriticalPathChange: the length of the WTPG critical path
 	// T0→…→Tf changed; CritPath is the new length in objects.
 	KindCriticalPathChange
+	// KindAbort: an admitted transaction was externally aborted (caller
+	// abandonment, injected fault, or the live controller's watchdog)
+	// and the scheduler ran its recovery path — locks released,
+	// precedence spliced. The splice's own resolutions arrive as
+	// Resolve events.
+	KindAbort
+	// KindStall: the live controller's no-progress watchdog fired; Op
+	// carries the action taken ("kick" for a broadcast retry, "abort"
+	// when a blocked transaction was force-aborted, with Txn naming it).
+	KindStall
+	// KindDegrade: a scheduler fell back to its degraded-but-safe mode
+	// (CHAIN → ASL-style admission with cautious grants).
+	KindDegrade
+	// KindRestore: a degraded scheduler returned to full operation.
+	KindRestore
+	// KindFault: an injected fault fired; Op names the fault
+	// ("abort", "refuse-admit", "slow-io", "crash").
+	KindFault
 )
 
 var kindNames = [...]string{
@@ -68,6 +86,11 @@ var kindNames = [...]string{
 	KindCommit:             "commit",
 	KindResolve:            "resolve",
 	KindCriticalPathChange: "critical-path",
+	KindAbort:              "abort",
+	KindStall:              "stall",
+	KindDegrade:            "degrade",
+	KindRestore:            "restore",
+	KindFault:              "fault",
 }
 
 func (k Kind) String() string {
@@ -162,6 +185,12 @@ func (e Event) String() string {
 		s += fmt.Sprintf(" %v->%v", e.From, e.To)
 	case KindCriticalPathChange:
 		s += fmt.Sprintf(" len=%.3g graph=%d", e.CritPath, e.Graph)
+	case KindAbort:
+		s += fmt.Sprintf(" graph=%d", e.Graph)
+	case KindStall, KindFault:
+		if e.Op != "" {
+			s += " op=" + e.Op
+		}
 	}
 	return s
 }

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"batsched/internal/core/sched"
+	"batsched/internal/fault"
+	"batsched/internal/machine"
+	"batsched/internal/obs"
+	"batsched/internal/workload"
+)
+
+// chaosConfig is a small machine driven hard enough that injected
+// faults land while locks are held and precedence edges are resolved.
+func chaosConfig(f sched.Factory, seed int64) Config {
+	m := machine.DefaultConfig()
+	m.NumNodes = 4
+	m.NumParts = 8
+	m.ObjTime = 100
+	m.RetryDelay = 50
+	return Config{
+		Machine:              m,
+		Scheduler:            f,
+		Workload:             workload.Experiment1(m.NumParts),
+		ArrivalRate:          4,
+		Horizon:              10_000_000, // effectively unbounded: MaxTxns ends the run
+		Seed:                 seed,
+		MaxTxns:              25,
+		CheckSerializability: true,
+		SelfCheck:            true,
+	}
+}
+
+// TestChaosMatrix is the seeded fault-injection suite: for each
+// scheduler under test, 100 seeds of injected mid-run aborts, slow
+// partitions, and admission-refusal bursts. Every run must finish with
+// zero invariant violations (SelfCheck panics otherwise), a
+// serializable committed schedule, no transactions wedged at the
+// horizon, and every arrival accounted for as either committed or
+// injected-aborted — faults may slow the machine down but must never
+// deadlock it or strand a survivor.
+func TestChaosMatrix(t *testing.T) {
+	factories := []sched.Factory{
+		sched.ASLFactory(),
+		sched.C2PLFactory(),
+		sched.ChainFactory(),
+		sched.KWTPGFactory(2),
+	}
+	seeds := 100
+	if testing.Short() {
+		seeds = 10
+	}
+	cfgFaults := fault.Config{
+		AbortRate:        0.25,
+		SlowIORate:       0.25,
+		SlowIOFactor:     3,
+		AdmitRefusalRate: 0.25,
+	}
+	for _, f := range factories {
+		f := f
+		t.Run(f.Label, func(t *testing.T) {
+			t.Parallel()
+			aborts, refusals := 0, 0
+			for seed := 0; seed < seeds; seed++ {
+				inj, err := fault.New(uint64(seed)+1, cfgFaults)
+				if err != nil {
+					t.Fatal(err)
+				}
+				metrics := obs.NewMetrics()
+				res, err := Run(chaosConfig(f, int64(seed)), WithFaults(inj), WithTrace(metrics))
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if res.LiveAtEnd != 0 {
+					t.Fatalf("seed %d: %d transactions wedged at the horizon", seed, res.LiveAtEnd)
+				}
+				if res.Completed+res.InjectedAborts != res.Arrived {
+					t.Fatalf("seed %d: arrived %d != completed %d + injected aborts %d",
+						seed, res.Arrived, res.Completed, res.InjectedAborts)
+				}
+				sm := metrics.Sched(res.Scheduler)
+				if sm == nil {
+					t.Fatalf("seed %d: no metrics for %s", seed, res.Scheduler)
+				}
+				if int(sm.Recoveries) != res.InjectedAborts {
+					t.Fatalf("seed %d: %d abort-recovery events for %d injected aborts",
+						seed, sm.Recoveries, res.InjectedAborts)
+				}
+				aborts += res.InjectedAborts
+				refusals += res.InjectedRefusals
+			}
+			// The matrix must actually exercise the recovery paths: at the
+			// configured rates a fault-free matrix means the injector came
+			// unwired.
+			if aborts == 0 {
+				t.Errorf("%s: no injected aborts across %d seeds", f.Label, seeds)
+			}
+			if refusals == 0 {
+				t.Errorf("%s: no injected admission refusals across %d seeds", f.Label, seeds)
+			}
+			t.Logf("%s: %d injected aborts, %d refusals over %d seeds", f.Label, aborts, refusals, seeds)
+		})
+	}
+}
+
+// TestFaultsOffIsByteIdentical locks in the zero-cost guarantee: a run
+// with a disabled injector produces exactly the same Result as a run
+// with no injector at all.
+func TestFaultsOffIsByteIdentical(t *testing.T) {
+	cfg := chaosConfig(sched.ChainFactory(), 7)
+	base, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disabled, err := fault.New(9, fault.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted, err := Run(cfg, WithFaults(disabled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, faulted) {
+		t.Errorf("disabled injector changed the result:\nbase:    %+v\nfaulted: %+v", base, faulted)
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"batsched/internal/core/sched"
 	"batsched/internal/event"
+	"batsched/internal/fault"
 	"batsched/internal/machine"
 	"batsched/internal/obs"
 	"batsched/internal/stats"
@@ -32,6 +33,7 @@ type Option func(*runOpts)
 
 type runOpts struct {
 	observer obs.Observer
+	inj      *fault.Injector
 }
 
 // WithTrace attaches a structured trace observer to the run: the
@@ -41,6 +43,19 @@ type runOpts struct {
 // is ignored; without one the run pays nothing.
 func WithTrace(o obs.Observer) Option {
 	return func(rc *runOpts) { rc.observer = o }
+}
+
+// WithFaults attaches a fault injector: selected transactions abort
+// after a deterministic amount of bulk processing (exercising the
+// schedulers' abort-recovery path), selected partitions run their I/O
+// slow, and selected admissions are refused at the control node before
+// the scheduler sees them. Every injected fault is followed by a
+// scheduler invariant check regardless of Config.SelfCheck. A nil
+// injector is ignored; fault decisions are pure functions of the
+// injector's seed, so the same (Config, Seed, fault seed) triple
+// replays the same faulted run.
+func WithFaults(in *fault.Injector) Option {
+	return func(rc *runOpts) { rc.inj = in }
 }
 
 // Config describes one simulation run.
@@ -135,8 +150,17 @@ type Result struct {
 	// via ArrivalTimes.
 	LastCompletion event.Time
 	// LiveAtEnd counts transactions still admitted-but-uncommitted at the
-	// horizon. Arrived = Completed + LiveAtEnd + (not yet admitted).
+	// horizon. Arrived = Completed + InjectedAborts + LiveAtEnd +
+	// (not yet admitted).
 	LiveAtEnd int
+
+	// InjectedAborts counts transactions killed mid-run by the fault
+	// injector (WithFaults); they release their locks through the
+	// scheduler's abort-recovery path and do not resubmit (the caller
+	// abandoned them). InjectedRefusals counts admission attempts the
+	// injector refused before the scheduler saw them (those do retry).
+	InjectedAborts   int
+	InjectedRefusals int
 
 	// Response-time decomposition over measured completions (seconds):
 	// admission wait (arrival to admission), lock wait (request
@@ -184,6 +208,18 @@ type txnState struct {
 	// outstanding counts sub-jobs of the current step still running at
 	// data nodes (only >1 under declustered placement).
 	outstanding int
+
+	// Fault-injection bookkeeping (zero without WithFaults): abortAt is
+	// the processed-object count at which the transaction dies (0 =
+	// never), processed accumulates quanta, jobs holds the current
+	// step's data-node jobs so an abort can cancel them, aborting
+	// latches once the abort is initiated, and admitAttempts numbers
+	// admission tries for the injector's refusal bursts.
+	abortAt       float64
+	processed     float64
+	jobs          []*machine.Job
+	aborting      bool
+	admitAttempts int
 }
 
 type simulator struct {
@@ -209,6 +245,8 @@ type simulator struct {
 	trace     *tracer
 	obs       obs.Observer // nil = no structured trace
 	obsLabel  string
+	inj       *fault.Injector // nil = no fault injection
+	slowSeen  map[txn.PartitionID]bool
 }
 
 // Run executes one simulation and returns its metrics. It returns an
@@ -248,6 +286,10 @@ func Run(cfg Config, opts ...Option) (*Result, error) {
 	s.classRT = make(map[string]*stats.Welford)
 	if cfg.Trace != nil {
 		s.trace = &tracer{w: cfg.Trace}
+	}
+	if rc.inj.Enabled() {
+		s.inj = rc.inj
+		s.slowSeen = make(map[txn.PartitionID]bool)
 	}
 	s.cn = machine.NewControlNode(s.q)
 	s.sch = cfg.Scheduler.New(cfg.Machine.Control)
@@ -346,9 +388,22 @@ func (s *simulator) scheduleArrival(from event.Time) {
 	})
 }
 
-// submitAdmit asks the scheduler to admit st's transaction.
+// submitAdmit asks the scheduler to admit st's transaction. An
+// injected admission refusal intercepts the attempt at the control
+// node — the scheduler never sees it — and the transaction resubmits
+// after the usual retry delay.
 func (s *simulator) submitAdmit(st *txnState) {
 	s.cn.Submit(func(now event.Time) (event.Time, func(event.Time)) {
+		attempt := st.admitAttempts
+		st.admitAttempts++
+		if s.inj.RefuseAdmit(st.t.ID, attempt) {
+			return 0, func(now event.Time) {
+				s.res.InjectedRefusals++
+				s.trace.emit(now, st.t.ID, "admit-refused-fault")
+				s.emitObs(obs.Event{Kind: obs.KindFault, At: now, Txn: st.t.ID, Op: "refuse-admit"})
+				s.retryLater(func(event.Time) { s.submitAdmit(st) })
+			}
+		}
 		out := s.sch.Admit(st.t, now)
 		cpu := out.CPU
 		if out.Decision == sched.Granted {
@@ -369,6 +424,9 @@ func (s *simulator) handleAdmit(st *txnState, d sched.Decision, now event.Time) 
 		}
 		st.step = 0
 		st.admittedAt = now
+		if at, ok := s.inj.AbortAt(st.t); ok {
+			st.abortAt = at
+		}
 		s.trace.emit(now, st.t.ID, "admit")
 		s.advance(st, now)
 	case sched.Delayed:
@@ -455,18 +513,39 @@ func (s *simulator) dispatch(st *txnState, step int, sp txn.Step) {
 	if s.cfg.Declustered || width > len(s.nodes) {
 		width = len(s.nodes)
 	}
+	factor := s.ioFactor(sp.Part, st.t.ID)
 	if width <= 1 || len(s.nodes) == 1 {
 		st.outstanding = 1
-		node := s.nodes[s.cfg.Machine.NodeOf(sp.Part)]
-		node.Enqueue(&machine.Job{Txn: st.t, Step: step, Remaining: sp.Cost})
+		j := &machine.Job{Txn: st.t, Step: step, Remaining: sp.Cost, TimeFactor: factor}
+		st.jobs = []*machine.Job{j}
+		s.nodes[s.cfg.Machine.NodeOf(sp.Part)].Enqueue(j)
 		return
 	}
 	home := s.cfg.Machine.NodeOf(sp.Part)
 	share := sp.Cost / float64(width)
 	st.outstanding = width
+	st.jobs = st.jobs[:0]
 	for i := 0; i < width; i++ {
-		s.nodes[(home+i)%len(s.nodes)].Enqueue(&machine.Job{Txn: st.t, Step: step, Remaining: share})
+		j := &machine.Job{Txn: st.t, Step: step, Remaining: share, TimeFactor: factor}
+		st.jobs = append(st.jobs, j)
+		s.nodes[(home+i)%len(s.nodes)].Enqueue(j)
 	}
+}
+
+// ioFactor returns the injected slow-I/O multiplier for a partition
+// (1 without faults), emitting one Fault event the first time a slow
+// partition is touched.
+func (s *simulator) ioFactor(p txn.PartitionID, id txn.ID) float64 {
+	if s.inj == nil {
+		return 0 // Job.TimeFactor zero value: unscaled
+	}
+	f := s.inj.IOFactor(p)
+	if f != 1 && !s.slowSeen[p] {
+		s.slowSeen[p] = true
+		s.trace.emit(s.q.Now(), id, "fault-slow-io", "part", p, "factor", f)
+		s.emitObs(obs.Event{Kind: obs.KindFault, At: s.q.Now(), Txn: id, Part: p, Op: "slow-io"})
+	}
+	return f
 }
 
 // retryLater resubmits work after the fixed retry delay (§3.2).
@@ -475,10 +554,72 @@ func (s *simulator) retryLater(fn event.Handler) {
 }
 
 // onQuantum relays a processed quantum to the scheduler (the §3.1 weight
-// adjustment message; node-side control overhead is ignored per §4.1).
+// adjustment message; node-side control overhead is ignored per §4.1)
+// and, under fault injection, checks whether the transaction has
+// reached its scheduled abort point.
 func (s *simulator) onQuantum(j *machine.Job, objects float64, now event.Time) {
 	s.sch.ObjectDone(j.Txn, objects, now)
 	s.emitObs(obs.Event{Kind: obs.KindObjectDone, At: now, Txn: j.Txn.ID, Step: j.Step, Objects: objects})
+	if s.inj == nil {
+		return
+	}
+	st, ok := s.live[j.Txn.ID]
+	if !ok {
+		return
+	}
+	st.processed += objects
+	if st.abortAt > 0 && !st.aborting && st.processed >= st.abortAt {
+		s.injectAbort(st, now)
+	}
+}
+
+// injectAbort kills st mid-run: its data-node jobs are cancelled (the
+// in-flight quantum finishes but is not reported) and the control node
+// runs the scheduler's abort-recovery path — release locks, retract
+// unresolved conflicting-edges, splice resolved precedence past the
+// dead transaction. The transaction does not resubmit.
+func (s *simulator) injectAbort(st *txnState, now event.Time) {
+	st.aborting = true
+	for _, j := range st.jobs {
+		j.Cancelled = true
+	}
+	s.res.InjectedAborts++
+	s.trace.emit(now, st.t.ID, "fault-abort", "processed", st.processed)
+	s.emitObs(obs.Event{Kind: obs.KindFault, At: now, Txn: st.t.ID, Op: "abort"})
+	s.cn.Submit(func(now event.Time) (event.Time, func(event.Time)) {
+		freed, cpu := sched.AbortTxn(s.sch, st.t, now)
+		return s.cfg.Machine.CommitTime + cpu, func(now event.Time) {
+			s.handleAbort(st, freed, now)
+		}
+	})
+}
+
+// handleAbort finishes an injected abort once the control node has run
+// the recovery: the transaction leaves the live set, the recovered
+// scheduler state is invariant-checked (always under fault injection),
+// and waiters on the freed partitions are woken.
+func (s *simulator) handleAbort(st *txnState, freed []txn.PartitionID, now event.Time) {
+	delete(s.live, st.t.ID)
+	s.trace.emit(now, st.t.ID, "aborted")
+	s.selfCheck()
+	s.wakeWaiters(freed)
+}
+
+// selfCheck runs the scheduler's invariant checks and verifies the
+// WTPG is still acyclic. Invoked after every commit when
+// Config.SelfCheck is set, and after every injected fault
+// unconditionally.
+func (s *simulator) selfCheck() {
+	if c, ok := s.sch.(interface{ CheckInvariants() error }); ok {
+		if err := c.CheckInvariants(); err != nil {
+			panic(err)
+		}
+	}
+	if gh, ok := s.sch.(sched.GraphHolder); ok && gh.Graph() != nil {
+		if _, err := gh.Graph().CriticalPath(); err != nil {
+			panic(err)
+		}
+	}
 }
 
 // onStepDone sends the transaction back to the control node for its next
@@ -521,11 +662,7 @@ func (s *simulator) handleCommit(st *txnState, freed []txn.PartitionID, now even
 		s.checker.RecordCommit(st.t.ID)
 	}
 	if s.cfg.SelfCheck {
-		if c, ok := s.sch.(interface{ CheckInvariants() error }); ok {
-			if err := c.CheckInvariants(); err != nil {
-				panic(err)
-			}
-		}
+		s.selfCheck()
 	}
 	if st.arrived >= s.cfg.Warmup {
 		s.res.Measured++
@@ -544,7 +681,12 @@ func (s *simulator) handleCommit(st *txnState, freed []txn.PartitionID, now even
 			w.Add((now - st.arrived).Seconds())
 		}
 	}
-	// Wake requests blocked on the released partitions, FIFO.
+	s.wakeWaiters(freed)
+}
+
+// wakeWaiters resubmits requests blocked on the released partitions,
+// FIFO. Shared by the commit and abort completion paths.
+func (s *simulator) wakeWaiters(freed []txn.PartitionID) {
 	for _, p := range freed {
 		waiters := s.waiting[p]
 		if len(waiters) == 0 {
