@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench chaos verify
+.PHONY: build test bench bench-all bench-smoke chaos verify
 
 build:
 	$(GO) build ./...
@@ -11,8 +11,33 @@ build:
 test:
 	$(GO) test ./...
 
+# The PR3 performance-tracking set: the Table 1 macro benchmark plus the
+# WTPG/estimate micro-benchmarks that gate the allocation-free engine.
+PR3_BENCH := BenchmarkTable1SingleRun|BenchmarkEstimateE|BenchmarkESmall|BenchmarkELarge
+PR3_BENCH := $(PR3_BENCH)|BenchmarkCriticalPath|BenchmarkCriticalPathStar|BenchmarkGraphChurn
+PR3_BENCH := $(PR3_BENCH)|BenchmarkWouldCycleFromStar|BenchmarkCloneStar
+PR3_PKGS  := . ./internal/core/wtpg/ ./internal/core/estimate/
+
+# bench reruns the tracking set (3 samples each) into
+# bench/current_pr3.txt — plain `go test -bench` text, so
+# `benchstat bench/baseline_pr3.txt bench/current_pr3.txt` works on the
+# two files directly — and regenerates the committed BENCH_PR3.json
+# before/after summary from baseline vs current.
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -run '^$$' -bench '^($(PR3_BENCH))$$' -benchmem -count 3 $(PR3_PKGS) \
+		| tee bench/current_pr3.txt
+	$(GO) run ./tools/benchjson -old bench/baseline_pr3.txt -new bench/current_pr3.txt \
+		-note "baseline = pre-slot-engine (map-based WTPG, clone-based E)" > BENCH_PR3.json
+
+# bench-all is the old kitchen-sink run over every benchmark in the repo.
+bench-all:
+	$(GO) test -bench=. -benchmem ./...
+
+# bench-smoke executes each tracked benchmark exactly once so verify
+# catches benchmarks that no longer compile or crash, without the cost
+# of a measurement run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench '^($(PR3_BENCH))$$' -benchtime 1x $(PR3_PKGS)
 
 # chaos runs the fault-injection suites (docs/ROBUSTNESS.md) under the
 # race detector: the simulator's 100-seed × scheduler matrix, the live
@@ -22,6 +47,7 @@ chaos:
 	$(GO) test -race -count=1 -run 'Chaos|TestAbort|TestWatchdog|TestFaults' \
 		./internal/sim/ ./internal/live/ ./internal/fault/ ./internal/core/sched/
 
-verify: build test chaos
+verify: build test chaos bench-smoke
 	$(GO) vet ./...
 	$(GO) test -race ./internal/live/... ./internal/obs/...
+	$(GO) test -tags wtpgshadow -count=1 ./internal/core/... ./internal/sim/

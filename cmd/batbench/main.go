@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -43,8 +45,12 @@ func main() {
 		quiet    = flag.Bool("q", false, "suppress progress output")
 		trace    = flag.String("trace", "", "write a structured JSONL trace of every run to this file ('-' = stdout)")
 		metrics  = flag.Bool("metrics", false, "print per-scheduler decision counts and latency histograms after the runs")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with `go tool pprof`)")
+		memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	defer startProfiles(*cpuprof, *memprof)()
 
 	if *table1 {
 		printTable1()
@@ -255,6 +261,38 @@ func printTable1() {
 		fmt.Printf("  %-22s %s\n", r[0], r[1])
 	}
 	fmt.Println()
+}
+
+// startProfiles begins CPU profiling (if requested) and returns a
+// function that stops it and writes the heap profile (if requested).
+// Profiles are dropped on error exits — os.Exit skips the deferred stop
+// — which matches the usual net/http/pprof-less CLI convention.
+func startProfiles(cpuPath, memPath string) func() {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		must(err)
+		must(pprof.StartCPUProfile(f))
+		stop := func() {
+			pprof.StopCPUProfile()
+			must(f.Close())
+			fmt.Fprintf(os.Stderr, "wrote %s\n", cpuPath)
+			writeHeapProfile(memPath)
+		}
+		return stop
+	}
+	return func() { writeHeapProfile(memPath) }
+}
+
+func writeHeapProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	must(err)
+	runtime.GC() // settle live objects so the profile reflects steady state
+	must(pprof.WriteHeapProfile(f))
+	must(f.Close())
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 }
 
 func writeCSV(path, data string) {

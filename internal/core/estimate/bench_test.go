@@ -57,3 +57,16 @@ func BenchmarkELarge(b *testing.B) {
 		E(g, q, targets)
 	}
 }
+
+// BenchmarkEstimateE is the headline E(q) benchmark: a mid-size graph,
+// one request with implied targets, evaluated over the live graph's
+// overlay. Steady state must allocate nothing.
+func BenchmarkEstimateE(b *testing.B) {
+	g, q := benchGraph(8, 64)
+	targets := []txn.ID{q + 1, q + 2, q + 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		E(g, q, targets)
+	}
+}

@@ -14,7 +14,11 @@
 //	        the critical path from T0 to Tf.
 //
 // The computation is O(max(n, e)) — one cycle test, two graph traversals
-// and one topological longest-path pass.
+// and one topological longest-path pass — and, crucially for §3.4's
+// argument that the decision cost must stay small, allocation-free in the
+// steady state: the hypothetical resolutions are applied to a scratch
+// overlay owned by the live graph (wtpg.Overlay) and rolled back, never
+// to a copy.
 package estimate
 
 import (
@@ -28,46 +32,25 @@ import (
 func Infinite() float64 { return math.Inf(1) }
 
 // E evaluates E(q) for a lock-request of transaction t whose grant would
-// resolve t→target for every target. The graph g is not modified.
+// resolve t→target for every target. The graph g is not modified (the
+// overlay it lends out is rolled back before returning).
 func E(g *wtpg.Graph, t txn.ID, targets []txn.ID) float64 {
 	if g.WouldCycleFrom(t, targets) {
 		return Infinite()
 	}
-	h := g.Clone()
+	o := g.BeginOverlay()
+	defer o.End()
+	// Step 1: the hypothetical grant's own resolutions.
 	for _, to := range targets {
-		if _, ok := h.EdgeBetween(t, to); !ok {
-			// A grant can imply an ordering against a transaction it has
-			// no conflicting-edge with only if the caller passed junk;
-			// tolerate it by adding a zero-weight conflict so the order
-			// still constrains the path structure.
-			if err := h.AddConflict(t, to, 0, 0); err != nil {
-				return Infinite()
-			}
-		}
-		if err := h.Resolve(t, to); err != nil {
+		if err := o.Resolve(t, to); err != nil {
 			return Infinite()
 		}
 	}
-	before := h.Before(t)
-	after := h.After(t)
 	// Step 2: orient straddling conflicting-edges forward.
-	for _, e := range h.Edges() {
-		if e.Dir != wtpg.Unresolved {
-			continue
-		}
-		switch {
-		case before[e.A] && after[e.B]:
-			if err := h.Resolve(e.A, e.B); err != nil {
-				return Infinite()
-			}
-		case before[e.B] && after[e.A]:
-			if err := h.Resolve(e.B, e.A); err != nil {
-				return Infinite()
-			}
-		}
-	}
-	// Step 3: remaining conflicting-edges are ignored by CriticalPath.
-	cp, err := h.CriticalPath()
+	o.ResolveStraddling(t)
+	// Step 3: remaining conflicting-edges are ignored by the overlay
+	// critical path.
+	cp, err := o.CriticalPath()
 	if err != nil {
 		return Infinite()
 	}

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"math"
+	"strconv"
 
 	"batsched/internal/core/estimate"
 	"batsched/internal/event"
@@ -17,11 +18,17 @@ import (
 //
 // Per §3.4, E values are cached and recomputed only when a transaction
 // starts or commits, a new precedence-edge is generated, or KeepTime has
-// elapsed since the last computation.
+// elapsed since the last computation. The cache is invalidated by
+// bumping a generation counter — entries stamped with an older
+// generation simply miss — rather than by reallocating the map, so the
+// steady state reuses both the map's storage and its entries' slots.
+// Entries for a transaction are deleted when it leaves (commit/abort),
+// which bounds the map at the live-transaction working set.
 type kwtpg struct {
 	wtpgBase
 	k          int
-	cache      map[reqKey]float64
+	cache      map[reqKey]cachedE
+	cacheGen   uint64
 	cacheAt    event.Time
 	cacheDirty bool
 }
@@ -31,35 +38,20 @@ type reqKey struct {
 	step int
 }
 
+// cachedE is a generation-stamped E(q) value: valid only while its gen
+// matches the scheduler's current cache generation.
+type cachedE struct {
+	val float64
+	gen uint64
+}
+
 // NewKWTPG returns a K-conflict WTPG scheduler with bound k.
 func NewKWTPG(costs Costs, k int) Scheduler {
-	return &kwtpg{wtpgBase: newWTPGBase(costs), k: k, cache: make(map[reqKey]float64)}
+	return &kwtpg{wtpgBase: newWTPGBase(costs), k: k, cache: make(map[reqKey]cachedE)}
 }
 
 func (s *kwtpg) Name() string {
-	return "K" + itoa(s.k)
-}
-
-func itoa(k int) string {
-	if k == 0 {
-		return "0"
-	}
-	neg := k < 0
-	if neg {
-		k = -k
-	}
-	var buf [20]byte
-	i := len(buf)
-	for k > 0 {
-		i--
-		buf[i] = byte('0' + k%10)
-		k /= 10
-	}
-	if neg {
-		i--
-		buf[i] = '-'
-	}
-	return string(buf[i:])
+	return "K" + strconv.Itoa(s.k)
 }
 
 func (s *kwtpg) Admit(t *txn.T, now event.Time) Outcome {
@@ -78,7 +70,7 @@ func (s *kwtpg) Admit(t *txn.T, now event.Time) Outcome {
 // maybeInvalidate applies §3.4's cache-invalidation conditions.
 func (s *kwtpg) maybeInvalidate(now event.Time) {
 	if s.cacheDirty || now-s.cacheAt >= s.costs.KeepTime {
-		s.cache = make(map[reqKey]float64)
+		s.cacheGen++
 		s.cacheAt = now
 		s.cacheDirty = false
 	}
@@ -88,12 +80,20 @@ func (s *kwtpg) maybeInvalidate(now event.Time) {
 // cache. The second result reports whether a fresh computation ran.
 func (s *kwtpg) estimateE(t *txn.T, step int) (float64, bool) {
 	key := reqKey{t.ID, step}
-	if v, ok := s.cache[key]; ok {
-		return v, false
+	if c, ok := s.cache[key]; ok && c.gen == s.cacheGen {
+		return c.val, false
 	}
 	v := estimate.E(s.graph, t.ID, s.impliedTargets(t, step))
-	s.cache[key] = v
+	s.cache[key] = cachedE{val: v, gen: s.cacheGen}
 	return v, true
+}
+
+// dropCached removes t's cache entries so departed transactions do not
+// accumulate in the map.
+func (s *kwtpg) dropCached(t *txn.T) {
+	for step := range t.Steps {
+		delete(s.cache, reqKey{t.ID, step})
+	}
 }
 
 func (s *kwtpg) Request(t *txn.T, step int, now event.Time) Outcome {
@@ -143,6 +143,7 @@ func (s *kwtpg) ObjectDone(t *txn.T, objects float64, now event.Time) {
 
 func (s *kwtpg) Commit(t *txn.T, now event.Time) ([]txn.PartitionID, event.Time) {
 	freed := s.commit(t)
+	s.dropCached(t)
 	s.cacheDirty = true
 	return freed, 0
 }
@@ -152,6 +153,7 @@ func (s *kwtpg) Commit(t *txn.T, now event.Time) ([]txn.PartitionID, event.Time)
 // splice resolutions add precedence-edges — §3.4 rule 3).
 func (s *kwtpg) Abort(t *txn.T, now event.Time) ([]txn.PartitionID, event.Time) {
 	freed := s.abort(t)
+	s.dropCached(t)
 	s.cacheDirty = true
 	return freed, s.costs.DDTime
 }

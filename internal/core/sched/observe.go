@@ -190,9 +190,11 @@ func (w *observed) Degraded() bool {
 	return false
 }
 
-// checkCriticalPath recomputes the WTPG critical path and emits a
+// checkCriticalPath reads the WTPG critical path and emits a
 // CriticalPathChange event when its length moved. Only runs with an
-// observer attached; the computation is O(V+E) over resolved edges.
+// observer attached; the graph caches the critical path per epoch, so
+// this is O(1) unless the graph mutated since the last read (then one
+// O(V+E) recomputation over resolved edges).
 func (w *observed) checkCriticalPath(now event.Time) {
 	if w.graph == nil {
 		return

@@ -19,51 +19,58 @@ type Chain []txn.ID
 // The result is deterministic: each path starts at its smaller-id
 // endpoint, and chains are sorted by their first element.
 func (g *Graph) Chains() (chains []Chain, ok bool) {
-	for id := range g.w0 {
-		if len(g.adj[id]) > 2 {
+	for s, id := range g.ids {
+		if id != 0 && len(g.adj[s]) > 2 {
 			return nil, false
 		}
 	}
-	visited := make(map[txn.ID]bool, len(g.w0))
+	g.visited.reset(len(g.ids))
+	seen := 0
 	// Nodes() is sorted, so the first unvisited endpoint of each path
 	// component is its smaller-id endpoint.
 	for _, id := range g.Nodes() {
-		if visited[id] || len(g.adj[id]) > 1 {
+		s := g.slotOf[id]
+		if g.visited.has(s) || len(g.adj[s]) > 1 {
 			continue
 		}
 		chain := Chain{id}
-		visited[id] = true
-		var prev txn.ID
-		cur, hasPrev := id, false
+		g.visited.add(s)
+		seen++
+		prev, cur := int32(-1), s
 		for {
-			next, found := g.nextNeighbour(cur, prev, hasPrev)
+			next, found := g.nextNeighbourSlot(cur, prev)
 			if !found {
 				break
 			}
-			if visited[next] {
+			if g.visited.has(next) {
 				return nil, false
 			}
-			chain = append(chain, next)
-			visited[next] = true
-			prev, cur, hasPrev = cur, next, true
+			chain = append(chain, g.ids[next])
+			g.visited.add(next)
+			seen++
+			prev, cur = cur, next
 		}
 		chains = append(chains, chain)
 	}
 	// Every node of degree 2 not reached from an endpoint lies on a cycle.
-	for id := range g.w0 {
-		if !visited[id] {
-			return nil, false
-		}
+	if seen != g.nLive {
+		return nil, false
 	}
 	sort.Slice(chains, func(i, j int) bool { return chains[i][0] < chains[j][0] })
 	return chains, true
 }
 
-// nextNeighbour returns the neighbour of cur other than prev. With degree
-// at most 2 there is at most one such neighbour.
-func (g *Graph) nextNeighbour(cur, prev txn.ID, hasPrev bool) (txn.ID, bool) {
-	for other := range g.adj[cur] {
-		if hasPrev && other == prev {
+// nextNeighbourSlot returns the neighbour slot of cur other than prev
+// (prev < 0 means no predecessor). With degree at most 2 there is at most
+// one such neighbour.
+func (g *Graph) nextNeighbourSlot(cur, prev int32) (int32, bool) {
+	for _, idx := range g.adj[cur] {
+		e := &g.edges[idx]
+		other := e.sa
+		if other == cur {
+			other = e.sb
+		}
+		if other == prev {
 			continue
 		}
 		return other, true
@@ -72,4 +79,10 @@ func (g *Graph) nextNeighbour(cur, prev txn.ID, hasPrev bool) (txn.ID, bool) {
 }
 
 // ConflictDegree returns the number of transactions id conflicts with.
-func (g *Graph) ConflictDegree(id txn.ID) int { return len(g.adj[id]) }
+func (g *Graph) ConflictDegree(id txn.ID) int {
+	s, ok := g.slotOf[id]
+	if !ok {
+		return 0
+	}
+	return len(g.adj[s])
+}

@@ -17,7 +17,7 @@ func (g *Graph) DOT(name string) string {
 	b.WriteString("  Tf [shape=doublecircle];\n")
 	for _, id := range g.Nodes() {
 		fmt.Fprintf(&b, "  %v [shape=box];\n", id)
-		fmt.Fprintf(&b, "  T0 -> %v [label=\"%g\"];\n", id, g.w0[id])
+		fmt.Fprintf(&b, "  T0 -> %v [label=\"%g\"];\n", id, g.W0(id))
 		fmt.Fprintf(&b, "  %v -> Tf [label=\"0\", style=dotted];\n", id)
 	}
 	for _, e := range g.Edges() {

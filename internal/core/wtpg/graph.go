@@ -14,9 +14,21 @@
 // The length of the critical (longest) path from T0 to Tf estimates the
 // earliest possible completion time of the schedule and therefore the
 // degree of data/resource contention.
+//
+// Two engines live in this package. Graph is the production engine: live
+// transactions occupy dense integer slots (freed on commit/abort, reused),
+// edges live in a slab indexed by small ints, adjacency is slice-based,
+// traversal scratch (stacks, generation-stamped visited marks, topological
+// buffers) is owned by the graph and reused, and the critical-path length
+// is cached under an epoch counter so re-reads between mutations are O(1).
+// Ref (ref.go) is the original map-based engine, retained as the reference
+// implementation: differential tests prove the two agree exactly, and
+// builds tagged `wtpgshadow` cross-check them on live workloads. See
+// docs/PERFORMANCE.md for the design and its invalidation rules.
 package wtpg
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -101,18 +113,111 @@ type Resolution struct {
 	From, To txn.ID
 }
 
+// errCycle is the shared cycle error so the cached critical-path fast
+// path never allocates.
+var errCycle = errors.New("wtpg: precedence-edges contain a cycle")
+
+// edgeRec is a slab-resident conflicting-edge. sa/sb are the slots of the
+// endpoints A (smaller id) and B. The pos* fields are the edge's index in
+// each endpoint's adjacency list (posA in adj[sa], posB in adj[sb]) and,
+// once resolved, in the precedence indices (posOut in out[fromSlot], posIn
+// in in[toSlot]) so removal is a swap-delete, never a scan.
+type edgeRec struct {
+	sa, sb     int32
+	wab, wba   float64
+	dir        Direction
+	live       bool
+	posA, posB int32
+	posOut     int32
+	posIn      int32
+}
+
+func (e *edgeRec) fromSlot() int32 {
+	if e.dir == BtoA {
+		return e.sb
+	}
+	return e.sa
+}
+
+func (e *edgeRec) toSlot() int32 {
+	if e.dir == BtoA {
+		return e.sa
+	}
+	return e.sb
+}
+
+func (e *edgeRec) weight() float64 {
+	if e.dir == BtoA {
+		return e.wba
+	}
+	return e.wab
+}
+
+// markset is a generation-stamped visited set over slots: clearing is a
+// single counter increment, membership is one slice read, and the backing
+// array is reused across traversals.
+type markset struct {
+	marks []uint32
+	gen   uint32
+}
+
+// reset clears the set and sizes it for n slots.
+func (m *markset) reset(n int) {
+	if len(m.marks) < n {
+		m.marks = make([]uint32, n+n/2+8)
+	}
+	m.gen++
+	if m.gen == 0 { // wrapped: stamp array is stale, wipe it once
+		for i := range m.marks {
+			m.marks[i] = 0
+		}
+		m.gen = 1
+	}
+}
+
+func (m *markset) has(s int32) bool { return m.marks[s] == m.gen }
+func (m *markset) add(s int32)      { m.marks[s] = m.gen }
+
 // Graph is a WTPG over live transactions. It is not safe for concurrent
 // use; the simulation is single-threaded.
 type Graph struct {
-	w0    map[txn.ID]float64
-	edges map[pairKey]*Edge
-	adj   map[txn.ID]map[txn.ID]*Edge // both endpoints point at the shared Edge
-	// out/in index only the resolved precedence-edges so traversals never
-	// touch the (much larger) set of unresolved conflicting-edges.
-	out map[txn.ID]map[txn.ID]*Edge
-	in  map[txn.ID]map[txn.ID]*Edge
-	// stackBuf is scratch space for WouldCycleFrom (single-threaded use).
-	stackBuf []txn.ID
+	slotOf map[txn.ID]int32 // id → slot
+	ids    []txn.ID         // slot → id; 0 marks a free slot (zero ID reserved)
+	w0     []float64        // slot → w(T0→Ti)
+	free   []int32          // reusable slots
+	nLive  int
+
+	edges     []edgeRec // edge slab
+	freeEdges []int32   // reusable slab entries
+	pair      map[pairKey]int32
+
+	adj [][]int32 // slot → slab indices of all conflicting-edges
+	out [][]int32 // slot → slab indices of resolved out-edges
+	in  [][]int32 // slot → slab indices of resolved in-edges
+
+	// epoch counts mutations (AddNode/AddConflict/Resolve/Remove/SetW0);
+	// caches stamped with it are valid while it stands still.
+	epoch uint64
+
+	// Cached critical path: value, cycle flag, and the topological order
+	// and per-slot distances of the pass that produced it (reused by
+	// CriticalPathTrace). Valid while cpEpoch == epoch.
+	cpEpoch uint64
+	cpValid bool
+	cpLen   float64
+	cpOK    bool
+	topoBuf []int32
+	distBuf []float64
+
+	// Traversal scratch (single-threaded use).
+	indegBuf []int32
+	stackBuf []int32
+	visited  markset
+
+	ovl Overlay // reusable hypothetical-evaluation state (overlay.go)
+
+	shadow *Ref // cross-checking Ref engine; nil unless built with wtpgshadow
+
 	// OnResolve, if set, observes every conflicting-edge resolution
 	// from→to at the moment the precedence becomes permanent (used by
 	// the observability layer; nil costs one branch per resolution).
@@ -121,29 +226,32 @@ type Graph struct {
 
 // New returns an empty WTPG.
 func New() *Graph {
-	return &Graph{
-		w0:    make(map[txn.ID]float64),
-		edges: make(map[pairKey]*Edge),
-		adj:   make(map[txn.ID]map[txn.ID]*Edge),
-		out:   make(map[txn.ID]map[txn.ID]*Edge),
-		in:    make(map[txn.ID]map[txn.ID]*Edge),
+	g := &Graph{
+		slotOf: make(map[txn.ID]int32),
+		pair:   make(map[pairKey]int32),
 	}
+	if shadowEnabled {
+		g.shadow = NewRef()
+	}
+	return g
 }
 
 // Len returns the number of live transactions in the graph.
-func (g *Graph) Len() int { return len(g.w0) }
+func (g *Graph) Len() int { return g.nLive }
 
 // Has reports whether id is in the graph.
 func (g *Graph) Has(id txn.ID) bool {
-	_, ok := g.w0[id]
+	_, ok := g.slotOf[id]
 	return ok
 }
 
 // Nodes returns the live transaction ids, sorted.
 func (g *Graph) Nodes() []txn.ID {
-	out := make([]txn.ID, 0, len(g.w0))
-	for id := range g.w0 {
-		out = append(out, id)
+	out := make([]txn.ID, 0, g.nLive)
+	for _, id := range g.ids {
+		if id != 0 {
+			out = append(out, id)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -158,31 +266,58 @@ func (g *Graph) AddNode(id txn.ID, w0 float64) error {
 	if w0 < 0 {
 		return fmt.Errorf("wtpg: negative w0 %g for %v", w0, id)
 	}
-	g.w0[id] = w0
-	g.adj[id] = make(map[txn.ID]*Edge)
-	g.out[id] = make(map[txn.ID]*Edge)
-	g.in[id] = make(map[txn.ID]*Edge)
+	var s int32
+	if n := len(g.free); n > 0 {
+		s = g.free[n-1]
+		g.free = g.free[:n-1]
+	} else {
+		s = int32(len(g.ids))
+		g.ids = append(g.ids, 0)
+		g.w0 = append(g.w0, 0)
+		g.adj = append(g.adj, nil)
+		g.out = append(g.out, nil)
+		g.in = append(g.in, nil)
+	}
+	g.ids[s] = id
+	g.w0[s] = w0
+	g.slotOf[id] = s
+	g.nLive++
+	g.epoch++
+	if shadowEnabled {
+		g.shadowCheck("AddNode", g.shadow.AddNode(id, w0), nil)
+	}
 	return nil
 }
 
 // W0 returns w(T0→Ti).
-func (g *Graph) W0(id txn.ID) float64 { return g.w0[id] }
+func (g *Graph) W0(id txn.ID) float64 {
+	s, ok := g.slotOf[id]
+	if !ok {
+		return 0
+	}
+	return g.w0[s]
+}
 
 // SetW0 overwrites w(T0→Ti).
 func (g *Graph) SetW0(id txn.ID, w float64) {
-	if !g.Has(id) {
+	s, ok := g.slotOf[id]
+	if !ok {
 		panic(fmt.Sprintf("wtpg: SetW0 on unknown %v", id))
 	}
 	if w < 0 {
 		w = 0
 	}
-	g.w0[id] = w
+	g.w0[s] = w
+	g.epoch++
+	if shadowEnabled {
+		g.shadow.SetW0(id, w)
+	}
 }
 
 // AddW0 adjusts w(T0→Ti) by delta (the per-object decrement messages use
 // delta = -1). The weight is clamped at zero.
 func (g *Graph) AddW0(id txn.ID, delta float64) {
-	g.SetW0(id, g.w0[id]+delta)
+	g.SetW0(id, g.W0(id)+delta)
 }
 
 // AddConflict inserts the conflicting-edge (a,b) with weights w(a→b)=wab
@@ -191,39 +326,61 @@ func (g *Graph) AddConflict(a, b txn.ID, wab, wba float64) error {
 	if a == b {
 		return fmt.Errorf("wtpg: self-conflict on %v", a)
 	}
-	if !g.Has(a) || !g.Has(b) {
+	sa, okA := g.slotOf[a]
+	sb, okB := g.slotOf[b]
+	if !okA || !okB {
 		return fmt.Errorf("wtpg: conflict (%v,%v) with unknown node", a, b)
 	}
 	k := keyOf(a, b)
-	if _, ok := g.edges[k]; ok {
+	if _, ok := g.pair[k]; ok {
 		return fmt.Errorf("wtpg: conflict (%v,%v) already present", a, b)
 	}
-	e := &Edge{A: k.a, B: k.b}
-	if a == k.a {
-		e.WAB, e.WBA = wab, wba
-	} else {
-		e.WAB, e.WBA = wba, wab
+	if shadowEnabled {
+		g.shadowCheck("AddConflict", g.shadow.AddConflict(a, b, wab, wba), nil)
 	}
-	g.edges[k] = e
-	g.adj[a][b] = e
-	g.adj[b][a] = e
+	if a != k.a { // normalise to (smaller id, larger id)
+		sa, sb = sb, sa
+		wab, wba = wba, wab
+	}
+	var idx int32
+	if n := len(g.freeEdges); n > 0 {
+		idx = g.freeEdges[n-1]
+		g.freeEdges = g.freeEdges[:n-1]
+	} else {
+		idx = int32(len(g.edges))
+		g.edges = append(g.edges, edgeRec{})
+	}
+	g.edges[idx] = edgeRec{
+		sa: sa, sb: sb, wab: wab, wba: wba, live: true,
+		posA: int32(len(g.adj[sa])), posB: int32(len(g.adj[sb])),
+		posOut: -1, posIn: -1,
+	}
+	g.adj[sa] = append(g.adj[sa], idx)
+	g.adj[sb] = append(g.adj[sb], idx)
+	g.pair[k] = idx
+	g.epoch++
 	return nil
+}
+
+// edgeOut converts a slab record to the public Edge form.
+func (g *Graph) edgeOut(e *edgeRec) Edge {
+	return Edge{A: g.ids[e.sa], B: g.ids[e.sb], WAB: e.wab, WBA: e.wba, Dir: e.dir}
 }
 
 // EdgeBetween returns the edge between a and b, if any.
 func (g *Graph) EdgeBetween(a, b txn.ID) (Edge, bool) {
-	e, ok := g.edges[keyOf(a, b)]
+	idx, ok := g.pair[keyOf(a, b)]
 	if !ok {
 		return Edge{}, false
 	}
-	return *e, true
+	return g.edgeOut(&g.edges[idx]), true
 }
 
 // Edges returns copies of all edges, sorted by endpoint ids.
 func (g *Graph) Edges() []Edge {
-	out := make([]Edge, 0, len(g.edges))
-	for _, e := range g.edges {
-		out = append(out, *e)
+	out := make([]Edge, 0, len(g.pair))
+	for _, idx := range g.pair {
+		out = append(out, g.edgeOut(&g.edges[idx]))
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].A != out[j].A {
@@ -238,101 +395,201 @@ func (g *Graph) Edges() []Edge {
 // Resolving an edge again in the same direction is a no-op; resolving it
 // in the opposite direction is an error, as is resolving a non-edge.
 func (g *Graph) Resolve(from, to txn.ID) error {
-	e, ok := g.edges[keyOf(from, to)]
+	idx, ok := g.pair[keyOf(from, to)]
 	if !ok {
 		return fmt.Errorf("wtpg: no conflict between %v and %v", from, to)
 	}
+	e := &g.edges[idx]
 	want := AtoB
-	if from == e.B {
+	if from == g.ids[e.sb] {
 		want = BtoA
 	}
-	switch e.Dir {
+	switch e.dir {
 	case Unresolved:
-		e.Dir = want
-		g.out[e.From()][e.To()] = e
-		g.in[e.To()][e.From()] = e
+		e.dir = want
+		fs, ts := e.fromSlot(), e.toSlot()
+		e.posOut = int32(len(g.out[fs]))
+		e.posIn = int32(len(g.in[ts]))
+		g.out[fs] = append(g.out[fs], idx)
+		g.in[ts] = append(g.in[ts], idx)
+		g.epoch++
+		if shadowEnabled {
+			g.shadowCheck("Resolve", g.shadow.Resolve(from, to), nil)
+		}
 		if g.OnResolve != nil {
-			g.OnResolve(e.From(), e.To())
+			g.OnResolve(g.ids[fs], g.ids[ts])
 		}
 		return nil
 	case want:
 		return nil
 	default:
-		return fmt.Errorf("wtpg: (%v,%v) already resolved %v→%v", e.A, e.B, e.From(), e.To())
+		pub := g.edgeOut(e)
+		return fmt.Errorf("wtpg: (%v,%v) already resolved %v→%v", pub.A, pub.B, pub.From(), pub.To())
 	}
 }
 
 // Resolved reports the orientation between a and b: from, to and true when
 // a precedence-edge exists.
 func (g *Graph) Resolved(a, b txn.ID) (from, to txn.ID, ok bool) {
-	e, found := g.edges[keyOf(a, b)]
-	if !found || e.Dir == Unresolved {
+	idx, found := g.pair[keyOf(a, b)]
+	if !found {
 		return 0, 0, false
 	}
-	return e.From(), e.To(), true
+	e := &g.edges[idx]
+	if e.dir == Unresolved {
+		return 0, 0, false
+	}
+	return g.ids[e.fromSlot()], g.ids[e.toSlot()], true
+}
+
+// adjDelete swap-removes edge idx from slot s's adjacency list, fixing
+// the moved edge's position field.
+func (g *Graph) adjDelete(s, idx int32) {
+	e := &g.edges[idx]
+	pos := e.posA
+	if e.sb == s {
+		pos = e.posB
+	}
+	list := g.adj[s]
+	last := int32(len(list) - 1)
+	moved := list[last]
+	list[pos] = moved
+	g.adj[s] = list[:last]
+	if moved != idx {
+		me := &g.edges[moved]
+		if me.sa == s {
+			me.posA = pos
+		} else {
+			me.posB = pos
+		}
+	}
+}
+
+// outDelete swap-removes edge idx from out[s]; inDelete likewise.
+func (g *Graph) outDelete(s, idx int32) {
+	pos := g.edges[idx].posOut
+	list := g.out[s]
+	last := int32(len(list) - 1)
+	moved := list[last]
+	list[pos] = moved
+	g.out[s] = list[:last]
+	if moved != idx {
+		g.edges[moved].posOut = pos
+	}
+}
+
+func (g *Graph) inDelete(s, idx int32) {
+	pos := g.edges[idx].posIn
+	list := g.in[s]
+	last := int32(len(list) - 1)
+	moved := list[last]
+	list[pos] = moved
+	g.in[s] = list[:last]
+	if moved != idx {
+		g.edges[moved].posIn = pos
+	}
 }
 
 // Remove deletes a transaction and all its edges (commitment, or abort of
-// an admitted transaction).
+// an admitted transaction). The slot and the edge slab entries return to
+// the free lists for reuse.
 func (g *Graph) Remove(id txn.ID) {
-	for other := range g.adj[id] {
-		delete(g.adj[other], id)
-		delete(g.out[other], id)
-		delete(g.in[other], id)
-		delete(g.edges, keyOf(id, other))
+	s, ok := g.slotOf[id]
+	if !ok {
+		return
 	}
-	delete(g.adj, id)
-	delete(g.out, id)
-	delete(g.in, id)
-	delete(g.w0, id)
-}
-
-// successors iterates over resolved out-edges of id.
-func (g *Graph) successors(id txn.ID, fn func(to txn.ID, w float64)) {
-	for other, e := range g.out[id] {
-		fn(other, e.Weight())
+	for _, idx := range g.adj[s] {
+		e := &g.edges[idx]
+		other := e.sa
+		if other == s {
+			other = e.sb
+		}
+		g.adjDelete(other, idx)
+		if e.dir != Unresolved {
+			if fs := e.fromSlot(); fs == s {
+				g.inDelete(e.toSlot(), idx)
+			} else {
+				g.outDelete(fs, idx)
+			}
+		}
+		delete(g.pair, keyOf(id, g.ids[other]))
+		*e = edgeRec{}
+		g.freeEdges = append(g.freeEdges, idx)
 	}
-}
-
-// predecessors iterates over resolved in-edges of id.
-func (g *Graph) predecessors(id txn.ID, fn func(from txn.ID, w float64)) {
-	for other, e := range g.in[id] {
-		fn(other, e.Weight())
+	g.adj[s] = g.adj[s][:0]
+	g.out[s] = g.out[s][:0]
+	g.in[s] = g.in[s][:0]
+	g.ids[s] = 0
+	g.w0[s] = 0
+	delete(g.slotOf, id)
+	g.free = append(g.free, s)
+	g.nLive--
+	g.epoch++
+	if shadowEnabled {
+		g.shadow.Remove(id)
 	}
 }
 
 // After returns the set of transactions that id precedes (the paper's
 // after(T)): all descendants of id via precedence-edges.
 func (g *Graph) After(id txn.ID) map[txn.ID]bool {
-	out := make(map[txn.ID]bool)
-	var visit func(txn.ID)
-	visit = func(u txn.ID) {
-		g.successors(u, func(v txn.ID, _ float64) {
-			if !out[v] {
-				out[v] = true
-				visit(v)
-			}
-		})
+	res := make(map[txn.ID]bool)
+	s, ok := g.slotOf[id]
+	if !ok {
+		return res
 	}
-	visit(id)
-	return out
+	g.visited.reset(len(g.ids))
+	stack := g.stackBuf[:0]
+	for _, idx := range g.out[s] {
+		stack = append(stack, g.edges[idx].toSlot())
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if g.visited.has(u) {
+			continue
+		}
+		g.visited.add(u)
+		res[g.ids[u]] = true
+		for _, idx := range g.out[u] {
+			if v := g.edges[idx].toSlot(); !g.visited.has(v) {
+				stack = append(stack, v)
+			}
+		}
+	}
+	g.stackBuf = stack[:0]
+	return res
 }
 
 // Before returns the set of transactions preceding id (the paper's
 // before(T)): all ancestors of id via precedence-edges.
 func (g *Graph) Before(id txn.ID) map[txn.ID]bool {
-	out := make(map[txn.ID]bool)
-	var visit func(txn.ID)
-	visit = func(u txn.ID) {
-		g.predecessors(u, func(v txn.ID, _ float64) {
-			if !out[v] {
-				out[v] = true
-				visit(v)
-			}
-		})
+	res := make(map[txn.ID]bool)
+	s, ok := g.slotOf[id]
+	if !ok {
+		return res
 	}
-	visit(id)
-	return out
+	g.visited.reset(len(g.ids))
+	stack := g.stackBuf[:0]
+	for _, idx := range g.in[s] {
+		stack = append(stack, g.edges[idx].fromSlot())
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if g.visited.has(u) {
+			continue
+		}
+		g.visited.add(u)
+		res[g.ids[u]] = true
+		for _, idx := range g.in[u] {
+			if v := g.edges[idx].fromSlot(); !g.visited.has(v) {
+				stack = append(stack, v)
+			}
+		}
+	}
+	g.stackBuf = stack[:0]
+	return res
 }
 
 // WouldCycle reports whether the precedence-edges plus the proposed extra
@@ -341,19 +598,23 @@ func (g *Graph) Before(id txn.ID) map[txn.ID]bool {
 // resolved in the same direction are harmless; over pairs resolved in the
 // opposite direction they are reported as a cycle (the order would
 // contradict itself). Extra resolutions need not correspond to existing
-// conflicting-edges.
+// conflicting-edges, nor to live transactions.
 func (g *Graph) WouldCycle(extra []Resolution) bool {
 	// The resolved precedence-edges alone are acyclic (an invariant every
 	// scheduler maintains), so any cycle must pass through an extra edge.
-	// Filter the extras against existing resolutions first.
+	// Filter the extras against existing resolutions first. This general
+	// form stays map-based (extras may reference ids outside the graph);
+	// the hot paths use WouldCycleFrom.
 	overlay := make(map[txn.ID][]txn.ID, 4)
 	any := false
 	for _, r := range extra {
-		if e, ok := g.edges[keyOf(r.From, r.To)]; ok && e.Dir != Unresolved {
-			if e.From() == r.To {
-				return true // contradicts an existing precedence-edge
+		if idx, ok := g.pair[keyOf(r.From, r.To)]; ok {
+			if e := &g.edges[idx]; e.dir != Unresolved {
+				if g.ids[e.fromSlot()] == r.To {
+					return true // contradicts an existing precedence-edge
+				}
+				continue // already resolved this way
 			}
-			continue // already resolved this way
 		}
 		overlay[r.From] = append(overlay[r.From], r.To)
 		any = true
@@ -363,9 +624,7 @@ func (g *Graph) WouldCycle(extra []Resolution) bool {
 	}
 	// For each distinct source f, a cycle through one of its extra edges
 	// f→u exists iff some u reaches f via resolved edges plus the
-	// overlay. One multi-source DFS per source, visiting only the
-	// reachable subgraph — most nodes hold no locks and therefore have no
-	// outgoing precedence-edges, which keeps this cheap on large graphs.
+	// overlay.
 	for f, targets := range overlay {
 		visited := make(map[txn.ID]bool, 8)
 		stack := append([]txn.ID(nil), targets...)
@@ -379,11 +638,13 @@ func (g *Graph) WouldCycle(extra []Resolution) bool {
 				continue
 			}
 			visited[u] = true
-			g.successors(u, func(v txn.ID, _ float64) {
-				if !visited[v] {
-					stack = append(stack, v)
+			if s, ok := g.slotOf[u]; ok {
+				for _, idx := range g.out[s] {
+					if v := g.ids[g.edges[idx].toSlot()]; !visited[v] {
+						stack = append(stack, v)
+					}
 				}
-			})
+			}
 			for _, v := range overlay[u] {
 				if !visited[v] {
 					stack = append(stack, v)
@@ -394,47 +655,68 @@ func (g *Graph) WouldCycle(extra []Resolution) bool {
 	return false
 }
 
-// WouldCycleFrom is the allocation-light form of WouldCycle used on the
+// WouldCycleFrom is the allocation-free form of WouldCycle used on the
 // scheduler hot path: it tests whether resolving from→target for every
 // target would create a cycle. Semantics match WouldCycle with
 // Resolution{from, target} extras.
 func (g *Graph) WouldCycleFrom(from txn.ID, targets []txn.ID) bool {
-	// Filter against existing resolutions via the resolved-adjacency
-	// indexes (int64-keyed, much cheaper than pair-key lookups), keeping
-	// only genuinely new edges on the DFS stack.
-	outF, inF := g.out[from], g.in[from]
+	found := g.wouldCycleFromSlots(from, targets)
+	if shadowEnabled {
+		if ref := g.shadow.WouldCycleFrom(from, targets); ref != found {
+			g.shadowDiverged("WouldCycleFrom", found, ref)
+		}
+	}
+	return found
+}
+
+func (g *Graph) wouldCycleFromSlots(from txn.ID, targets []txn.ID) bool {
+	sFrom, fromLive := g.slotOf[from]
+	// Filter against existing resolutions, keeping only genuinely new
+	// edges on the DFS stack.
 	stack := g.stackBuf[:0]
 	for _, to := range targets {
-		if _, ok := inF[to]; ok {
-			return true // to→from already resolved: contradiction
+		if to == from {
+			return true // self-loop
 		}
-		if _, ok := outF[to]; ok {
-			continue // already resolved this way
+		sTo, toLive := g.slotOf[to]
+		if fromLive && toLive {
+			if idx, ok := g.pair[keyOf(from, to)]; ok {
+				if e := &g.edges[idx]; e.dir != Unresolved {
+					if e.fromSlot() == sTo {
+						return true // to→from already resolved: contradiction
+					}
+					continue // already resolved this way
+				}
+			}
 		}
-		stack = append(stack, to)
+		if toLive {
+			stack = append(stack, sTo)
+		}
+		// A target outside the graph has no out-edges and cannot reach
+		// `from`; it contributes nothing to the search.
 	}
-	if len(stack) == 0 {
-		g.stackBuf = stack
+	if len(stack) == 0 || !fromLive {
+		g.stackBuf = stack[:0]
 		return false
 	}
 	// A cycle exists iff some target reaches `from` via resolved edges
 	// (the new edges all share the single source, so they cannot chain
 	// into each other except through `from` itself).
-	visited := make(map[txn.ID]bool, 8)
+	g.visited.reset(len(g.ids))
 	found := false
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if u == from {
+		if u == sFrom {
 			found = true
 			break
 		}
-		if visited[u] {
+		if g.visited.has(u) {
 			continue
 		}
-		visited[u] = true
-		for v := range g.out[u] {
-			if !visited[v] {
+		g.visited.add(u)
+		for _, idx := range g.out[u] {
+			if v := g.edges[idx].toSlot(); !g.visited.has(v) {
 				stack = append(stack, v)
 			}
 		}
@@ -448,86 +730,101 @@ func (g *Graph) WouldCycleFrom(from txn.ID, targets []txn.ID) bool {
 // ignored, as in step 3 of the paper's E(q) procedure). Every node Ti has
 // the implicit edge T0→Ti of weight w(T0→Ti) and Ti→Tf of weight 0. An
 // error is returned if the precedence-edges contain a cycle.
+//
+// The result is cached against the graph's mutation epoch: repeated calls
+// with no intervening AddNode/AddConflict/Resolve/Remove/SetW0 are O(1)
+// and allocation-free; otherwise one slice-based topological pass runs.
 func (g *Graph) CriticalPath() (float64, error) {
-	order, err := g.topoOrder()
-	if err != nil {
-		return 0, err
+	if !g.cpValid || g.cpEpoch != g.epoch {
+		g.recomputeCP()
 	}
-	dist := make(map[txn.ID]float64, len(order))
-	best := 0.0
-	for _, u := range order {
-		d := g.w0[u]
-		g.predecessors(u, func(v txn.ID, w float64) {
-			if cand := dist[v] + w; cand > d {
-				d = cand
-			}
-		})
-		dist[u] = d
-		if d > best {
-			best = d
+	if shadowEnabled {
+		refLen, refErr := g.shadow.CriticalPath()
+		if (refErr == nil) != g.cpOK || (g.cpOK && refLen != g.cpLen) {
+			g.shadowDiverged("CriticalPath", g.cpLen, refLen)
 		}
 	}
-	return best, nil
+	if !g.cpOK {
+		return 0, errCycle
+	}
+	return g.cpLen, nil
 }
 
-// topoOrder returns the nodes in a topological order of the resolved
-// precedence-edges (ties broken by id for determinism).
-func (g *Graph) topoOrder() ([]txn.ID, error) {
-	indeg := make(map[txn.ID]int, len(g.w0))
-	for id := range g.w0 {
-		indeg[id] = 0
+// recomputeCP runs one Kahn topological pass with forward longest-path
+// relaxation over the live slots, filling topoBuf/distBuf and the cached
+// length. Allocation-free once the scratch buffers have grown to the
+// graph's high-water mark.
+func (g *Graph) recomputeCP() {
+	n := len(g.ids)
+	if cap(g.indegBuf) < n {
+		g.indegBuf = make([]int32, n)
+		g.distBuf = make([]float64, n)
 	}
-	for _, e := range g.edges {
-		if e.Dir != Unresolved {
-			indeg[e.To()]++
+	indeg := g.indegBuf[:n]
+	dist := g.distBuf[:n]
+	topo := g.topoBuf[:0]
+	for s := 0; s < n; s++ {
+		if g.ids[s] == 0 {
+			continue
+		}
+		indeg[s] = int32(len(g.in[s]))
+		dist[s] = g.w0[s]
+		if indeg[s] == 0 {
+			topo = append(topo, int32(s))
 		}
 	}
-	var ready []txn.ID
-	for id, d := range indeg {
-		if d == 0 {
-			ready = append(ready, id)
-		}
-	}
-	sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
-	var order []txn.ID
-	for len(ready) > 0 {
-		u := ready[0]
-		ready = ready[1:]
-		order = append(order, u)
-		var next []txn.ID
-		g.successors(u, func(v txn.ID, _ float64) {
+	for i := 0; i < len(topo); i++ {
+		u := topo[i]
+		du := dist[u]
+		for _, idx := range g.out[u] {
+			e := &g.edges[idx]
+			v := e.toSlot()
+			if cand := du + e.weight(); cand > dist[v] {
+				dist[v] = cand
+			}
 			indeg[v]--
 			if indeg[v] == 0 {
-				next = append(next, v)
+				topo = append(topo, v)
 			}
-		})
-		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
-		ready = append(ready, next...)
+		}
 	}
-	if len(order) != len(g.w0) {
-		return nil, fmt.Errorf("wtpg: precedence-edges contain a cycle")
+	g.topoBuf = topo
+	g.cpEpoch = g.epoch
+	g.cpValid = true
+	if len(topo) != g.nLive {
+		g.cpOK = false
+		return
 	}
-	return order, nil
+	best := 0.0
+	for _, s := range topo {
+		if dist[s] > best {
+			best = dist[s]
+		}
+	}
+	g.cpOK = true
+	g.cpLen = best
 }
 
-// Clone returns a deep copy of the graph. Used for hypothetical ("what if
-// q were granted") evaluations.
+// Clone returns a deep copy of the graph. Used by callers exploring
+// hypothetical resolutions destructively; the schedulers' E(q) hot path
+// uses the allocation-free Overlay instead (overlay.go).
 func (g *Graph) Clone() *Graph {
 	c := New()
-	for id, w := range g.w0 {
-		c.w0[id] = w
-		c.adj[id] = make(map[txn.ID]*Edge, len(g.adj[id]))
-		c.out[id] = make(map[txn.ID]*Edge, len(g.out[id]))
-		c.in[id] = make(map[txn.ID]*Edge, len(g.in[id]))
+	for id, s := range g.slotOf {
+		if err := c.AddNode(id, g.w0[s]); err != nil {
+			panic(err) // unreachable: source graph invariants hold
+		}
 	}
-	for k, e := range g.edges {
-		ce := *e
-		c.edges[k] = &ce
-		c.adj[k.a][k.b] = &ce
-		c.adj[k.b][k.a] = &ce
-		if ce.Dir != Unresolved {
-			c.out[ce.From()][ce.To()] = &ce
-			c.in[ce.To()][ce.From()] = &ce
+	for k, idx := range g.pair {
+		e := &g.edges[idx]
+		if err := c.AddConflict(k.a, k.b, e.wab, e.wba); err != nil {
+			panic(err)
+		}
+		switch e.dir {
+		case AtoB:
+			_ = c.Resolve(k.a, k.b)
+		case BtoA:
+			_ = c.Resolve(k.b, k.a)
 		}
 	}
 	return c

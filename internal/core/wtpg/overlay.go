@@ -1,0 +1,293 @@
+package wtpg
+
+import (
+	"fmt"
+
+	"batsched/internal/txn"
+)
+
+// Overlay evaluates hypothetical resolutions over the live graph without
+// copying it. Where the old E(q) path deep-cloned the whole WTPG per
+// evaluation, an overlay records the proposed orientations in scratch
+// buffers owned by the graph — one Direction per slab edge plus a list of
+// zero-weight virtual edges for targets that share no conflicting-edge —
+// and every query (reachability, straddling-edge resolution, critical
+// path) consults base state and overlay together. End() rolls the
+// overlay back by resetting only the touched entries, so steady-state
+// evaluations are allocation-free.
+//
+// An overlay is valid only while the graph is not mutated; the graph owns
+// exactly one, so evaluations cannot nest. Like the graph itself it is
+// not safe for concurrent use.
+type Overlay struct {
+	g       *Graph
+	dir     []Direction // per slab edge; Unresolved = not overlaid
+	touched []int32     // slab indices with a non-Unresolved overlay entry
+	// Virtual zero-weight edges virtFrom[i]→virtTo[i] (slots), for
+	// hypothetical orderings against transactions the source has no
+	// conflicting-edge with.
+	virtFrom, virtTo []int32
+	active           bool
+
+	beforeM, afterM markset
+	stack           []int32
+	indeg           []int32
+	dist            []float64
+	topo            []int32
+}
+
+// BeginOverlay starts a hypothetical evaluation over the live graph. The
+// caller must End() it before the next graph mutation or evaluation. The
+// returned overlay is graph-owned scratch; do not retain it.
+func (g *Graph) BeginOverlay() *Overlay {
+	o := &g.ovl
+	if o.active {
+		panic("wtpg: BeginOverlay while an overlay is active")
+	}
+	o.g = g
+	for len(o.dir) < len(g.edges) {
+		o.dir = append(o.dir, Unresolved)
+	}
+	o.active = true
+	return o
+}
+
+// Resolve hypothetically orients from→to. Orientations already fixed (in
+// base or overlay) in the same direction are no-ops; contradictions and
+// unknown endpoints are errors. A pair with no conflicting-edge gains a
+// virtual zero-weight edge so the ordering still constrains the path
+// structure, mirroring the tolerant behaviour of the old clone-based
+// evaluation.
+func (o *Overlay) Resolve(from, to txn.ID) error {
+	g := o.g
+	if from == to {
+		return fmt.Errorf("wtpg: overlay self-resolution on %v", from)
+	}
+	sf, okF := g.slotOf[from]
+	st, okT := g.slotOf[to]
+	if !okF || !okT {
+		return fmt.Errorf("wtpg: overlay resolution (%v,%v) with unknown node", from, to)
+	}
+	if idx, ok := g.pair[keyOf(from, to)]; ok {
+		e := &g.edges[idx]
+		want := AtoB
+		if e.sa == st {
+			want = BtoA
+		}
+		cur := e.dir
+		if cur == Unresolved {
+			cur = o.dir[idx]
+		}
+		switch cur {
+		case Unresolved:
+			o.dir[idx] = want
+			o.touched = append(o.touched, idx)
+		case want:
+			// already ordered this way
+		default:
+			return fmt.Errorf("wtpg: overlay contradiction on (%v,%v)", from, to)
+		}
+		return nil
+	}
+	o.virtFrom = append(o.virtFrom, sf)
+	o.virtTo = append(o.virtTo, st)
+	return nil
+}
+
+// ovlEdge returns the oriented (from, to, weight) of slab edge idx under
+// the overlay direction d.
+func (o *Overlay) ovlEdge(idx int32, d Direction) (from, to int32, w float64) {
+	e := &o.g.edges[idx]
+	if d == BtoA {
+		return e.sb, e.sa, e.wba
+	}
+	return e.sa, e.sb, e.wab
+}
+
+// ResolveStraddling performs step 2 of the paper's E(q) procedure:
+// identify before(t) and after(t) under base + overlay edges, then orient
+// every still-unresolved conflicting-edge with one endpoint in before(t)
+// and the other in after(t) forward (before → after). Orientation order
+// cannot matter: the straddling test uses the sets fixed at entry.
+func (o *Overlay) ResolveStraddling(t txn.ID) {
+	g := o.g
+	st, ok := g.slotOf[t]
+	if !ok {
+		return // unknown transaction: both sets empty, nothing straddles
+	}
+	n := len(g.ids)
+	o.beforeM.reset(n)
+	o.afterM.reset(n)
+	// after(t): descendants of t via base out-edges, overlay edges and
+	// virtual edges.
+	o.stack = o.appendSuccs(o.stack[:0], st)
+	for len(o.stack) > 0 {
+		u := o.stack[len(o.stack)-1]
+		o.stack = o.stack[:len(o.stack)-1]
+		if o.afterM.has(u) {
+			continue
+		}
+		o.afterM.add(u)
+		o.stack = o.appendSuccs(o.stack, u)
+	}
+	// before(t): ancestors of t.
+	o.stack = o.appendPreds(o.stack[:0], st)
+	for len(o.stack) > 0 {
+		u := o.stack[len(o.stack)-1]
+		o.stack = o.stack[:len(o.stack)-1]
+		if o.beforeM.has(u) {
+			continue
+		}
+		o.beforeM.add(u)
+		o.stack = o.appendPreds(o.stack, u)
+	}
+	// Orient the straddling conflicting-edges forward.
+	for idx := range g.edges {
+		e := &g.edges[idx]
+		if !e.live || e.dir != Unresolved || o.dir[idx] != Unresolved {
+			continue
+		}
+		switch {
+		case o.beforeM.has(e.sa) && o.afterM.has(e.sb):
+			o.dir[idx] = AtoB
+			o.touched = append(o.touched, int32(idx))
+		case o.beforeM.has(e.sb) && o.afterM.has(e.sa):
+			o.dir[idx] = BtoA
+			o.touched = append(o.touched, int32(idx))
+		}
+	}
+}
+
+// appendSuccs pushes every successor of slot u under base + overlay +
+// virtual edges onto stack.
+func (o *Overlay) appendSuccs(stack []int32, u int32) []int32 {
+	g := o.g
+	for _, idx := range g.out[u] {
+		stack = append(stack, g.edges[idx].toSlot())
+	}
+	for _, idx := range g.adj[u] {
+		if d := o.dir[idx]; d != Unresolved {
+			if from, to, _ := o.ovlEdge(idx, d); from == u {
+				stack = append(stack, to)
+			}
+		}
+	}
+	for i, f := range o.virtFrom {
+		if f == u {
+			stack = append(stack, o.virtTo[i])
+		}
+	}
+	return stack
+}
+
+// appendPreds pushes every predecessor of slot u under base + overlay +
+// virtual edges onto stack.
+func (o *Overlay) appendPreds(stack []int32, u int32) []int32 {
+	g := o.g
+	for _, idx := range g.in[u] {
+		stack = append(stack, g.edges[idx].fromSlot())
+	}
+	for _, idx := range g.adj[u] {
+		if d := o.dir[idx]; d != Unresolved {
+			if from, to, _ := o.ovlEdge(idx, d); to == u {
+				stack = append(stack, from)
+			}
+		}
+	}
+	for i, t := range o.virtTo {
+		if t == u {
+			stack = append(stack, o.virtFrom[i])
+		}
+	}
+	return stack
+}
+
+// CriticalPath returns the longest T0→Tf path length over base resolved
+// edges plus the overlay's hypothetical and virtual edges (step 3 of
+// E(q): unresolved conflicting-edges are ignored). An error is returned
+// if the combined precedence relation contains a cycle.
+func (o *Overlay) CriticalPath() (float64, error) {
+	g := o.g
+	n := len(g.ids)
+	if cap(o.indeg) < n {
+		o.indeg = make([]int32, n)
+		o.dist = make([]float64, n)
+	}
+	indeg := o.indeg[:n]
+	dist := o.dist[:n]
+	topo := o.topo[:0]
+	for s := 0; s < n; s++ {
+		if g.ids[s] == 0 {
+			continue
+		}
+		indeg[s] = int32(len(g.in[s]))
+		dist[s] = g.w0[s]
+	}
+	for _, idx := range o.touched {
+		_, to, _ := o.ovlEdge(idx, o.dir[idx])
+		indeg[to]++
+	}
+	for _, to := range o.virtTo {
+		indeg[to]++
+	}
+	for s := 0; s < n; s++ {
+		if g.ids[s] != 0 && indeg[s] == 0 {
+			topo = append(topo, int32(s))
+		}
+	}
+	relax := func(v int32, cand float64) {
+		if cand > dist[v] {
+			dist[v] = cand
+		}
+		indeg[v]--
+		if indeg[v] == 0 {
+			topo = append(topo, v)
+		}
+	}
+	haveVirt := len(o.virtFrom) > 0
+	for i := 0; i < len(topo); i++ {
+		u := topo[i]
+		du := dist[u]
+		for _, idx := range g.out[u] {
+			e := &g.edges[idx]
+			relax(e.toSlot(), du+e.weight())
+		}
+		for _, idx := range g.adj[u] {
+			if d := o.dir[idx]; d != Unresolved {
+				if from, to, w := o.ovlEdge(idx, d); from == u {
+					relax(to, du+w)
+				}
+			}
+		}
+		if haveVirt {
+			for j, f := range o.virtFrom {
+				if f == u {
+					relax(o.virtTo[j], du)
+				}
+			}
+		}
+	}
+	o.topo = topo
+	if len(topo) != g.nLive {
+		return 0, errCycle
+	}
+	best := 0.0
+	for _, s := range topo {
+		if dist[s] > best {
+			best = dist[s]
+		}
+	}
+	return best, nil
+}
+
+// End rolls the overlay back, resetting only the touched entries so the
+// scratch can be reused allocation-free by the next evaluation.
+func (o *Overlay) End() {
+	for _, idx := range o.touched {
+		o.dir[idx] = Unresolved
+	}
+	o.touched = o.touched[:0]
+	o.virtFrom = o.virtFrom[:0]
+	o.virtTo = o.virtTo[:0]
+	o.active = false
+}

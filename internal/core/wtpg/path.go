@@ -11,47 +11,56 @@ import (
 // of transactions along it and its length. The first node is entered
 // from T0 (contributing its w(T0→Ti)); subsequent hops follow resolved
 // precedence-edges. Deterministic: ties prefer smaller transaction ids.
+//
+// The trace reuses the cached topological order and distance array of
+// CriticalPath when they are still valid for the current epoch, so
+// tracing after an unchanged-length check costs one predecessor sweep.
 func (g *Graph) CriticalPathTrace() ([]txn.ID, float64, error) {
-	order, err := g.topoOrder()
-	if err != nil {
-		return nil, 0, err
+	if !g.cpValid || g.cpEpoch != g.epoch {
+		g.recomputeCP()
 	}
-	dist := make(map[txn.ID]float64, len(order))
-	prev := make(map[txn.ID]txn.ID, len(order))
-	hasPrev := make(map[txn.ID]bool, len(order))
-	for _, u := range order {
+	if !g.cpOK {
+		return nil, 0, errCycle
+	}
+	n := len(g.ids)
+	dist := g.distBuf[:n]
+	// Recover each node's best predecessor under the reference engine's
+	// tie-break: a predecessor only displaces the implicit T0 entry when
+	// it is strictly better, and equal-length predecessors prefer the
+	// smaller id. Both rules are independent of edge iteration order.
+	prev := make([]int32, n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	for _, u := range g.topoBuf {
 		best := g.w0[u]
-		var bestPrev txn.ID
-		found := false
-		g.predecessors(u, func(v txn.ID, w float64) {
-			cand := dist[v] + w
-			if cand > best || (cand == best && found && v < bestPrev) {
+		bestPrev := int32(-1)
+		for _, idx := range g.in[u] {
+			e := &g.edges[idx]
+			v := e.fromSlot()
+			cand := dist[v] + e.weight()
+			if cand > best || (cand == best && bestPrev >= 0 && g.ids[v] < g.ids[bestPrev]) {
 				best = cand
 				bestPrev = v
-				found = true
 			}
-		})
-		dist[u] = best
-		if found {
-			prev[u] = bestPrev
-			hasPrev[u] = true
 		}
+		prev[u] = bestPrev
 	}
-	var endNode txn.ID
+	endSlot := int32(-1)
 	bestLen := -1.0
-	for _, u := range order {
-		if dist[u] > bestLen || (dist[u] == bestLen && u < endNode) {
+	for _, u := range g.topoBuf {
+		if dist[u] > bestLen || (dist[u] == bestLen && g.ids[u] < g.ids[endSlot]) {
 			bestLen = dist[u]
-			endNode = u
+			endSlot = u
 		}
 	}
 	if bestLen < 0 {
 		return nil, 0, nil // empty graph: the T0→Tf path has length 0
 	}
 	var path []txn.ID
-	for u := endNode; ; {
-		path = append(path, u)
-		if !hasPrev[u] {
+	for u := endSlot; ; {
+		path = append(path, g.ids[u])
+		if prev[u] < 0 {
 			break
 		}
 		u = prev[u]

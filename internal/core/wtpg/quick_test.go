@@ -235,3 +235,271 @@ func BenchmarkCloneStar(b *testing.B) {
 		_ = g.Clone()
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Differential properties: the slot engine (Graph) must agree exactly —
+// same values, same errors, same iteration-visible orderings — with the
+// map-based reference engine (Ref) under arbitrary mutation sequences.
+// ---------------------------------------------------------------------------
+
+// diffPair drives a Graph and a Ref through the identical operation and
+// reports whether their observable results matched.
+type diffPair struct {
+	g    *Graph
+	r    *Ref
+	live []txn.ID
+	next txn.ID
+}
+
+func newDiffPair() *diffPair {
+	return &diffPair{g: New(), r: NewRef(), next: 1}
+}
+
+func (p *diffPair) pick(b byte) txn.ID { return p.live[int(b)%len(p.live)] }
+
+func (p *diffPair) drop(id txn.ID) {
+	for i, v := range p.live {
+		if v == id {
+			p.live = append(p.live[:i], p.live[i+1:]...)
+			return
+		}
+	}
+}
+
+func sameErr(a, b error) bool { return (a == nil) == (b == nil) }
+
+func sameIDs(a, b []txn.ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameSet(a, b map[txn.ID]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for id := range a {
+		if !b[id] {
+			return false
+		}
+	}
+	return true
+}
+
+func edgeMap(es []Edge) map[pairKey]Edge {
+	m := make(map[pairKey]Edge, len(es))
+	for _, e := range es {
+		m[keyOf(e.A, e.B)] = e
+	}
+	return m
+}
+
+// sameState compares every observable of the two engines.
+func (p *diffPair) sameState(t *testing.T) bool {
+	t.Helper()
+	if p.g.Len() != p.r.Len() {
+		t.Logf("Len: engine=%d ref=%d", p.g.Len(), p.r.Len())
+		return false
+	}
+	if !sameIDs(p.g.Nodes(), p.r.Nodes()) {
+		t.Logf("Nodes: engine=%v ref=%v", p.g.Nodes(), p.r.Nodes())
+		return false
+	}
+	for _, id := range p.r.Nodes() {
+		if !p.g.Has(id) || p.g.W0(id) != p.r.W0(id) {
+			t.Logf("W0(%d): engine=%g ref=%g", id, p.g.W0(id), p.r.W0(id))
+			return false
+		}
+		if p.g.ConflictDegree(id) != p.r.ConflictDegree(id) {
+			t.Logf("ConflictDegree(%d): engine=%d ref=%d", id, p.g.ConflictDegree(id), p.r.ConflictDegree(id))
+			return false
+		}
+		if !sameSet(p.g.Before(id), p.r.Before(id)) || !sameSet(p.g.After(id), p.r.After(id)) {
+			t.Logf("Before/After(%d) diverged", id)
+			return false
+		}
+	}
+	ge, re := edgeMap(p.g.Edges()), edgeMap(p.r.Edges())
+	if len(ge) != len(re) {
+		t.Logf("Edges: engine=%d ref=%d", len(ge), len(re))
+		return false
+	}
+	for k, e := range ge {
+		if re[k] != e {
+			t.Logf("Edge %v: engine=%+v ref=%+v", k, e, re[k])
+			return false
+		}
+	}
+	cpG, errG := p.g.CriticalPath()
+	cpR, errR := p.r.CriticalPath()
+	if !sameErr(errG, errR) || (errG == nil && cpG != cpR) {
+		t.Logf("CriticalPath: engine=(%g,%v) ref=(%g,%v)", cpG, errG, cpR, errR)
+		return false
+	}
+	pathG, lenG, errG2 := p.g.CriticalPathTrace()
+	pathR, lenR, errR2 := p.r.CriticalPathTrace()
+	if !sameErr(errG2, errR2) || (errG2 == nil && (lenG != lenR || !sameIDs(pathG, pathR))) {
+		t.Logf("CriticalPathTrace: engine=(%v,%g,%v) ref=(%v,%g,%v)", pathG, lenG, errG2, pathR, lenR, errR2)
+		return false
+	}
+	chG, okG := p.g.Chains()
+	chR, okR := p.r.Chains()
+	if okG != okR || len(chG) != len(chR) {
+		t.Logf("Chains: engine=(%v,%v) ref=(%v,%v)", chG, okG, chR, okR)
+		return false
+	}
+	for i := range chG {
+		if !sameIDs(chG[i], chR[i]) {
+			t.Logf("Chain %d: engine=%v ref=%v", i, chG[i], chR[i])
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickDifferentialEngine feeds identical random mutation sequences
+// (AddNode, AddConflict, Resolve, SetW0, AddW0, Remove, Splice) to the
+// slot engine and the reference engine and requires every observable —
+// node/edge sets, weights, Before/After, critical path and trace, chains,
+// Splice resolutions — to agree exactly after every step.
+func TestQuickDifferentialEngine(t *testing.T) {
+	f := func(data []byte) bool {
+		p := newDiffPair()
+		k := 0
+		nb := func() byte {
+			if len(data) == 0 {
+				return 0
+			}
+			b := data[k%len(data)]
+			k++
+			return b + byte(k) // decorrelate repeats of short inputs
+		}
+		steps := 6 + len(data)%48
+		for i := 0; i < steps; i++ {
+			op := nb() % 12
+			switch {
+			case op < 3 || len(p.live) == 0:
+				w0 := float64(nb() % 9)
+				if !sameErr(p.g.AddNode(p.next, w0), p.r.AddNode(p.next, w0)) {
+					return false
+				}
+				p.live = append(p.live, p.next)
+				p.next++
+			case op < 6:
+				a, b := p.pick(nb()), p.pick(nb())
+				wab, wba := float64(nb()%7), float64(nb()%7)
+				if !sameErr(p.g.AddConflict(a, b, wab, wba), p.r.AddConflict(a, b, wab, wba)) {
+					return false
+				}
+			case op < 8:
+				a, b := p.pick(nb()), p.pick(nb())
+				if !sameErr(p.g.Resolve(a, b), p.r.Resolve(a, b)) {
+					return false
+				}
+			case op == 8:
+				a, w := p.pick(nb()), float64(nb()%11)
+				p.g.SetW0(a, w)
+				p.r.SetW0(a, w)
+			case op == 9:
+				a, d := p.pick(nb()), float64(nb()%5)-2
+				p.g.AddW0(a, d)
+				p.r.AddW0(a, d)
+			case op == 10:
+				a := p.pick(nb())
+				p.g.Remove(a)
+				p.r.Remove(a)
+				p.drop(a)
+			default:
+				a := p.pick(nb())
+				rsG, rsR := p.g.Splice(a), p.r.Splice(a)
+				if len(rsG) != len(rsR) {
+					t.Logf("Splice(%d): engine=%v ref=%v", a, rsG, rsR)
+					return false
+				}
+				for j := range rsG {
+					if rsG[j] != rsR[j] {
+						t.Logf("Splice(%d): engine=%v ref=%v", a, rsG, rsR)
+						return false
+					}
+				}
+				p.drop(a)
+			}
+			if !p.sameState(t) {
+				return false
+			}
+			// WouldCycle / WouldCycleFrom probes against the live state.
+			if len(p.live) >= 2 {
+				src, dst := p.pick(nb()), p.pick(nb())
+				if src != dst {
+					if p.g.WouldCycleFrom(src, []txn.ID{dst}) != p.r.WouldCycleFrom(src, []txn.ID{dst}) {
+						t.Logf("WouldCycleFrom(%d,[%d]) diverged", src, dst)
+						return false
+					}
+					res := []Resolution{{From: src, To: dst}}
+					if p.g.WouldCycle(res) != p.r.WouldCycle(res) {
+						t.Logf("WouldCycle(%v) diverged", res)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkCriticalPath measures the uncached recomputation: each
+// iteration bumps a node weight (invalidating the epoch cache) and
+// re-reads the critical path. The cached re-read case is
+// BenchmarkCriticalPathStar above.
+func BenchmarkCriticalPath(b *testing.B) {
+	g, waiters := largeStarGraph(16, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.SetW0(waiters[0], float64(i%17))
+		if _, err := g.CriticalPath(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGraphChurn measures the simulator's steady-state graph
+// lifecycle: admit a transaction, declare conflicts against live
+// holders, resolve them, read the critical path, then commit (Remove)
+// the oldest — exercising slot and edge-slab reuse.
+func BenchmarkGraphChurn(b *testing.B) {
+	g := New()
+	const window = 64
+	var live []txn.ID
+	next := txn.ID(1)
+	for len(live) < window {
+		_ = g.AddNode(next, float64(next%13))
+		live = append(live, next)
+		next++
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.AddNode(next, float64(next%13))
+		for j := 1; j <= 4; j++ {
+			h := live[(i*5+j*11)%len(live)]
+			_ = g.AddConflict(h, next, float64(j), float64(j+1))
+			_ = g.Resolve(h, next)
+		}
+		if _, err := g.CriticalPath(); err != nil {
+			b.Fatal(err)
+		}
+		g.Remove(live[0])
+		live = append(live[1:], next)
+		next++
+	}
+}

@@ -32,16 +32,17 @@ import (
 // each one also fires OnResolve like any other resolution. Splicing an
 // unknown id is a no-op.
 func (g *Graph) Splice(id txn.ID) []Resolution {
-	if !g.Has(id) {
+	s, ok := g.slotOf[id]
+	if !ok {
 		return nil
 	}
-	preds := make([]txn.ID, 0, len(g.in[id]))
-	for u := range g.in[id] {
-		preds = append(preds, u)
+	preds := make([]txn.ID, 0, len(g.in[s]))
+	for _, idx := range g.in[s] {
+		preds = append(preds, g.ids[g.edges[idx].fromSlot()])
 	}
-	succs := make([]txn.ID, 0, len(g.out[id]))
-	for v := range g.out[id] {
-		succs = append(succs, v)
+	succs := make([]txn.ID, 0, len(g.out[s]))
+	for _, idx := range g.out[s] {
+		succs = append(succs, g.ids[g.edges[idx].toSlot()])
 	}
 	sort.Slice(preds, func(i, j int) bool { return preds[i] < preds[j] })
 	sort.Slice(succs, func(i, j int) bool { return succs[i] < succs[j] })
@@ -52,8 +53,8 @@ func (g *Graph) Splice(id txn.ID) []Resolution {
 			if u == v {
 				continue
 			}
-			e, ok := g.edges[keyOf(u, v)]
-			if !ok || e.Dir != Unresolved {
+			idx, ok := g.pair[keyOf(u, v)]
+			if !ok || g.edges[idx].dir != Unresolved {
 				continue
 			}
 			if err := g.Resolve(u, v); err == nil {

@@ -1,0 +1,28 @@
+package wtpg
+
+import "fmt"
+
+// Shadow cross-checking: builds tagged `wtpgshadow` (shadow_enabled.go)
+// attach a Ref engine to every Graph, mirror each mutation into it, and
+// compare the engines' answers on the load-bearing queries (CriticalPath,
+// WouldCycleFrom), panicking on the first divergence. The default build
+// (shadow_disabled.go) sets shadowEnabled to false and the compiler
+// removes every mirroring branch, so the production hot path pays
+// nothing. `make verify` runs the core test suites under the tag.
+
+// ShadowEnabled reports whether this build cross-checks the slot engine
+// against the Ref engine (`-tags wtpgshadow`).
+func ShadowEnabled() bool { return shadowEnabled }
+
+// shadowCheck panics when the Ref engine disagrees with the slot engine
+// about whether a mutation succeeds.
+func (g *Graph) shadowCheck(op string, refErr, engineErr error) {
+	if (refErr == nil) != (engineErr == nil) {
+		panic(fmt.Sprintf("wtpg: shadow divergence in %s: ref err=%v, engine err=%v", op, refErr, engineErr))
+	}
+}
+
+// shadowDiverged reports a query-result divergence between the engines.
+func (g *Graph) shadowDiverged(op string, engine, ref interface{}) {
+	panic(fmt.Sprintf("wtpg: shadow divergence in %s: engine=%v, ref=%v", op, engine, ref))
+}

@@ -1,0 +1,7 @@
+//go:build !wtpgshadow
+
+package wtpg
+
+// shadowEnabled is false in default builds: no Ref shadow is attached and
+// the compiler eliminates every mirroring branch.
+const shadowEnabled = false

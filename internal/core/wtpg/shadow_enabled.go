@@ -1,0 +1,8 @@
+//go:build wtpgshadow
+
+package wtpg
+
+// shadowEnabled is true under the wtpgshadow build tag: every Graph
+// carries a Ref shadow, mutations are mirrored, and CriticalPath /
+// WouldCycleFrom answers are cross-checked, panicking on divergence.
+const shadowEnabled = true

@@ -616,6 +616,8 @@ func (s *simulator) selfCheck() {
 		}
 	}
 	if gh, ok := s.sch.(sched.GraphHolder); ok && gh.Graph() != nil {
+		// CriticalPath is cached per graph epoch, so this acyclicity
+		// probe is free when nothing changed since the last read.
 		if _, err := gh.Graph().CriticalPath(); err != nil {
 			panic(err)
 		}

@@ -1,0 +1,150 @@
+// Command benchjson condenses `go test -bench` text output into a JSON
+// comparison table. The raw text files stay benchstat-compatible
+// (`benchstat old.txt new.txt` works on them directly); the JSON is the
+// committed artifact (BENCH_PR3.json) so before/after numbers survive in
+// the repo without requiring benchstat to read them.
+//
+// Usage:
+//
+//	benchjson -old bench/baseline_pr3.txt -new bench/current_pr3.txt
+//
+// Lines that are not benchmark results are ignored. Repeated runs of the
+// same benchmark (−count > 1) are averaged.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type metrics struct {
+	Runs        int     `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type row struct {
+	Name           string   `json:"name"`
+	Old            *metrics `json:"old,omitempty"`
+	New            *metrics `json:"new,omitempty"`
+	DeltaNsPct     *float64 `json:"delta_ns_pct,omitempty"`
+	DeltaAllocsPct *float64 `json:"delta_allocs_pct,omitempty"`
+}
+
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+
+func parse(path string) (map[string]*metrics, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]*metrics)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		var bytes, allocs float64
+		if m[4] != "" {
+			bytes, _ = strconv.ParseFloat(m[4], 64)
+			allocs, _ = strconv.ParseFloat(m[5], 64)
+		}
+		e := out[name]
+		if e == nil {
+			e = &metrics{}
+			out[name] = e
+		}
+		e.Runs++
+		e.NsPerOp += ns
+		e.BytesPerOp += bytes
+		e.AllocsPerOp += allocs
+	}
+	for _, e := range out {
+		n := float64(e.Runs)
+		e.NsPerOp /= n
+		e.BytesPerOp /= n
+		e.AllocsPerOp /= n
+	}
+	return out, sc.Err()
+}
+
+func pct(old, new float64) *float64 {
+	if old == 0 {
+		return nil
+	}
+	v := math.Round((new-old)/old*1000) / 10 // one decimal, stable output
+	return &v
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline `go test -bench` text output")
+	newPath := flag.String("new", "", "current `go test -bench` text output")
+	note := flag.String("note", "", "free-form note recorded in the JSON")
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -new is required")
+		os.Exit(2)
+	}
+	cur, err := parse(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	base := map[string]*metrics{}
+	if *oldPath != "" {
+		if base, err = parse(*oldPath); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+	names := make(map[string]bool)
+	for n := range cur {
+		names[n] = true
+	}
+	for n := range base {
+		names[n] = true
+	}
+	var order []string
+	for n := range names {
+		order = append(order, n)
+	}
+	sort.Strings(order)
+	var rows []row
+	for _, n := range order {
+		r := row{Name: n, Old: base[n], New: cur[n]}
+		if r.Old != nil && r.New != nil {
+			r.DeltaNsPct = pct(r.Old.NsPerOp, r.New.NsPerOp)
+			r.DeltaAllocsPct = pct(r.Old.AllocsPerOp, r.New.AllocsPerOp)
+		}
+		rows = append(rows, r)
+	}
+	doc := struct {
+		Note       string `json:"note,omitempty"`
+		Units      string `json:"units"`
+		Benchmarks []row  `json:"benchmarks"`
+	}{
+		Note:       strings.TrimSpace(*note),
+		Units:      "ns_per_op averaged over runs; delta_pct = (new-old)/old*100",
+		Benchmarks: rows,
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
