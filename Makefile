@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-all bench-smoke chaos verify
+.PHONY: build test bench bench-all bench-smoke chaos chaos-nodes verify
 
 build:
 	$(GO) build ./...
@@ -47,7 +47,16 @@ chaos:
 	$(GO) test -race -count=1 -run 'Chaos|TestAbort|TestWatchdog|TestFaults' \
 		./internal/sim/ ./internal/live/ ./internal/fault/ ./internal/core/sched/
 
-verify: build test chaos bench-smoke
+# chaos-nodes runs the node-crash recovery battery (docs/ROBUSTNESS.md
+# §8) under the race detector: the crashed-node chaos matrix, the
+# differential (subset-of-clean-run) test, the seeded 8-node acceptance
+# scenario, the live CrashNode tests, and the model checker's
+# crash-at-every-prefix exploration.
+chaos-nodes:
+	$(GO) test -race -count=1 -run 'NodeCrash|CrashNode|CrashedCommits|CrashAnywhere|ErrNodeCrashed|EpisodesNotTicks|Placement|DataNodeKill' \
+		./internal/sim/ ./internal/live/ ./internal/fault/ ./internal/machine/ ./internal/modelcheck/
+
+verify: build test chaos chaos-nodes bench-smoke
 	$(GO) vet ./...
 	$(GO) test -race ./internal/live/... ./internal/obs/...
 	$(GO) test -tags wtpgshadow -count=1 ./internal/core/... ./internal/sim/

@@ -65,3 +65,7 @@ func (a *asl) Abort(t *txn.T, now event.Time) ([]txn.PartitionID, event.Time) {
 
 // CheckInvariants verifies the lock table holds no conflicting locks.
 func (a *asl) CheckInvariants() error { return a.locks.CheckInvariants() }
+
+// LockHolders returns the transactions holding a granted lock on p (see
+// wtpgBase.LockHolders).
+func (a *asl) LockHolders(p txn.PartitionID) []txn.ID { return a.locks.Holders(p) }

@@ -144,3 +144,10 @@ func (b *wtpgBase) Graph() *wtpg.Graph { return b.graph }
 func (b *wtpgBase) CheckInvariants() error {
 	return b.locks.CheckInvariants()
 }
+
+// LockHolders returns the transactions holding a granted lock on p.
+// Promoted by every wtpgBase scheduler for diagnostics: the model
+// checker asserts no aborted transaction ever appears here.
+func (b *wtpgBase) LockHolders(p txn.PartitionID) []txn.ID {
+	return b.locks.Holders(p)
+}

@@ -4,8 +4,9 @@
 // Bulk access transactions run for minutes; the schedulers are proved
 // deadlock-free but the proofs assume nothing ever dies. This package
 // supplies the deaths: transaction aborts mid-bulk-processing, slow I/O
-// on a partition, refused admission bursts, and controller-goroutine
-// crashes. Every decision is a pure function of (seed, identifier), so
+// on a partition, refused admission bursts, controller-goroutine
+// crashes, and whole-data-node crashes (partitions re-homed to the
+// survivors). Every decision is a pure function of (seed, identifier), so
 // a fault schedule is reproducible from its seed alone and — crucially
 // for the simulator's golden tests — independent of the order in which
 // questions are asked. An Injector never consults a stateful RNG
@@ -20,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 
+	"batsched/internal/event"
 	"batsched/internal/txn"
 )
 
@@ -55,6 +57,15 @@ type Config struct {
 	// crashes (panics) at a deterministic step. Only meaningful in the
 	// live controller; the simulator has no goroutine to kill.
 	CrashRate float64
+	// NodeCrashes is the exact number of data-processing nodes that die
+	// mid-run (an exact count, not a rate, so chaos matrices can pin the
+	// dimension). Which nodes die and when is a pure function of the
+	// seed: see NodeCrash. The count is clamped so at least one node
+	// survives. NodeCrashWindow bounds the interval in which the crash
+	// times land; the consumer (package sim) substitutes its horizon
+	// when zero.
+	NodeCrashes     int
+	NodeCrashWindow event.Time
 }
 
 // Validate rejects rates outside [0,1] and negative tuning knobs.
@@ -74,6 +85,9 @@ func (c Config) Validate() error {
 	}
 	if c.SlowIOFactor < 0 || c.AdmitRefusalBurst < 0 {
 		return errors.New("fault: negative tuning parameter")
+	}
+	if c.NodeCrashes < 0 || c.NodeCrashWindow < 0 {
+		return errors.New("fault: negative node-crash parameter")
 	}
 	return nil
 }
@@ -132,6 +146,7 @@ const (
 	domSlow  uint64 = 0x51070D ^ 0xFFFF0000
 	domAdmit uint64 = 0xAD317000
 	domCrash uint64 = 0xC4A54000
+	domNode  uint64 = 0xD0DEAD00
 )
 
 // unit maps (seed, domain, id) to a uniform float64 in [0,1).
@@ -199,11 +214,58 @@ func (in *Injector) Crash(t *txn.T) (step int, ok bool) {
 	return int(mix(in.seed^mix(domCrash+2+uint64(t.ID))) % uint64(n)), true
 }
 
+// NodeCrash reports whether data node `node` (of numNodes total) dies
+// mid-run, and if so at what time. The NodeCrashes nodes with the
+// smallest hash keys die (ties broken by lower node ID), clamped so at
+// least one node always survives; each victim's crash time is a
+// deterministic fraction in [0.15, 0.85] of NodeCrashWindow (or of
+// `window` when the config leaves it zero — package sim passes its
+// horizon). Like every decision in this package it is a pure function
+// of (seed, node), so a crash schedule replays identically regardless
+// of the order nodes are asked in.
+func (in *Injector) NodeCrash(node, numNodes int, window event.Time) (at event.Time, ok bool) {
+	if in == nil || in.cfg.NodeCrashes <= 0 || numNodes <= 1 || node < 0 || node >= numNodes {
+		return 0, false
+	}
+	if in.cfg.NodeCrashWindow > 0 {
+		window = in.cfg.NodeCrashWindow
+	}
+	if window <= 0 {
+		return 0, false
+	}
+	crashes := in.cfg.NodeCrashes
+	if crashes > numNodes-1 {
+		crashes = numNodes - 1
+	}
+	// Rank node's key among all nodes' keys; the `crashes` smallest die.
+	key := func(n int) uint64 { return mix(in.seed ^ mix(domNode+uint64(n))) }
+	mine := key(node)
+	rank := 0
+	for n := 0; n < numNodes; n++ {
+		if n == node {
+			continue
+		}
+		if k := key(n); k < mine || (k == mine && n < node) {
+			rank++
+		}
+	}
+	if rank >= crashes {
+		return 0, false
+	}
+	frac := 0.15 + 0.70*in.unit(domNode+1, uint64(node))
+	at = event.Time(frac * float64(window))
+	if at < 1 {
+		at = 1
+	}
+	return at, true
+}
+
 // Enabled reports whether the injector can produce any fault at all.
 func (in *Injector) Enabled() bool {
 	if in == nil {
 		return false
 	}
 	c := in.cfg
-	return c.AbortRate > 0 || c.SlowIORate > 0 || c.AdmitRefusalRate > 0 || c.CrashRate > 0
+	return c.AbortRate > 0 || c.SlowIORate > 0 || c.AdmitRefusalRate > 0 || c.CrashRate > 0 ||
+		c.NodeCrashes > 0
 }

@@ -3,6 +3,7 @@ package fault
 import (
 	"testing"
 
+	"batsched/internal/event"
 	"batsched/internal/txn"
 )
 
@@ -26,6 +27,9 @@ func TestNilInjectorInjectsNothing(t *testing.T) {
 	}
 	if _, ok := in.Crash(testTxn(1)); ok {
 		t.Error("nil injector crashed")
+	}
+	if _, ok := in.NodeCrash(0, 8, 1000); ok {
+		t.Error("nil injector crashed a node")
 	}
 	if in.Enabled() {
 		t.Error("nil injector enabled")
@@ -132,12 +136,95 @@ func TestCrashStepInRange(t *testing.T) {
 	}
 }
 
+func TestNodeCrashExactCountAndDeterminism(t *testing.T) {
+	const numNodes = 8
+	for _, want := range []int{0, 1, 2, 3} {
+		a, err := New(77, Config{NodeCrashes: want, NodeCrashWindow: 10_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := New(77, Config{NodeCrashes: want, NodeCrashWindow: 10_000})
+		died := 0
+		for n := 0; n < numNodes; n++ {
+			at, ok := a.NodeCrash(n, numNodes, 0)
+			bt, bok := b.NodeCrash(n, numNodes, 0)
+			if at != bt || ok != bok {
+				t.Fatalf("NodeCrashes=%d: node %d differs across identically-seeded injectors", want, n)
+			}
+			if ok {
+				died++
+				if at < 1 || at > 10_000 {
+					t.Errorf("NodeCrashes=%d: node %d crash time %v outside (0, window]", want, n, at)
+				}
+			}
+		}
+		if died != want {
+			t.Errorf("NodeCrashes=%d: %d nodes died", want, died)
+		}
+	}
+}
+
+func TestNodeCrashClampsToLeaveASurvivor(t *testing.T) {
+	in, err := New(5, Config{NodeCrashes: 10, NodeCrashWindow: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const numNodes = 4
+	died := 0
+	for n := 0; n < numNodes; n++ {
+		if _, ok := in.NodeCrash(n, numNodes, 0); ok {
+			died++
+		}
+	}
+	if died != numNodes-1 {
+		t.Errorf("%d of %d nodes died, want clamp to %d", died, numNodes, numNodes-1)
+	}
+	// A single-node machine never crashes at all.
+	if _, ok := in.NodeCrash(0, 1, 0); ok {
+		t.Error("single-node machine crashed its only node")
+	}
+}
+
+func TestNodeCrashUsesCallerWindowWhenConfigLeavesItZero(t *testing.T) {
+	in, err := New(21, Config{NodeCrashes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const window = 100_000
+	seen := false
+	for n := 0; n < 8; n++ {
+		at, ok := in.NodeCrash(n, 8, window)
+		if !ok {
+			continue
+		}
+		seen = true
+		lo := event.Time(0.15 * window)
+		hi := event.Time(0.85 * window)
+		if at < lo || at > hi {
+			t.Errorf("node %d crash time %v outside [%v, %v]", n, at, lo, hi)
+		}
+	}
+	if !seen {
+		t.Fatal("no node crashed")
+	}
+	// No window at all: the decision is off.
+	if _, ok := in.NodeCrash(0, 8, 0); ok {
+		t.Error("crash scheduled with no window")
+	}
+}
+
 func TestValidate(t *testing.T) {
 	if _, err := New(0, Config{AbortRate: 1.5}); err == nil {
 		t.Error("rate > 1 accepted")
 	}
 	if _, err := New(0, Config{SlowIOFactor: -1}); err == nil {
 		t.Error("negative factor accepted")
+	}
+	if _, err := New(0, Config{NodeCrashes: -1}); err == nil {
+		t.Error("negative NodeCrashes accepted")
+	}
+	if _, err := New(0, Config{NodeCrashWindow: -1}); err == nil {
+		t.Error("negative NodeCrashWindow accepted")
 	}
 	in, err := New(0, Config{})
 	if err != nil {

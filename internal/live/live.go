@@ -42,6 +42,7 @@ import (
 	"batsched/internal/core/sched"
 	"batsched/internal/event"
 	"batsched/internal/fault"
+	"batsched/internal/machine"
 	"batsched/internal/obs"
 	"batsched/internal/txn"
 )
@@ -118,6 +119,20 @@ func WithFaults(in *fault.Injector) Option {
 	}
 }
 
+// WithTopology declares the shared-nothing layout behind the lock
+// manager: numNodes data nodes holding numParts partitions under the
+// paper's home policy (node = partition mod numNodes). The controller
+// itself schedules locks, not I/O, so the topology matters only for
+// node-crash recovery: CrashNode needs it to know which partitions die
+// with a node and where they re-home. Non-positive values disable it.
+func WithTopology(numNodes, numParts int) Option {
+	return func(c *Controller) {
+		if numNodes > 0 && numParts > 0 {
+			c.topo = machine.Config{NumNodes: numNodes, NumParts: numParts}
+		}
+	}
+}
+
 // WithObserver attaches a structured trace observer: the controller
 // emits timeline events (Admit, Request, ObjectDone, Commit) and wraps
 // its scheduler with sched.Observed so every decision, WTPG edge
@@ -174,12 +189,21 @@ type Stats struct {
 	Granted uint64
 	// Retries counts retry waits (refused admissions and requests).
 	Retries uint64
-	// Stalled counts watchdog deadlines that elapsed with waiters
-	// present and no scheduler progress; Recovered counts stalls that
-	// subsequently cleared (progress resumed before the controller
-	// closed).
+	// Stalled counts stall *episodes*: transitions into a no-progress
+	// state (a watchdog deadline elapsed with waiters present and no
+	// scheduler progress, however many deadlines the episode then
+	// spans). Recovered counts episodes that subsequently cleared —
+	// progress resumed before the controller closed, whether the
+	// watchdog's own kick/abort or an external path (a commit, a
+	// node-crash requeue) unblocked it. The two are symmetric: every
+	// recovered episode was counted stalled exactly once.
 	Stalled   uint64
 	Recovered uint64
+	// NodeCrashes counts CrashNode calls that killed a node; CrashDoomed
+	// counts transactions doomed by one because their partial bulk work
+	// died with it (each is also counted in Aborted once it finishes).
+	NodeCrashes uint64
+	CrashDoomed uint64
 	// Active is the number of currently admitted, unfinished
 	// transactions at snapshot time.
 	Active int
@@ -209,15 +233,25 @@ type Controller struct {
 	// (drives Stats.Active and commit-event response times). blocked
 	// tracks the admitted transactions currently parked in Acquire
 	// (candidates for a watchdog abort); doomed carries the error a
-	// watchdog-aborted transaction finds at its next Acquire loop.
-	// progress counts scheduler-state changes for the watchdog; waiters
-	// counts goroutines parked in any retry wait.
+	// watchdog- or crash-aborted transaction finds at its next Acquire
+	// loop (or, for a crash, at its Commit). progress counts
+	// scheduler-state changes for the watchdog; waiters counts
+	// goroutines parked in any retry wait.
 	started  map[txn.ID]event.Time
 	blocked  map[txn.ID]event.Time
 	doomed   map[txn.ID]error
 	progress uint64
 	waiters  int
 	stats    Stats
+
+	// topo/place model the data-node layout for CrashNode (zero/nil
+	// without WithTopology); resident tracks, per admitted transaction,
+	// the last granted step, its partition's node at grant time, and the
+	// objects reported since that grant — the state the recoverability
+	// rule reads when a node dies.
+	topo     machine.Config
+	place    *machine.Placement
+	resident map[txn.ID]*residency
 
 	stopWatch chan struct{}
 	watchWG   sync.WaitGroup
@@ -230,6 +264,27 @@ var ErrClosed = errors.New("live: controller closed")
 // no-progress watchdog force-aborted the transaction to break a stall.
 // The transaction's locks are released; the caller may resubmit it.
 var ErrWatchdogAborted = errors.New("live: aborted by no-progress watchdog")
+
+// ErrNodeCrashed is returned from Acquire, Commit or Run when a node
+// crash (CrashNode) destroyed the transaction's partial bulk results:
+// the objects it reported since its last lock grant lived on the dead
+// node, so the transaction cannot commit and aborts instead. The caller
+// may resubmit it against the re-homed topology.
+var ErrNodeCrashed = errors.New("live: aborted: partial bulk work lost in a node crash")
+
+// residency is the node-crash bookkeeping for one admitted transaction:
+// the last granted step, the node its partition was homed on at grant
+// time, and the objects reported since the grant. The crash window of a
+// step extends until the *next* grant — the controller cannot see the
+// caller's work function return, only the next Acquire — so work
+// reported between a step's end and the next grant still counts against
+// the old step's node (documented in docs/ROBUSTNESS.md §8).
+type residency struct {
+	step int
+	part txn.PartitionID
+	node int
+	work float64
+}
 
 // New builds a controller around a scheduler factory, e.g.
 //
@@ -246,10 +301,14 @@ func New(factory sched.Factory, costs sched.Costs, opts ...Option) *Controller {
 		started:    make(map[txn.ID]event.Time),
 		blocked:    make(map[txn.ID]event.Time),
 		doomed:     make(map[txn.ID]error),
+		resident:   make(map[txn.ID]*residency),
 		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	for _, opt := range opts {
 		opt(c)
+	}
+	if c.topo.NumNodes > 0 {
+		c.place = machine.NewPlacement(c.topo)
 	}
 	c.sch = factory.New(costs)
 	c.label = c.sch.Name()
@@ -470,8 +529,9 @@ func (c *Controller) Run(ctx context.Context, t *txn.T, work func(step int, p Pr
 			return fmt.Errorf("%w: txn %v after %g objects", fault.ErrInjectedAbort, t.ID, processed)
 		}
 	}
-	c.Commit(t)
-	return nil
+	// Commit can itself refuse: a node crash after the last grant dooms
+	// the transaction and the "commit" aborts it (ErrNodeCrashed).
+	return c.Commit(t)
 }
 
 // slowIO pays the injected slow-partition delay for the acquired step,
@@ -566,6 +626,10 @@ func (c *Controller) Acquire(ctx context.Context, t *txn.T, step int) error {
 		if out.Decision == sched.Granted {
 			c.stats.Granted++
 			c.progressLocked()
+			if c.place != nil {
+				part := t.Steps[step].Part
+				c.resident[t.ID] = &residency{step: step, part: part, node: c.place.NodeOf(part)}
+			}
 		}
 		c.mu.Unlock()
 		if out.Decision == sched.Granted {
@@ -590,14 +654,20 @@ func (c *Controller) ObjectDone(t *txn.T, objects float64) {
 	now := c.now()
 	c.sch.ObjectDone(t, objects, now)
 	c.progressLocked()
+	if r := c.resident[t.ID]; r != nil {
+		r.work += objects
+	}
 	c.emitLocked(obs.Event{Kind: obs.KindObjectDone, At: now, Txn: t.ID, Objects: objects})
 	c.mu.Unlock()
 }
 
 // Commit finishes an admitted transaction: all its locks drop and
-// waiters wake. It returns an error only for a transaction the
-// controller does not consider admitted (double finish, never
-// admitted).
+// waiters wake. It returns an error for a transaction the controller
+// does not consider admitted (double finish, never admitted) — and,
+// wrapped as ErrNodeCrashed, for a transaction doomed by a node crash
+// after its last lock grant: its partial bulk results are gone, so the
+// "commit" runs the abort-recovery path instead and the caller must
+// treat the transaction as aborted.
 func (c *Controller) Commit(t *txn.T) error {
 	if err := c.finish(t, true); err != nil {
 		return err
@@ -630,6 +700,15 @@ func (c *Controller) finish(t *txn.T, committed bool) error {
 		return fmt.Errorf("live: %v is not an admitted transaction", t.ID)
 	}
 	now := c.now()
+	var doomErr error
+	if committed {
+		if err := c.doomed[t.ID]; err != nil {
+			// Doomed after its last Acquire (node crash): committing would
+			// publish bulk results that died with the node. Abort instead.
+			committed = false
+			doomErr = fmt.Errorf("live: %v: %w", t.ID, err)
+		}
+	}
 	if committed {
 		c.sch.Commit(t, now)
 	} else {
@@ -638,6 +717,7 @@ func (c *Controller) finish(t *txn.T, committed bool) error {
 	e := obs.Event{Kind: obs.KindCommit, At: now, Txn: t.ID, RT: now - start}
 	delete(c.started, t.ID)
 	delete(c.doomed, t.ID)
+	delete(c.resident, t.ID)
 	if committed {
 		c.stats.Committed++
 	} else {
@@ -646,6 +726,61 @@ func (c *Controller) finish(t *txn.T, committed bool) error {
 	}
 	c.progressLocked()
 	c.emitLocked(e)
+	c.broadcast()
+	return doomErr
+}
+
+// CrashNode kills one data node of the WithTopology layout: its
+// partitions re-home to the survivors (mod-alive policy, Rehome events)
+// and every admitted transaction whose last granted step lived there is
+// triaged by the recoverability rule — no objects reported since the
+// grant means nothing was lost (the transaction continues against the
+// re-homed partition; a Requeue event records it), while reported
+// objects mean partial bulk results died with the node, so the
+// transaction is doomed: its next Acquire (or its Commit) returns
+// ErrNodeCrashed and it aborts through the scheduler's recovery path.
+// Errors: no WithTopology, an unknown/already-dead node, or the last
+// alive node.
+func (c *Controller) CrashNode(node int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if c.place == nil {
+		return fmt.Errorf("live: CrashNode requires WithTopology")
+	}
+	if !c.place.Alive(node) {
+		return fmt.Errorf("live: node %d is unknown or already dead", node)
+	}
+	if c.place.AliveCount() <= 1 {
+		return fmt.Errorf("live: refusing to crash the last alive node %d", node)
+	}
+	now := c.now()
+	c.stats.NodeCrashes++
+	c.emitLocked(obs.Event{Kind: obs.KindNodeDown, At: now, Node: node})
+	for _, rh := range c.place.Kill(node) {
+		c.emitLocked(obs.Event{Kind: obs.KindRehome, At: now, Part: rh.Part, FromNode: rh.From, Node: rh.To})
+	}
+	for id, r := range c.resident {
+		if r.node != node {
+			continue
+		}
+		if r.work > 0 {
+			c.doomed[id] = ErrNodeCrashed
+			c.stats.CrashDoomed++
+			c.emitLocked(obs.Event{Kind: obs.KindFault, At: now, Txn: id, Step: r.step, Part: r.part, Op: "node-crash"})
+			continue
+		}
+		to := c.place.NodeOf(r.part)
+		r.node = to
+		c.emitLocked(obs.Event{Kind: obs.KindRequeue, At: now, Txn: id, Step: r.step, Part: r.part, FromNode: node, Node: to})
+	}
+	// The triage itself is scheduler progress: parked waiters re-check
+	// their doom on wake, and a stall the crash caused (or cured) must be
+	// visible to the watchdog as movement, keeping Stalled/Recovered
+	// symmetric when the requeue path — not the watchdog — unblocks a run.
+	c.progressLocked()
 	c.broadcast()
 	return nil
 }
@@ -686,8 +821,14 @@ func (c *Controller) watchdogLoop() {
 			c.mu.Unlock()
 			continue
 		}
-		c.stats.Stalled++
-		stalled = true
+		if !stalled {
+			// Count the *episode*, not every silent deadline it spans:
+			// Stats.Recovered counts episodes that clear, and the pair must
+			// stay symmetric however long the stall lasts and whoever cures
+			// it (watchdog kick/abort or an external requeue).
+			stalled = true
+			c.stats.Stalled++
+		}
 		if !kicked {
 			// First silent deadline: re-broadcast. If the stall was a lost
 			// wakeup (or everyone is sitting out a long backoff), this

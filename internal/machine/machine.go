@@ -91,6 +91,113 @@ func (c Config) NodeOf(p txn.PartitionID) int {
 	return n
 }
 
+// Rehome records one entry of the remap table produced by a node crash:
+// partition Part moved from node From to node To.
+type Rehome struct {
+	Part     txn.PartitionID
+	From, To int
+}
+
+// Placement is the mutable partition-to-node map: it starts at the
+// paper's static placement (node = partition mod NumNodes) and re-homes
+// partitions when nodes die. The re-homing policy is a rebase of the
+// paper's rule onto the survivors: a partition whose home is dead moves
+// to aliveNodes[partition mod len(aliveNodes)], with aliveNodes the
+// ascending list of surviving node IDs. The policy is deterministic,
+// spreads a dead node's partitions across all survivors, and composes
+// under successive crashes (each crash re-homes against the then-alive
+// set). See docs/ROBUSTNESS.md §8.
+type Placement struct {
+	numNodes int
+	alive    []bool
+	aliveIDs []int
+	// home caches the current node of partitions [0, NumParts); higher
+	// partition IDs are computed on demand against the same policy.
+	home []int
+}
+
+// NewPlacement builds the static placement for cfg (all nodes alive).
+func NewPlacement(cfg Config) *Placement {
+	p := &Placement{
+		numNodes: cfg.NumNodes,
+		alive:    make([]bool, cfg.NumNodes),
+		aliveIDs: make([]int, cfg.NumNodes),
+		home:     make([]int, cfg.NumParts),
+	}
+	for n := range p.alive {
+		p.alive[n] = true
+		p.aliveIDs[n] = n
+	}
+	for part := range p.home {
+		p.home[part] = cfg.NodeOf(txn.PartitionID(part))
+	}
+	return p
+}
+
+// NodeOf returns the current home of a partition.
+func (p *Placement) NodeOf(part txn.PartitionID) int {
+	if i := int(part); i >= 0 && i < len(p.home) {
+		return p.home[i]
+	}
+	// Out-of-table partition: apply the same policy on demand.
+	base := int(part) % p.numNodes
+	if base < 0 {
+		base += p.numNodes
+	}
+	if p.alive[base] {
+		return base
+	}
+	idx := int(part) % len(p.aliveIDs)
+	if idx < 0 {
+		idx += len(p.aliveIDs)
+	}
+	return p.aliveIDs[idx]
+}
+
+// Alive reports whether a node is still up.
+func (p *Placement) Alive(node int) bool {
+	return node >= 0 && node < len(p.alive) && p.alive[node]
+}
+
+// AliveCount returns the number of surviving nodes.
+func (p *Placement) AliveCount() int { return len(p.aliveIDs) }
+
+// AliveIDs returns the ascending IDs of the surviving nodes. The slice
+// is the placement's own; callers must not mutate it.
+func (p *Placement) AliveIDs() []int { return p.aliveIDs }
+
+// Kill marks a node dead and re-homes every partition currently homed
+// there, returning the remap table (in ascending partition order). It
+// panics when asked to kill an already-dead node or the last survivor —
+// both are caller bugs: with no data nodes left there is nothing to
+// re-home onto.
+func (p *Placement) Kill(node int) []Rehome {
+	if !p.Alive(node) {
+		panic(fmt.Sprintf("machine: kill of dead or unknown node %d", node))
+	}
+	if len(p.aliveIDs) == 1 {
+		panic("machine: kill of the last alive node")
+	}
+	p.alive[node] = false
+	ids := p.aliveIDs[:0]
+	for n, up := range p.alive {
+		if up {
+			ids = append(ids, n)
+		}
+	}
+	p.aliveIDs = ids
+	var remap []Rehome
+	for part, h := range p.home {
+		if h != node {
+			continue
+		}
+		to := p.aliveIDs[part%len(p.aliveIDs)]
+		p.home[part] = to
+		remap = append(remap, Rehome{Part: txn.PartitionID(part), From: node, To: to})
+	}
+	return remap
+}
+
 // ControlNode is the centralized CN: a FIFO single server for control
 // work (admission, lock decisions, commit coordination).
 type ControlNode struct {
@@ -160,6 +267,11 @@ type Job struct {
 	// (slow-I/O fault injection). Zero means 1 so the zero value stays
 	// byte-identical to the unfaulted machine.
 	TimeFactor float64
+	// Processed accumulates the objects this job has completed at its
+	// node. Node-crash recovery reads it: a resident job with Processed
+	// > 0 left partial bulk results on the dead node and cannot simply
+	// be requeued (docs/ROBUSTNESS.md §8).
+	Processed float64
 }
 
 // DataNode is one DN: a round-robin processor of bulk jobs with a
@@ -169,6 +281,8 @@ type DataNode struct {
 	q    *event.Queue
 	jobs []*Job
 	busy bool
+	cur  *Job // the job whose quantum is in flight (busy only)
+	dead bool
 
 	objTime event.Time
 	// BusyTime accumulates processing time for utilization metrics.
@@ -204,14 +318,42 @@ func (n *DataNode) Enqueue(j *Job) {
 	if j == nil || j.Txn == nil {
 		panic("machine: bad job")
 	}
+	if n.dead {
+		panic(fmt.Sprintf("machine: enqueue on dead node %d", n.ID))
+	}
 	n.jobs = append(n.jobs, j)
 	n.pump()
+}
+
+// Dead reports whether the node has been killed.
+func (n *DataNode) Dead() bool { return n.dead }
+
+// Kill crashes the node: it stops processing forever and its resident
+// jobs — the one whose quantum is in flight plus the round-robin queue
+// — are returned to the caller to requeue or abort. An in-flight
+// quantum's I/O is lost with the node: it is never reported and the
+// job's Remaining/Processed are left exactly as they were when the
+// quantum was issued, so requeueing the job elsewhere redoes only that
+// quantum. Killing an already-dead node returns nil.
+func (n *DataNode) Kill() []*Job {
+	if n.dead {
+		return nil
+	}
+	n.dead = true
+	var resident []*Job
+	if n.busy && n.cur != nil {
+		resident = append(resident, n.cur)
+	}
+	resident = append(resident, n.jobs...)
+	n.cur = nil
+	n.jobs = nil
+	return resident
 }
 
 const remainingEps = 1e-9
 
 func (n *DataNode) pump() {
-	for !n.busy && len(n.jobs) > 0 {
+	for !n.busy && !n.dead && len(n.jobs) > 0 {
 		j := n.jobs[0]
 		n.jobs = n.jobs[1:]
 		if j.Cancelled {
@@ -236,11 +378,20 @@ func (n *DataNode) pump() {
 			dur = 1
 		}
 		n.busy = true
+		n.cur = j
 		n.q.After(dur, func(now event.Time) {
 			n.busy = false
+			if n.dead {
+				// The node died while the quantum's I/O was in flight: the
+				// result is lost, nothing is reported or accounted, and the
+				// job (already handed to Kill's caller) is left untouched.
+				return
+			}
+			n.cur = nil
 			n.BusyTime += dur
 			n.Objects += quantum
 			j.Remaining -= quantum
+			j.Processed += quantum
 			if j.Remaining <= remainingEps {
 				j.Remaining = 0
 			}

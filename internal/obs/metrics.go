@@ -141,13 +141,17 @@ type SchedMetrics struct {
 	CritPathMax     float64
 
 	// Robustness counters: scheduler abort-recovery runs, live-controller
-	// stall-watchdog firings, degraded-mode transitions, and injected
-	// faults.
+	// stall-watchdog firings, degraded-mode transitions, injected
+	// faults, and node-crash recovery (nodes lost, partitions re-homed,
+	// resident jobs requeued on survivors).
 	Recoveries uint64
 	Stalls     uint64
 	Degrades   uint64
 	Restores   uint64
 	Faults     uint64
+	NodeDowns  uint64
+	Rehomes    uint64
+	Requeues   uint64
 
 	// Histograms: decision control-CPU cost (clocks), decision wall
 	// duration (µs), lock-queue depth at request submission, WTPG size
@@ -245,6 +249,12 @@ func (m *Metrics) Observe(e Event) {
 		sm.Restores++
 	case KindFault:
 		sm.Faults++
+	case KindNodeDown:
+		sm.NodeDowns++
+	case KindRehome:
+		sm.Rehomes++
+	case KindRequeue:
+		sm.Requeues++
 	}
 }
 
@@ -294,6 +304,9 @@ func (m *Metrics) Merge(o *Metrics) {
 		sm.Degrades += osm.Degrades
 		sm.Restores += osm.Restores
 		sm.Faults += osm.Faults
+		sm.NodeDowns += osm.NodeDowns
+		sm.Rehomes += osm.Rehomes
+		sm.Requeues += osm.Requeues
 		sm.CritPathChanges += osm.CritPathChanges
 		if osm.CritPathMax > sm.CritPathMax {
 			sm.CritPathMax = osm.CritPathMax

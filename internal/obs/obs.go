@@ -74,8 +74,19 @@ const (
 	// KindRestore: a degraded scheduler returned to full operation.
 	KindRestore
 	// KindFault: an injected fault fired; Op names the fault
-	// ("abort", "refuse-admit", "slow-io", "crash").
+	// ("abort", "refuse-admit", "slow-io", "crash", "node-crash").
 	KindFault
+	// KindNodeDown: data node Node crashed; its resident jobs are
+	// requeued or their transactions aborted, and its partitions
+	// re-home (the Rehome events that follow).
+	KindNodeDown
+	// KindRehome: partition Part moved homes after a node crash, from
+	// node FromNode to node Node.
+	KindRehome
+	// KindRequeue: a recoverable transaction's resident job survived a
+	// node crash and was requeued — Txn/Step/Part locate it, FromNode is
+	// the dead node, Node the new one.
+	KindRequeue
 )
 
 var kindNames = [...]string{
@@ -91,6 +102,9 @@ var kindNames = [...]string{
 	KindDegrade:            "degrade",
 	KindRestore:            "restore",
 	KindFault:              "fault",
+	KindNodeDown:           "node-down",
+	KindRehome:             "rehome",
+	KindRequeue:            "requeue",
 }
 
 func (k Kind) String() string {
@@ -163,6 +177,12 @@ type Event struct {
 	// Queue is the number of requests already waiting on Part when a
 	// Request event was emitted (lock-queue depth).
 	Queue int `json:"queue,omitempty"`
+	// Node is the data node a node-down / re-home / requeue event
+	// concerns (the dead node for node-down, the new home otherwise);
+	// FromNode is the previous home of a re-homed partition or requeued
+	// job. Both are meaningless for other kinds.
+	Node     int `json:"node,omitempty"`
+	FromNode int `json:"from_node,omitempty"`
 }
 
 // String renders the event in the grep-friendly one-line style of the
@@ -191,6 +211,12 @@ func (e Event) String() string {
 		if e.Op != "" {
 			s += " op=" + e.Op
 		}
+	case KindNodeDown:
+		s += fmt.Sprintf(" node=%d", e.Node)
+	case KindRehome:
+		s += fmt.Sprintf(" part=P%d %d->%d", e.Part, e.FromNode, e.Node)
+	case KindRequeue:
+		s += fmt.Sprintf(" step=%d part=P%d %d->%d", e.Step, e.Part, e.FromNode, e.Node)
 	}
 	return s
 }

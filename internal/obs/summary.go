@@ -29,6 +29,10 @@ func (m *Metrics) Summary() string {
 				100*float64(sm.RequestDecisions["blocked"])/float64(total),
 				100*float64(sm.RequestDecisions["delayed"])/float64(total), total)
 		}
+		if sm.NodeDowns > 0 {
+			fmt.Fprintf(&b, "  %-16s %d nodes lost, %d partitions re-homed, %d jobs requeued\n",
+				"node crashes", sm.NodeDowns, sm.Rehomes, sm.Requeues)
+		}
 		if sm.Resolves > 0 || sm.CritPathChanges > 0 {
 			fmt.Fprintf(&b, "  %-16s %d edge resolutions, %d critical-path changes (max %.4g objects)\n",
 				"wtpg", sm.Resolves, sm.CritPathChanges, sm.CritPathMax)

@@ -48,12 +48,15 @@ func WithTrace(o obs.Observer) Option {
 // WithFaults attaches a fault injector: selected transactions abort
 // after a deterministic amount of bulk processing (exercising the
 // schedulers' abort-recovery path), selected partitions run their I/O
-// slow, and selected admissions are refused at the control node before
-// the scheduler sees them. Every injected fault is followed by a
-// scheduler invariant check regardless of Config.SelfCheck. A nil
-// injector is ignored; fault decisions are pure functions of the
-// injector's seed, so the same (Config, Seed, fault seed) triple
-// replays the same faulted run.
+// slow, selected admissions are refused at the control node before
+// the scheduler sees them, and selected data nodes crash outright mid-
+// run — their partitions re-home to the survivors, recoverable resident
+// jobs requeue, and transactions whose partial bulk work died with the
+// node abort through the scheduler's recovery path. Every injected
+// fault is followed by a scheduler invariant check regardless of
+// Config.SelfCheck. A nil injector is ignored; fault decisions are pure
+// functions of the injector's seed, so the same (Config, Seed, fault
+// seed) triple replays the same faulted run.
 func WithFaults(in *fault.Injector) Option {
 	return func(rc *runOpts) { rc.inj = in }
 }
@@ -109,6 +112,12 @@ type Config struct {
 	// node. 0 or 1 means no declustering; values ≥ NumNodes (or the
 	// Declustered flag) mean full declustering.
 	DeclusterWidth int
+	// DeadNodes lists data nodes that are down for the whole run: their
+	// partitions are re-homed to the survivors before the first arrival
+	// (no node-down events — this is topology, not a fault). Used to
+	// replay a crashed run's post-crash placement, e.g. by the
+	// differential recovery tests. At least one node must survive.
+	DeadNodes []int
 }
 
 // Result reports one run's metrics.
@@ -150,8 +159,8 @@ type Result struct {
 	// via ArrivalTimes.
 	LastCompletion event.Time
 	// LiveAtEnd counts transactions still admitted-but-uncommitted at the
-	// horizon. Arrived = Completed + InjectedAborts + LiveAtEnd +
-	// (not yet admitted).
+	// horizon. Arrived = Completed + InjectedAborts + CrashAborts +
+	// LiveAtEnd + (not yet admitted).
 	LiveAtEnd int
 
 	// InjectedAborts counts transactions killed mid-run by the fault
@@ -161,6 +170,17 @@ type Result struct {
 	// injector refused before the scheduler saw them (those do retry).
 	InjectedAborts   int
 	InjectedRefusals int
+
+	// Node-crash recovery counters (zero unless the injector crashes
+	// nodes): NodeCrashes is nodes lost mid-run, RehomedParts is
+	// partitions moved to survivors, RequeuedJobs is recoverable resident
+	// jobs re-enqueued at their partition's new home, and CrashAborts is
+	// transactions aborted because their partial bulk results died with
+	// the node (unrecoverable; they do not resubmit).
+	NodeCrashes  int
+	RehomedParts int
+	RequeuedJobs int
+	CrashAborts  int
 
 	// Response-time decomposition over measured completions (seconds):
 	// admission wait (arrival to admission), lock wait (request
@@ -228,6 +248,7 @@ type simulator struct {
 	rng    *rand.Rand
 	cn     *machine.ControlNode
 	nodes  []*machine.DataNode
+	place  *machine.Placement
 	sch    sched.Scheduler
 	nextID txn.ID
 
@@ -271,6 +292,18 @@ func Run(cfg Config, opts ...Option) (*Result, error) {
 	if cfg.Warmup < 0 || cfg.Warmup >= cfg.Horizon {
 		return nil, fmt.Errorf("sim: warmup %v outside horizon %v", cfg.Warmup, cfg.Horizon)
 	}
+	if len(cfg.DeadNodes) > 0 {
+		dead := make(map[int]bool, len(cfg.DeadNodes))
+		for _, d := range cfg.DeadNodes {
+			if d < 0 || d >= cfg.Machine.NumNodes {
+				return nil, fmt.Errorf("sim: dead node %d outside [0,%d)", d, cfg.Machine.NumNodes)
+			}
+			dead[d] = true
+		}
+		if len(dead) >= cfg.Machine.NumNodes {
+			return nil, fmt.Errorf("sim: DeadNodes %v leaves no survivor", cfg.DeadNodes)
+		}
+	}
 
 	s := &simulator{
 		cfg:     cfg,
@@ -310,6 +343,22 @@ func Run(cfg Config, opts ...Option) (*Result, error) {
 		n.OnQuantum = s.onQuantum
 		n.OnStepDone = s.onStepDone
 		s.nodes = append(s.nodes, n)
+	}
+	s.place = machine.NewPlacement(cfg.Machine)
+	for _, d := range cfg.DeadNodes {
+		if !s.place.Alive(d) {
+			continue // duplicate entry
+		}
+		s.place.Kill(d)
+		s.nodes[d].Kill()
+	}
+	if s.inj != nil {
+		for node := 0; node < cfg.Machine.NumNodes; node++ {
+			node := node
+			if at, ok := s.inj.NodeCrash(node, cfg.Machine.NumNodes, cfg.Horizon); ok && at < cfg.Horizon {
+				s.q.At(at, func(now event.Time) { s.crashNode(node, now) })
+			}
+		}
 	}
 	if cfg.SampleEvery > 0 {
 		s.scheduleSample(cfg.SampleEvery)
@@ -518,17 +567,31 @@ func (s *simulator) dispatch(st *txnState, step int, sp txn.Step) {
 		st.outstanding = 1
 		j := &machine.Job{Txn: st.t, Step: step, Remaining: sp.Cost, TimeFactor: factor}
 		st.jobs = []*machine.Job{j}
-		s.nodes[s.cfg.Machine.NodeOf(sp.Part)].Enqueue(j)
+		s.nodes[s.place.NodeOf(sp.Part)].Enqueue(j)
 		return
 	}
-	home := s.cfg.Machine.NodeOf(sp.Part)
+	// Declustered sub-jobs spread over the *alive* nodes starting at the
+	// partition's current home; with every node alive this is the classic
+	// (home+i) mod NumNodes placement.
+	alive := s.place.AliveIDs()
+	if width > len(alive) {
+		width = len(alive)
+	}
+	home := s.place.NodeOf(sp.Part)
+	hi := 0
+	for i, n := range alive {
+		if n == home {
+			hi = i
+			break
+		}
+	}
 	share := sp.Cost / float64(width)
 	st.outstanding = width
 	st.jobs = st.jobs[:0]
 	for i := 0; i < width; i++ {
 		j := &machine.Job{Txn: st.t, Step: step, Remaining: share, TimeFactor: factor}
 		st.jobs = append(st.jobs, j)
-		s.nodes[(home+i)%len(s.nodes)].Enqueue(j)
+		s.nodes[alive[(hi+i)%len(alive)]].Enqueue(j)
 	}
 }
 
@@ -603,6 +666,68 @@ func (s *simulator) handleAbort(st *txnState, freed []txn.PartitionID, now event
 	s.trace.emit(now, st.t.ID, "aborted")
 	s.selfCheck()
 	s.wakeWaiters(freed)
+}
+
+// crashNode kills data node `node` mid-run. Its partitions re-home to
+// the survivors under the documented mod-alive policy, and its resident
+// jobs are triaged by the recoverability rule: a job that completed no
+// object at the dead node lost nothing (the in-flight quantum, if any,
+// is simply redone) and requeues at its partition's new home; a job
+// with partial bulk results there cannot be resumed elsewhere, so its
+// whole transaction aborts through the scheduler's recovery path. The
+// crash of the last alive node is ignored (nothing left to recover to).
+func (s *simulator) crashNode(node int, now event.Time) {
+	if !s.place.Alive(node) || s.place.AliveCount() <= 1 {
+		return
+	}
+	s.res.NodeCrashes++
+	s.trace.emit(now, 0, "node-down", "node", node)
+	s.emitObs(obs.Event{Kind: obs.KindNodeDown, At: now, Node: node})
+	for _, rh := range s.place.Kill(node) {
+		s.res.RehomedParts++
+		s.trace.emit(now, 0, "rehome", "part", rh.Part, "from", rh.From, "to", rh.To)
+		s.emitObs(obs.Event{Kind: obs.KindRehome, At: now, Part: rh.Part, FromNode: rh.From, Node: rh.To})
+	}
+	for _, j := range s.nodes[node].Kill() {
+		if j.Cancelled {
+			continue
+		}
+		st, ok := s.live[j.Txn.ID]
+		if !ok || st.aborting {
+			continue
+		}
+		if j.Processed > 0 {
+			s.crashAbort(st, now)
+			continue
+		}
+		part := j.Txn.Steps[j.Step].Part
+		to := s.place.NodeOf(part)
+		s.res.RequeuedJobs++
+		s.trace.emit(now, j.Txn.ID, "requeue", "step", j.Step, "part", part, "from", node, "to", to)
+		s.emitObs(obs.Event{Kind: obs.KindRequeue, At: now, Txn: j.Txn.ID, Step: j.Step, Part: part, FromNode: node, Node: to})
+		s.nodes[to].Enqueue(j)
+	}
+	s.selfCheck()
+}
+
+// crashAbort kills st because its partial bulk results died with a
+// crashed node: every sub-job is cancelled (including any just-requeued
+// sibling) and the control node runs the same scheduler recovery as an
+// injected abort. Counted separately from InjectedAborts.
+func (s *simulator) crashAbort(st *txnState, now event.Time) {
+	st.aborting = true
+	for _, j := range st.jobs {
+		j.Cancelled = true
+	}
+	s.res.CrashAborts++
+	s.trace.emit(now, st.t.ID, "fault-node-crash", "processed", st.processed)
+	s.emitObs(obs.Event{Kind: obs.KindFault, At: now, Txn: st.t.ID, Op: "node-crash"})
+	s.cn.Submit(func(now event.Time) (event.Time, func(event.Time)) {
+		freed, cpu := sched.AbortTxn(s.sch, st.t, now)
+		return s.cfg.Machine.CommitTime + cpu, func(now event.Time) {
+			s.handleAbort(st, freed, now)
+		}
+	})
 }
 
 // selfCheck runs the scheduler's invariant checks and verifies the
