@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-all bench-smoke chaos chaos-nodes verify
+.PHONY: build test bench bench-all bench-smoke bench-harness chaos chaos-nodes verify
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,21 @@ bench:
 	$(GO) run ./tools/benchjson -old bench/baseline_pr3.txt -new bench/current_pr3.txt \
 		-note "baseline = pre-slot-engine (map-based WTPG, clone-based E)" > BENCH_PR3.json
 
+# The PR5 set tracks the parallel experiment harness: the smoke sweep at
+# -parallel 1 vs NumCPU workers, and the event-queue churn benchmark
+# gating the free-list's zero-alloc steady state.
+PR5_BENCH := BenchmarkSweepParallel1|BenchmarkSweepParallelN|BenchmarkQueueChurn
+PR5_PKGS  := ./internal/experiments/ ./internal/event/
+
+# bench-harness reruns the PR5 set (3 samples each) into
+# bench/current_pr5.txt and regenerates the committed BENCH_PR5.json
+# from baseline (pre-free-list event queue) vs current.
+bench-harness:
+	$(GO) test -run '^$$' -bench '^($(PR5_BENCH))$$' -benchmem -count 3 $(PR5_PKGS) \
+		| tee bench/current_pr5.txt
+	$(GO) run ./tools/benchjson -old bench/baseline_pr5.txt -new bench/current_pr5.txt \
+		-note "baseline = pre-free-list event queue, same parallel harness; SweepParallel1 vs SweepParallelN within one column is the scaling measurement, N = NumCPU of the recording host ($(shell nproc) when last regenerated — on a 1-core host the two are equal by construction; re-run on a multicore host to see the fan-out)" > BENCH_PR5.json
+
 # bench-all is the old kitchen-sink run over every benchmark in the repo.
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
@@ -38,6 +53,7 @@ bench-all:
 # of a measurement run.
 bench-smoke:
 	$(GO) test -run '^$$' -bench '^($(PR3_BENCH))$$' -benchtime 1x $(PR3_PKGS)
+	$(GO) test -run '^$$' -bench '^($(PR5_BENCH))$$' -benchtime 1x $(PR5_PKGS)
 
 # chaos runs the fault-injection suites (docs/ROBUSTNESS.md) under the
 # race detector: the simulator's 100-seed × scheduler matrix, the live
@@ -58,5 +74,5 @@ chaos-nodes:
 
 verify: build test chaos chaos-nodes bench-smoke
 	$(GO) vet ./...
-	$(GO) test -race ./internal/live/... ./internal/obs/...
+	$(GO) test -race ./internal/live/... ./internal/obs/... ./internal/experiments/ ./internal/event/
 	$(GO) test -tags wtpgshadow -count=1 ./internal/core/... ./internal/sim/

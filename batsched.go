@@ -470,9 +470,16 @@ func RunExperiment4(o ExperimentOptions, sigmas []float64, opts ...ExperimentOpt
 }
 
 // WithExperimentTrace streams every simulation's structured events to o
-// (shared across the parallel grid; events carry their scheduler label).
+// (shared across the parallel grid; each run buffers privately and the
+// harness replays buffers into o in deterministic grid order, so the
+// stream is identical at every parallelism level).
 func WithExperimentTrace(o Observer) ExperimentOption { return experiments.WithTrace(o) }
 
 // WithExperimentMetrics aggregates per-sweep-point metrics into each
 // resulting point.
 func WithExperimentMetrics() ExperimentOption { return experiments.WithMetrics() }
+
+// WithExperimentParallelism bounds the experiment worker pool to n
+// concurrent simulations (default: Options.Workers, then
+// runtime.NumCPU()). Output is byte-identical at every n.
+func WithExperimentParallelism(n int) ExperimentOption { return experiments.WithParallelism(n) }

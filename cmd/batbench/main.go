@@ -6,9 +6,15 @@
 //	batbench -table1
 //	batbench -fig 6                 # Experiment 1, response-time curves
 //	batbench -all                   # everything (the full grid; slow)
+//	batbench -all -parallel 8       # same bytes, 8 grid cells at a time
 //	batbench -fig 8 -quick          # reduced horizon for a fast preview
 //	batbench -fig 7 -csv out.csv    # also dump the sweep as CSV
 //	batbench -fig 6 -trace t.jsonl -metrics   # structured trace + summary
+//
+// Grid cells fan out across -parallel workers (default: every core);
+// results land in pre-indexed slots and trace/metrics sinks are merged
+// in grid order, so stdout, CSV and JSONL output are byte-identical
+// regardless of parallelism. Progress and ETA go to stderr only.
 package main
 
 import (
@@ -36,7 +42,8 @@ func main() {
 		table1   = flag.Bool("table1", false, "print the effective Table 1 parameters")
 		horizon  = flag.Int64("horizon", 2_000_000, "simulated clocks per run (paper: 2,000,000)")
 		seed     = flag.Int64("seed", 1990, "base random seed")
-		workers  = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		parallel = flag.Int("parallel", 0, "grid-cell worker pool size (0 = NumCPU); output is byte-identical at every setting")
+		workers  = flag.Int("workers", 0, "deprecated alias for -parallel")
 		rt       = flag.Float64("rt", 70, "response-time comparison target in seconds")
 		quick    = flag.Bool("quick", false, "reduced horizon (400k clocks) and sparser sweep")
 		lambdas  = flag.String("lambdas", "", "comma-separated arrival-rate sweep override")
@@ -58,11 +65,15 @@ func main() {
 			return
 		}
 	}
+	poolSize := *parallel
+	if poolSize <= 0 {
+		poolSize = *workers
+	}
 	opts := experiments.Options{
 		Machine:         machine.DefaultConfig(),
 		Horizon:         event.Time(*horizon),
 		Seed:            *seed,
-		Workers:         *workers,
+		Workers:         poolSize,
 		RTTargetSeconds: *rt,
 		Replications:    *reps,
 	}
@@ -82,17 +93,17 @@ func main() {
 		}
 	}
 	if !*quiet {
-		opts.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\r  %d/%d runs", done, total)
-			if done == total {
-				fmt.Fprintln(os.Stderr)
-			}
-		}
+		opts.Progress = progressReporter()
 	}
 
 	// Observability: one JSONL sink and/or one metrics aggregate shared
 	// by every run of the grid (events carry their scheduler label).
+	// Each run emits into private buffers that the harness merges in
+	// grid order, so the trace is deterministic at any -parallel value.
 	var expOpts []experiments.Option
+	if poolSize > 0 {
+		expOpts = append(expOpts, experiments.WithParallelism(poolSize))
+	}
 	var traceSink *obs.JSONL
 	var agg *obs.Metrics
 	var observers []obs.Observer
@@ -261,6 +272,33 @@ func printTable1() {
 		fmt.Printf("  %-22s %s\n", r[0], r[1])
 	}
 	fmt.Println()
+}
+
+// progressReporter returns a Progress callback printing per-cell
+// progress lines with an ETA on stderr — stdout stays byte-identical
+// for goldens. A long -all regeneration runs several grids back to
+// back; the completion counter restarting signals a new grid, which
+// resets the rate estimate.
+func progressReporter() func(done, total int) {
+	start := time.Now()
+	last := 0
+	return func(done, total int) {
+		if done < last {
+			start = time.Now()
+		}
+		last = done
+		if done == total {
+			fmt.Fprintf(os.Stderr, "\r  %d/%d cells done (%.1fs)      \n",
+				done, total, time.Since(start).Seconds())
+			return
+		}
+		eta := ""
+		if elapsed := time.Since(start); done > 0 && elapsed > 0 {
+			rem := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+			eta = fmt.Sprintf(", ETA %s", rem.Round(time.Second))
+		}
+		fmt.Fprintf(os.Stderr, "\r  %d/%d cells done%s      ", done, total, eta)
+	}
 }
 
 // startProfiles begins CPU profiling (if requested) and returns a

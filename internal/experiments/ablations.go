@@ -56,7 +56,9 @@ func (r *AblationResult) Render() string {
 
 // ablationCell runs one sweep for one (variant, factory) pair with a
 // config mutator and returns TPS at the RT target plus the mean DN
-// utilization at the sweep point nearest the crossing.
+// utilization at the sweep point nearest the crossing. Each sweep goes
+// through the same runJobs worker pool as the figure grids, so ablation
+// output is likewise independent of parallelism.
 func ablationCell(o Options, f sched.Factory, lambdas []float64,
 	newWorkload func() workload.Generator, mutate func(*sim.Config), opts ...Option) (Sweep, error) {
 

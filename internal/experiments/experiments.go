@@ -8,10 +8,15 @@
 //	Figure 9  — Experiment 3: arrival rate vs. mean response time
 //	Figure 10 — Experiment 4: declaration error σ vs. throughput at RT = 70 s
 //
-// Individual simulation runs are deterministic; the harness runs the
-// (scheduler × parameter) grid on a bounded worker pool, using the same
-// seed for every scheduler at the same sweep point so comparisons are
-// paired.
+// Individual simulation runs are deterministic; the harness fans the
+// (scheduler × λ × replicate) grid onto a fixed worker pool (Workers /
+// WithParallelism, default runtime.NumCPU()), using the same seed for
+// every scheduler at the same sweep point so comparisons are paired.
+// Every run is a pure function of (config, seed) with fully private
+// state — its own sim instance, RNG, fault injector and obs sinks —
+// and results land in pre-indexed slots, with shared-sink delivery
+// serialized in grid order, so output is byte-identical at every
+// parallelism level (see docs/PERFORMANCE.md §6).
 package experiments
 
 import (
@@ -38,7 +43,8 @@ type Options struct {
 	// Seed is the base random seed.
 	Seed int64
 	// Workers bounds the concurrently running simulations
-	// (0 = GOMAXPROCS).
+	// (0 = runtime.NumCPU()). The WithParallelism option, when given,
+	// takes precedence. Output is byte-identical at every setting.
 	Workers int
 	// Lambdas overrides the default arrival-rate sweep (TPS).
 	Lambdas []float64
@@ -60,7 +66,7 @@ func (o Options) withDefaults() Options {
 		o.Horizon = 2_000_000
 	}
 	if o.Workers <= 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
+		o.Workers = runtime.NumCPU()
 	}
 	if o.RTTargetSeconds == 0 {
 		o.RTTargetSeconds = 70
@@ -116,7 +122,61 @@ type job struct {
 	cfg                      sim.Config
 }
 
-// runGrid executes the (factory × lambda) grid on a worker pool. The
+// runJobs executes the given simulation configs on a fixed pool of
+// `workers` goroutines pulling job indices from a channel. Every run is
+// fully isolated — its own sim instance, seed-derived RNG and fault
+// injector (sim.Run builds all three from the config), plus the private
+// obs sinks from runConfig.forJob — and its result lands in the
+// pre-indexed slot results[i], so downstream assembly never depends on
+// completion order. Per-run trace buffers are replayed into the shared
+// observer in job order by orderedFlush; per-run Metrics come back for
+// the caller to merge, again in job order. Progress (if non-nil) is
+// called with monotonically increasing completion counts under a lock.
+func runJobs(rc runConfig, workers int, cfgs []sim.Config,
+	progress func(done, total int)) ([]*sim.Result, []*obs.Metrics, []error) {
+
+	n := len(cfgs)
+	results := make([]*sim.Result, n)
+	errs := make([]error, n)
+	jobMetrics := make([]*obs.Metrics, n)
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	flush := newOrderedFlush(rc.trace, n)
+	var mu sync.Mutex
+	done := 0
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				sinks, simOpts := rc.forJob()
+				jobMetrics[i] = sinks.metrics
+				results[i], errs[i] = sim.Run(cfgs[i], simOpts...)
+				flush.complete(i, sinks.trace)
+				if progress != nil {
+					mu.Lock()
+					done++
+					progress(done, n)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results, jobMetrics, errs
+}
+
+// runGrid executes the (factory × lambda) grid on the worker pool. The
 // workload constructor is called once per run so stateful generators are
 // never shared. Serializability checking is enabled for every scheduler
 // except NODC (which is intentionally non-serializable).
@@ -126,7 +186,10 @@ func runGrid(o Options, factories []sched.Factory, lambdas []float64,
 }
 
 // runGridMutate is runGrid with a per-run config hook (used by the
-// ablation experiments to flip placement, costs, etc.).
+// ablation experiments to flip placement, costs, etc.). The grid is
+// flattened scheduler-major into a job list, fanned onto the pool, and
+// reassembled from the indexed result slots — identical output at every
+// parallelism level.
 func runGridMutate(o Options, factories []sched.Factory, lambdas []float64,
 	newWorkload func() workload.Generator, mutate func(*sim.Config), opts ...Option) ([]Sweep, error) {
 
@@ -136,6 +199,7 @@ func runGridMutate(o Options, factories []sched.Factory, lambdas []float64,
 		reps = 1
 	}
 	var jobs []job
+	var cfgs []sim.Config
 	for si, f := range factories {
 		for li, l := range lambdas {
 			for rep := 0; rep < reps; rep++ {
@@ -154,35 +218,11 @@ func runGridMutate(o Options, factories []sched.Factory, lambdas []float64,
 					mutate(&cfg)
 				}
 				jobs = append(jobs, job{schedIdx: si, lambdaIdx: li, rep: rep, cfg: cfg})
+				cfgs = append(cfgs, cfg)
 			}
 		}
 	}
-	results := make([]*sim.Result, len(jobs))
-	errs := make([]error, len(jobs))
-	jobMetrics := make([]*obs.Metrics, len(jobs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, o.Workers)
-	var mu sync.Mutex
-	done := 0
-	for i := range jobs {
-		i := i
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			m, simOpts := rc.forJob()
-			jobMetrics[i] = m
-			results[i], errs[i] = sim.Run(jobs[i].cfg, simOpts...)
-			if o.Progress != nil {
-				mu.Lock()
-				done++
-				o.Progress(done, len(jobs))
-				mu.Unlock()
-			}
-		}()
-	}
-	wg.Wait()
+	results, jobMetrics, errs := runJobs(rc, rc.workers(o), cfgs, o.Progress)
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s @ λ=%g: %w",

@@ -54,7 +54,11 @@ func RunMixedWorkload(o Options, lambda, shortShare float64, opts ...Option) (*M
 		sched.NODCFactory(), sched.ASLFactory(), sched.ChainFactory(),
 		sched.KWTPGFactory(2), sched.C2PLFactory(),
 	}
-	for _, f := range factories {
+	// One grid cell per scheduler, fanned onto the same worker pool as
+	// the figure/ablation grids (runJobs): per-run sinks, pre-indexed
+	// result slots, deterministic sink merge order.
+	cfgs := make([]sim.Config, len(factories))
+	for i, f := range factories {
 		mix, err := workload.NewMixture("mixed",
 			workload.Component{Class: "short", Weight: shortShare,
 				Gen: workload.ShortTransactions(16, 0.02)},
@@ -64,7 +68,7 @@ func RunMixedWorkload(o Options, lambda, shortShare float64, opts ...Option) (*M
 		if err != nil {
 			return nil, err
 		}
-		cfg := sim.Config{
+		cfgs[i] = sim.Config{
 			Machine:              o.Machine,
 			Scheduler:            f,
 			Workload:             mix,
@@ -74,11 +78,13 @@ func RunMixedWorkload(o Options, lambda, shortShare float64, opts ...Option) (*M
 			CheckSerializability: f.Label != "NODC",
 			Classify:             func(t *txn.T) string { return mix.ClassOf(t.ID) },
 		}
-		m, simOpts := rc.forJob()
-		r, err := sim.Run(cfg, simOpts...)
+	}
+	results, jobMetrics, errs := runJobs(rc, rc.workers(o), cfgs, o.Progress)
+	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("mixed %s: %w", f.Label, err)
+			return nil, fmt.Errorf("mixed %s: %w", factories[i].Label, err)
 		}
+		r := results[i]
 		res.Rows = append(res.Rows, MixedRow{
 			Scheduler:      r.Scheduler,
 			ShortMeanRT:    r.ClassMeanRT["short"],
@@ -86,7 +92,7 @@ func RunMixedWorkload(o Options, lambda, shortShare float64, opts ...Option) (*M
 			ShortCompleted: r.ClassCompleted["short"],
 			BATCompleted:   r.ClassCompleted["bat"],
 			Throughput:     r.Throughput,
-			Metrics:        m,
+			Metrics:        jobMetrics[i],
 		})
 	}
 	sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i].Scheduler < res.Rows[j].Scheduler })

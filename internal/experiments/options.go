@@ -1,23 +1,27 @@
 package experiments
 
 import (
+	"sync"
+
 	"batsched/internal/obs"
 	"batsched/internal/sim"
 )
 
-// Option attaches observability to an experiment run. The Options struct
-// keeps the simulation parameters (machine, horizon, sweep); Options
-// values stay plain data while cross-cutting concerns arrive as
-// functional options:
+// Option attaches observability or tuning to an experiment run. The
+// Options struct keeps the simulation parameters (machine, horizon,
+// sweep); Options values stay plain data while cross-cutting concerns
+// arrive as functional options:
 //
 //	res, err := experiments.RunExperiment1(o,
 //		experiments.WithMetrics(),
-//		experiments.WithTrace(sink))
+//		experiments.WithTrace(sink),
+//		experiments.WithParallelism(4))
 type Option func(*runConfig)
 
 type runConfig struct {
-	trace   obs.Observer
-	metrics bool
+	trace    obs.Observer
+	metrics  bool
+	parallel int
 }
 
 func buildRunConfig(opts []Option) runConfig {
@@ -28,10 +32,16 @@ func buildRunConfig(opts []Option) runConfig {
 	return rc
 }
 
-// WithTrace streams every simulation's structured events to o. One
-// observer is shared by all runs of the grid, which execute in parallel —
-// the obs sinks are goroutine-safe, and each event's Sched label tells
-// the runs apart.
+// WithTrace streams every simulation's structured events to o.
+//
+// Sink ownership rule: the shared observer is never handed to a running
+// simulation. Each grid cell emits into a private per-run buffer, and
+// completed buffers are replayed into o in deterministic grid order
+// (scheduler-major, then λ, then replicate) — so the byte stream an
+// attached obs.JSONL sink produces is identical whether the grid ran on
+// one worker or on runtime.NumCPU() workers, and o only ever sees
+// events from the single goroutine that owns the replay cursor at that
+// moment.
 func WithTrace(o obs.Observer) Option {
 	return func(rc *runConfig) { rc.trace = o }
 }
@@ -39,25 +49,112 @@ func WithTrace(o obs.Observer) Option {
 // WithMetrics aggregates per-sweep-point metrics: every resulting Point
 // carries an obs.Metrics with decision counts, latency histograms and
 // graph-size distributions, merged across replicates of the same cell.
+// Each run owns its own obs.Metrics while it executes; the per-cell
+// aggregates are folded together with obs.(*Metrics).Merge after the
+// runs complete, in grid order.
 func WithMetrics() Option {
 	return func(rc *runConfig) { rc.metrics = true }
 }
 
-// forJob builds the sim.Run options for one grid job. The returned
-// Metrics (nil unless WithMetrics) is private to the job, so the
-// per-point aggregates never mix schedulers or sweep points.
-func (rc runConfig) forJob() (*obs.Metrics, []sim.Option) {
+// WithParallelism bounds the harness worker pool to n concurrent
+// simulations. n <= 0 (or omitting the option) falls back to
+// Options.Workers, whose default is runtime.NumCPU(). Results are
+// written into pre-indexed slots and sinks are merged in grid order, so
+// every parallelism level produces byte-identical output.
+func WithParallelism(n int) Option {
+	return func(rc *runConfig) {
+		if n > 0 {
+			rc.parallel = n
+		}
+	}
+}
+
+// workers resolves the effective pool size: the WithParallelism
+// override wins, then Options.Workers (defaulted to runtime.NumCPU()
+// by withDefaults).
+func (rc runConfig) workers(o Options) int {
+	if rc.parallel > 0 {
+		return rc.parallel
+	}
+	return o.Workers
+}
+
+// capture is a per-run trace buffer. A simulation is single-threaded
+// and the buffer is owned by exactly one run, so Observe needs no lock;
+// the buffered events are replayed into the shared observer — by
+// orderedFlush, under its mutex — only after the run has completed.
+type capture struct {
+	events []obs.Event
+}
+
+// Observe appends the event to the run-private buffer.
+func (c *capture) Observe(e obs.Event) { c.events = append(c.events, e) }
+
+// cellSinks are the sinks private to one grid cell's run.
+type cellSinks struct {
+	metrics *obs.Metrics // nil unless WithMetrics
+	trace   *capture     // nil unless WithTrace
+}
+
+// forJob builds one grid job's private sinks and the sim.Run options
+// wiring them up. Nothing here is shared with any other run: the
+// Metrics is merged per cell after completion, the capture buffer is
+// replayed into the shared observer in grid order.
+func (rc runConfig) forJob() (cellSinks, []sim.Option) {
+	var s cellSinks
 	var observers []obs.Observer
 	if rc.trace != nil {
-		observers = append(observers, rc.trace)
+		s.trace = &capture{}
+		observers = append(observers, s.trace)
 	}
-	var m *obs.Metrics
 	if rc.metrics {
-		m = obs.NewMetrics()
-		observers = append(observers, m)
+		s.metrics = obs.NewMetrics()
+		observers = append(observers, s.metrics)
 	}
 	if len(observers) == 0 {
-		return nil, nil
+		return s, nil
 	}
-	return m, []sim.Option{sim.WithTrace(obs.Multi(observers...))}
+	return s, []sim.Option{sim.WithTrace(obs.Multi(observers...))}
+}
+
+// orderedFlush replays per-run trace buffers into the shared observer
+// in job-index order, regardless of the order in which parallel runs
+// complete. Job i's events are delivered only once jobs 0..i-1 have
+// been delivered, which makes the shared sink's event stream — and
+// hence a JSONL trace file — a pure function of the grid, independent
+// of worker count and scheduling.
+type orderedFlush struct {
+	shared obs.Observer
+	mu     sync.Mutex
+	next   int
+	ready  []*capture
+	done   []bool
+}
+
+func newOrderedFlush(shared obs.Observer, n int) *orderedFlush {
+	if shared == nil {
+		return nil
+	}
+	return &orderedFlush{shared: shared, ready: make([]*capture, n), done: make([]bool, n)}
+}
+
+// complete records job i's buffer and flushes every maximal prefix of
+// completed jobs. A nil flusher (no shared observer) is a no-op.
+func (f *orderedFlush) complete(i int, c *capture) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ready[i] = c
+	f.done[i] = true
+	for f.next < len(f.done) && f.done[f.next] {
+		if buf := f.ready[f.next]; buf != nil {
+			for _, e := range buf.events {
+				f.shared.Observe(e)
+			}
+			f.ready[f.next] = nil // release the buffer
+		}
+		f.next++
+	}
 }

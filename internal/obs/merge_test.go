@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// feedMetrics pushes a small, fully-known event mix into m under the
+// given scheduler label.
+func feedMetrics(m *Metrics, label string, commits int) {
+	for i := 0; i < commits; i++ {
+		m.Observe(Event{Kind: KindAdmit, Sched: label})
+		m.Observe(Event{Kind: KindRequest, Sched: label, Queue: i})
+		m.Observe(Event{Kind: KindDecision, Sched: label, Op: "admit",
+			Decision: "granted", CPU: 5, Graph: i + 1})
+		m.Observe(Event{Kind: KindDecision, Sched: label, Op: "request",
+			Decision: "blocked", CPU: 7, DurNS: 1500, Graph: i + 1})
+		m.Observe(Event{Kind: KindObjectDone, Sched: label, Objects: 2.5})
+		m.Observe(Event{Kind: KindCommit, Sched: label, RT: 30_000})
+	}
+	m.Observe(Event{Kind: KindCommit, Sched: label, Decision: "aborted"})
+	m.Observe(Event{Kind: KindResolve, Sched: label})
+	m.Observe(Event{Kind: KindCriticalPathChange, Sched: label,
+		CritPath: float64(10 * commits)})
+	m.Observe(Event{Kind: KindAbort, Sched: label})
+	m.Observe(Event{Kind: KindStall, Sched: label})
+	m.Observe(Event{Kind: KindFault, Sched: label})
+	m.Observe(Event{Kind: KindNodeDown, Sched: label})
+	m.Observe(Event{Kind: KindRehome, Sched: label})
+	m.Observe(Event{Kind: KindRequeue, Sched: label})
+}
+
+// TestMetricsMerge pins the Merge contract: counters sum, decision maps
+// fold key-wise, histograms fold bucket-wise, maxima take the larger
+// side — and the merged aggregate equals one Metrics that observed both
+// event streams directly.
+func TestMetricsMerge(t *testing.T) {
+	a, b, want := NewMetrics(), NewMetrics(), NewMetrics()
+	feedMetrics(a, "CHAIN", 3)
+	feedMetrics(b, "CHAIN", 5)
+	feedMetrics(b, "K2", 2)
+	feedMetrics(want, "CHAIN", 3)
+	feedMetrics(want, "CHAIN", 5)
+	feedMetrics(want, "K2", 2)
+
+	a.Merge(b)
+
+	if got, w := a.Schedulers(), want.Schedulers(); !reflect.DeepEqual(got, w) {
+		t.Fatalf("schedulers = %v, want %v", got, w)
+	}
+	for _, label := range want.Schedulers() {
+		got, w := a.Sched(label), want.Sched(label)
+		if got.Admits != w.Admits || got.Requests != w.Requests ||
+			got.Commits != w.Commits || got.Aborts != w.Aborts {
+			t.Errorf("%s: counters %+v, want %+v", label, got, w)
+		}
+		if got.Objects != w.Objects {
+			t.Errorf("%s: objects %g, want %g", label, got.Objects, w.Objects)
+		}
+		if !reflect.DeepEqual(got.AdmitDecisions, w.AdmitDecisions) ||
+			!reflect.DeepEqual(got.RequestDecisions, w.RequestDecisions) {
+			t.Errorf("%s: decision maps differ", label)
+		}
+		if got.Resolves != w.Resolves || got.Recoveries != w.Recoveries ||
+			got.Stalls != w.Stalls || got.Faults != w.Faults ||
+			got.NodeDowns != w.NodeDowns || got.Rehomes != w.Rehomes ||
+			got.Requeues != w.Requeues {
+			t.Errorf("%s: robustness counters differ", label)
+		}
+		if got.CritPathChanges != w.CritPathChanges || got.CritPathMax != w.CritPathMax {
+			t.Errorf("%s: crit path %d/%g, want %d/%g", label,
+				got.CritPathChanges, got.CritPathMax, w.CritPathChanges, w.CritPathMax)
+		}
+		for name, pair := range map[string][2]*Histogram{
+			"DecisionCPU":  {got.DecisionCPU, w.DecisionCPU},
+			"DecisionWall": {got.DecisionWall, w.DecisionWall},
+			"QueueDepth":   {got.QueueDepth, w.QueueDepth},
+			"GraphSize":    {got.GraphSize, w.GraphSize},
+			"ResponseTime": {got.ResponseTime, w.ResponseTime},
+		} {
+			g, ww := pair[0], pair[1]
+			if g.Count() != ww.Count() || g.Mean() != ww.Mean() || g.Max() != ww.Max() {
+				t.Errorf("%s %s: n=%d mean=%g max=%g, want n=%d mean=%g max=%g",
+					label, name, g.Count(), g.Mean(), g.Max(),
+					ww.Count(), ww.Mean(), ww.Max())
+			}
+		}
+	}
+	// b itself must be untouched by the merge.
+	if b.Sched("K2").Commits != 2 {
+		t.Error("merge mutated the source")
+	}
+}
+
+// TestMetricsMergeEdgeCases: nil, self and empty merges are no-ops.
+func TestMetricsMergeEdgeCases(t *testing.T) {
+	m := NewMetrics()
+	feedMetrics(m, "ASL", 2)
+	before := m.Sched("ASL").Commits
+
+	m.Merge(nil)
+	m.Merge(m)
+	m.Merge(NewMetrics())
+	if got := m.Sched("ASL").Commits; got != before {
+		t.Errorf("commits after no-op merges = %d, want %d", got, before)
+	}
+
+	// Merging into an empty aggregate copies everything.
+	empty := NewMetrics()
+	empty.Merge(m)
+	if empty.Sched("ASL") == nil || empty.Sched("ASL").Commits != before {
+		t.Error("merge into empty aggregate lost data")
+	}
+}

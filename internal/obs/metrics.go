@@ -179,6 +179,15 @@ func newSchedMetrics(label string) *SchedMetrics {
 // Metrics is a Sink accumulating counters and histograms per scheduler
 // label. Safe for concurrent use; the zero value is not ready — use
 // NewMetrics.
+//
+// Per-run sink ownership rule: a parallel harness (the experiments
+// worker pool) must not hand one Metrics to many concurrently running
+// simulations — not because Observe would race (it locks), but because
+// interleaved runs would corrupt per-run aggregates and make readback
+// order nondeterministic. Instead, each run owns a private Metrics for
+// its lifetime, and the owner folds finished runs together with Merge
+// in a deterministic order. Accessors (Sched, Schedulers, Summary) are
+// only meaningful once the producing run has completed.
 type Metrics struct {
 	mu  sync.Mutex
 	per map[string]*SchedMetrics
@@ -282,7 +291,11 @@ func (m *Metrics) Sched(label string) *SchedMetrics {
 	return m.per[label]
 }
 
-// Merge folds another Metrics (e.g. a replicate run's) into m.
+// Merge folds another Metrics (e.g. a replicate run's) into m: counters
+// sum, histograms fold bucket-wise, maxima take the larger value.
+// Merging nil or m itself is a no-op. Both sides are locked, so a
+// finished run's aggregate can be folded while other sinks are live —
+// but see the ownership rule above: o's producing run must be done.
 func (m *Metrics) Merge(o *Metrics) {
 	if o == nil || o == m {
 		return

@@ -23,6 +23,12 @@
 //
 // All sinks in this package are safe for concurrent use; the live
 // controller and the experiment harness emit from many goroutines.
+//
+// The experiment harness additionally follows a per-run ownership rule
+// for deterministic output: each parallel run emits into private sinks
+// (a Metrics of its own, a trace buffer), which the harness merges into
+// the caller's shared sinks in grid order after the run completes — see
+// Metrics.Merge and package experiments.
 package obs
 
 import (
