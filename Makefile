@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-all bench-smoke bench-harness chaos chaos-nodes verify
+.PHONY: build test bench bench-all bench-smoke bench-harness bench-epoch epoch-smoke chaos chaos-nodes verify
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,23 @@ bench-harness:
 	$(GO) run ./tools/benchjson -old bench/baseline_pr5.txt -new bench/current_pr5.txt \
 		-note "baseline = pre-free-list event queue, same parallel harness; SweepParallel1 vs SweepParallelN within one column is the scaling measurement, N = NumCPU of the recording host ($(shell nproc) when last regenerated — on a 1-core host the two are equal by construction; re-run on a multicore host to see the fan-out)" > BENCH_PR5.json
 
+# bench-epoch regenerates the committed BENCH_PR6.json: the EPOCH
+# batch-window sweep — makespan and p99 latency vs window size (the
+# per-arrival CHAIN baseline plus five nonzero windows) over a fixed
+# Pattern1 stream. The document is a pure function of the sweep (no
+# timestamps, no host data), so an unchanged tree regenerates
+# byte-identical output at any -parallel level.
+bench-epoch:
+	$(GO) run ./cmd/batbench -epoch -q -json BENCH_PR6.json
+	@echo wrote BENCH_PR6.json
+
+# epoch-smoke drives the epoch path end to end — registry lookup, batch
+# admission, window flushes, the sweep harness and its JSON export —
+# on a tiny sweep, so verify catches breakage without the cost of the
+# committed document's full run.
+epoch-smoke:
+	$(GO) run ./cmd/batbench -epoch -quick -q -maxtxns 20 -windows 0,500,2000 -json /dev/null
+
 # bench-all is the old kitchen-sink run over every benchmark in the repo.
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
@@ -56,9 +73,11 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench '^($(PR5_BENCH))$$' -benchtime 1x $(PR5_PKGS)
 
 # chaos runs the fault-injection suites (docs/ROBUSTNESS.md) under the
-# race detector: the simulator's 100-seed × scheduler matrix, the live
-# controller's goroutine chaos, and the abort/watchdog regression tests.
-# Seeds are fixed — a red chaos run reproduces.
+# race detector: the simulator's 100-seed × scheduler matrix (including
+# the 100-seed epoch-window run, TestChaosEpoch), the live controller's
+# goroutine chaos (including the epoch pipeline, TestEpochChaosLive),
+# and the abort/watchdog regression tests. Seeds are fixed — a red
+# chaos run reproduces.
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos|TestAbort|TestWatchdog|TestFaults' \
 		./internal/sim/ ./internal/live/ ./internal/fault/ ./internal/core/sched/
@@ -72,7 +91,8 @@ chaos-nodes:
 	$(GO) test -race -count=1 -run 'NodeCrash|CrashNode|CrashedCommits|CrashAnywhere|ErrNodeCrashed|EpisodesNotTicks|Placement|DataNodeKill' \
 		./internal/sim/ ./internal/live/ ./internal/fault/ ./internal/machine/ ./internal/modelcheck/
 
-verify: build test chaos chaos-nodes bench-smoke
+verify: build test chaos chaos-nodes bench-smoke epoch-smoke
 	$(GO) vet ./...
 	$(GO) test -race ./internal/live/... ./internal/obs/... ./internal/experiments/ ./internal/event/
+	$(GO) test -race -count=1 -run 'Epoch' ./internal/core/sched/ ./internal/sim/
 	$(GO) test -tags wtpgshadow -count=1 ./internal/core/... ./internal/sim/

@@ -37,6 +37,7 @@
 package batsched
 
 import (
+	"fmt"
 	"io"
 	"time"
 
@@ -166,6 +167,14 @@ type (
 	Decision = sched.Decision
 	// Outcome is a decision plus its control-node CPU cost.
 	Outcome = sched.Outcome
+	// BatchAdmitter is the optional scheduler surface for epoch-batch
+	// admission: deciding a whole window of arrivals in one pass.
+	BatchAdmitter = sched.BatchAdmitter
+	// BatchOutcome reports one batched admission pass.
+	BatchOutcome = sched.BatchOutcome
+	// SchedulerRegistry maps scheduler names to factories; the default
+	// registry backs LookupScheduler and the CLIs' -sched flags.
+	SchedulerRegistry = sched.Registry
 )
 
 // Scheduler decisions.
@@ -176,14 +185,44 @@ const (
 	Aborted = sched.Aborted
 )
 
-// Scheduler factories, named as in the paper.
-func NODC() SchedulerFactory               { return sched.NODCFactory() }
-func ASL() SchedulerFactory                { return sched.ASLFactory() }
-func C2PL() SchedulerFactory               { return sched.C2PLFactory() }
-func CHAIN() SchedulerFactory              { return sched.ChainFactory() }
-func KWTPG(k int) SchedulerFactory         { return sched.KWTPGFactory(k) }
-func ChainC2PL() SchedulerFactory          { return sched.ChainC2PLFactory() }
-func KConflictC2PL(k int) SchedulerFactory { return sched.KC2PLFactory(k) }
+// Scheduler factories, named as in the paper. Each is a thin wrapper
+// over the registry — the one place that constructs schedulers by name —
+// so these constructors and LookupScheduler always agree.
+func NODC() SchedulerFactory       { return sched.MustLookup("NODC") }
+func ASL() SchedulerFactory        { return sched.MustLookup("ASL") }
+func C2PL() SchedulerFactory       { return sched.MustLookup("C2PL") }
+func CHAIN() SchedulerFactory      { return sched.MustLookup("CHAIN") }
+func KWTPG(k int) SchedulerFactory { return sched.MustLookup(fmt.Sprintf("K%d", k)) }
+func ChainC2PL() SchedulerFactory  { return sched.MustLookup("CHAIN-C2PL") }
+func KConflictC2PL(k int) SchedulerFactory {
+	return sched.MustLookup(fmt.Sprintf("K%d-C2PL", k))
+}
+
+// EPOCH returns the epoch-batch scheduler: CHAIN per decision, plus the
+// BatchAdmitter surface that admits a whole arrival window in one pass
+// (one W recomputation for the batch) and reports its conflict-free
+// cluster count.
+func EPOCH() SchedulerFactory { return sched.MustLookup("EPOCH") }
+
+// LookupScheduler resolves a scheduler by name ("CHAIN", "K2",
+// "K3-C2PL", "EPOCH", case-insensitive) through the default registry;
+// unknown names error with the registered set.
+func LookupScheduler(name string) (SchedulerFactory, error) { return sched.Lookup(name) }
+
+// SchedulerNames lists the registered scheduler names (sorted), plus
+// the parameterized families K<k> and K<k>-C2PL accepted by
+// LookupScheduler.
+func SchedulerNames() []string { return sched.Names() }
+
+// NewSchedulerRegistry returns an empty registry for callers that bring
+// their own schedulers.
+func NewSchedulerRegistry() *SchedulerRegistry { return sched.NewRegistry() }
+
+// ConflictClusters partitions declared transactions into conflict-free
+// clusters (indices into ts): members of one cluster conflict
+// transitively, distinct clusters share no conflicting pair and can run
+// in parallel. This is the partition an epoch dispatcher executes.
+func ConflictClusters(ts []*Transaction) [][]int { return sched.ConflictClusters(ts) }
 
 // Machine and simulation (§4.1 of the paper).
 type (
@@ -280,6 +319,7 @@ const (
 	TraceCommit             = obs.KindCommit
 	TraceResolve            = obs.KindResolve
 	TraceCriticalPathChange = obs.KindCriticalPathChange
+	TraceEpochFlush         = obs.KindEpochFlush
 )
 
 // Sink constructors.
@@ -387,6 +427,17 @@ func WithBackoff(base, max time.Duration) ControllerOption { return live.WithBac
 // force-aborts the youngest blocked transaction (docs/ROBUSTNESS.md).
 func WithWatchdog(d time.Duration) ControllerOption { return live.WithWatchdog(d) }
 
+// WithBatchWindow enables the controller's epoch-batch admission:
+// transactions handed to Controller.Submit are collected for wall-clock
+// windows of d, admitted as one batch through the scheduler's
+// BatchAdmitter surface (EPOCH), and dispatched conflict-free cluster
+// by cluster to the epoch worker pool.
+func WithBatchWindow(d time.Duration) ControllerOption { return live.WithBatchWindow(d) }
+
+// WithEpochWorkers bounds the worker pool that executes one epoch's
+// clusters (default: GOMAXPROCS).
+func WithEpochWorkers(n int) ControllerOption { return live.WithEpochWorkers(n) }
+
 // Batch planning (the off-line window's makespan problem, §1).
 type (
 	// PlanStrategy orders and times the release of a fixed batch.
@@ -427,6 +478,9 @@ type (
 	AblationResult = experiments.AblationResult
 	// MixedResult reports the mixed short-transaction/BAT experiment.
 	MixedResult = experiments.MixedResult
+	// EpochSweepResult reports the batch-window sweep (makespan and
+	// latency vs. window size under the EPOCH scheduler).
+	EpochSweepResult = experiments.EpochSweepResult
 	// MixtureWorkload mixes several transaction classes.
 	MixtureWorkload = workload.Mixture
 	// WorkloadComponent is one class of a mixture.
@@ -453,6 +507,14 @@ func RunPlacementAblation(o ExperimentOptions, opts ...ExperimentOption) (*Ablat
 }
 func RunMixedWorkload(o ExperimentOptions, lambda, shortShare float64, opts ...ExperimentOption) (*MixedResult, error) {
 	return experiments.RunMixedWorkload(o, lambda, shortShare, opts...)
+}
+
+// RunEpochSweep runs the batch-window sweep: a fixed Pattern1 arrival
+// stream under EPOCH at each window size (0 = the per-arrival CHAIN
+// baseline), reporting makespan, mean/p99 latency and batch statistics
+// per window. Zero windows/lambda/maxTxns select the defaults.
+func RunEpochSweep(o ExperimentOptions, windows []Time, lambda float64, maxTxns int, opts ...ExperimentOption) (*EpochSweepResult, error) {
+	return experiments.RunEpochSweep(o, windows, lambda, maxTxns, opts...)
 }
 
 // The paper's experiments; each result renders its figure(s) as text.

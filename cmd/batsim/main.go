@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"batsched/internal/core/sched"
@@ -30,7 +31,8 @@ import (
 
 func main() {
 	var (
-		schedName = flag.String("sched", "K2", "scheduler: NODC, ASL, C2PL, CHAIN, K2, K<k>, CHAIN-C2PL, K<k>-C2PL")
+		schedName = flag.String("sched", "K2", "scheduler name; any registered scheduler: "+strings.Join(sched.Names(), ", ")+", K<k>, K<k>-C2PL")
+		window    = flag.Int64("window", 0, "epoch batch-admission window in clocks (requires -sched EPOCH; 0 = per-arrival)")
 		wl        = flag.String("workload", "exp1", "workload: exp1, exp2, exp3, exp4, custom")
 		pattern   = flag.String("pattern", "", "custom pattern for -workload custom, e.g. \"r(F1:2) -> w(F2:1)\"")
 		lambda    = flag.Float64("lambda", 0.5, "arrival rate (transactions per second)")
@@ -70,7 +72,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	factory, err := schedulerByName(*schedName)
+	factory, err := sched.Lookup(*schedName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -119,6 +121,7 @@ func main() {
 		Seed:                 *seed,
 		CheckSerializability: !*nocheck && factory.Label != "NODC",
 		SelfCheck:            *selfCheck,
+		BatchWindow:          event.Time(*window),
 	}
 	if *plotLive {
 		cfg.SampleEvery = cfg.Horizon / 60
@@ -251,8 +254,4 @@ func main() {
 			fmt.Print(out)
 		}
 	}
-}
-
-func schedulerByName(name string) (sched.Factory, error) {
-	return sched.ByName(name)
 }

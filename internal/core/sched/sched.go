@@ -28,7 +28,6 @@ package sched
 
 import (
 	"fmt"
-	"strings"
 
 	"batsched/internal/event"
 	"batsched/internal/txn"
@@ -156,30 +155,10 @@ func KC2PLFactory(k int) Factory {
 	}
 }
 
-// ByName resolves a scheduler factory from the paper's names: NODC, ASL,
-// C2PL, CHAIN, CHAIN-C2PL, K<k> (e.g. K2), and K<k>-C2PL. Matching is
-// case-insensitive.
-func ByName(name string) (Factory, error) {
-	switch strings.ToUpper(strings.TrimSpace(name)) {
-	case "NODC":
-		return NODCFactory(), nil
-	case "ASL":
-		return ASLFactory(), nil
-	case "C2PL":
-		return C2PLFactory(), nil
-	case "CHAIN":
-		return ChainFactory(), nil
-	case "CHAIN-C2PL":
-		return ChainC2PLFactory(), nil
-	}
-	upper := strings.ToUpper(strings.TrimSpace(name))
-	var k int
-	if strings.HasSuffix(upper, "-C2PL") {
-		if n, err := fmt.Sscanf(upper, "K%d-C2PL", &k); n == 1 && err == nil && k >= 0 {
-			return KC2PLFactory(k), nil
-		}
-	} else if n, err := fmt.Sscanf(upper, "K%d", &k); n == 1 && err == nil && k >= 0 {
-		return KWTPGFactory(k), nil
-	}
-	return Factory{}, fmt.Errorf("sched: unknown scheduler %q", name)
-}
+// ByName resolves a scheduler factory from the default registry: NODC,
+// ASL, C2PL, CHAIN, CHAIN-C2PL, EPOCH, K<k> (e.g. K2), and K<k>-C2PL.
+// Matching is case-insensitive.
+//
+// Deprecated: use Lookup (or a custom Registry). Retained as a thin
+// wrapper so existing callers keep compiling.
+func ByName(name string) (Factory, error) { return Lookup(name) }

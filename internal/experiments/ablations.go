@@ -92,7 +92,7 @@ func RunKSweep(o Options, ks []int, opts ...Option) (*AblationResult, error) {
 		res.Variants = append(res.Variants, fmt.Sprintf("K=%d", k))
 	}
 	for _, k := range ks {
-		sw, err := ablationCell(o, sched.KWTPGFactory(k), lambdas, func() workload.Generator {
+		sw, err := ablationCell(o, sched.MustLookup(fmt.Sprintf("K%d", k)), lambdas, func() workload.Generator {
 			return workload.Experiment2(layout)
 		}, nil, opts...)
 		if err != nil {
@@ -125,10 +125,7 @@ func RunPlacementAblation(o Options, opts ...Option) (*AblationResult, error) {
 		Extra:     make(map[string][]float64),
 		ExtraName: "mean DN utilization at that throughput",
 	}
-	for _, f := range []sched.Factory{
-		sched.NODCFactory(), sched.ASLFactory(), sched.ChainFactory(),
-		sched.KWTPGFactory(2), sched.C2PLFactory(),
-	} {
+	for _, f := range factoriesByName("NODC", "ASL", "CHAIN", "K2", "C2PL") {
 		for _, declustered := range []bool{false, true} {
 			declustered := declustered
 			sw, err := ablationCell(o, f, lambdas, func() workload.Generator {
@@ -178,7 +175,7 @@ func RunControlCostAblation(o Options, multipliers []int, opts ...Option) (*Abla
 	for _, m := range multipliers {
 		res.Variants = append(res.Variants, fmt.Sprintf("x%d", m))
 	}
-	for _, f := range []sched.Factory{sched.ChainFactory(), sched.KWTPGFactory(2), sched.C2PLFactory()} {
+	for _, f := range factoriesByName("CHAIN", "K2", "C2PL") {
 		for _, m := range multipliers {
 			oo := o
 			oo.Machine.Control.DDTime *= event.Time(m)
@@ -221,7 +218,7 @@ func RunKeepTimeAblation(o Options, keeptimes []event.Time, opts ...Option) (*Ab
 	for _, kt := range keeptimes {
 		res.Variants = append(res.Variants, kt.String())
 	}
-	for _, f := range []sched.Factory{sched.ChainFactory(), sched.KWTPGFactory(2)} {
+	for _, f := range factoriesByName("CHAIN", "K2") {
 		for _, kt := range keeptimes {
 			oo := o
 			oo.Machine.Control.KeepTime = kt
@@ -269,7 +266,7 @@ func RunRetryDelayAblation(o Options, delays []event.Time, opts ...Option) (*Abl
 	for _, d := range delays {
 		res.Variants = append(res.Variants, d.String())
 	}
-	for _, f := range []sched.Factory{sched.ASLFactory(), sched.ChainFactory(), sched.KWTPGFactory(2), sched.C2PLFactory()} {
+	for _, f := range factoriesByName("ASL", "CHAIN", "K2", "C2PL") {
 		for _, d := range delays {
 			oo := o
 			oo.Machine.RetryDelay = d

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"batsched/internal/event"
+	"batsched/internal/obs"
+)
+
+// epochSweepOpts bounds the sweep for test speed: a short stream at a
+// load where the windows still batch arrivals.
+func epochSweepOpts() (Options, []event.Time) {
+	o := quickOpts()
+	o.Horizon = 2_000_000 // the stream is bounded by maxTxns, not time
+	return o, []event.Time{0, 500, 2000, 5000}
+}
+
+// TestRunEpochSweep exercises the sweep end to end: one row per window
+// in axis order, a batching-free baseline at window 0, real batching at
+// the wide windows, and JSON/CSV renderings that carry the same rows.
+func TestRunEpochSweep(t *testing.T) {
+	o, windows := epochSweepOpts()
+	r, err := RunEpochSweep(o, windows, 2.0, 30, WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(windows) {
+		t.Fatalf("rows %d, want %d", len(r.Rows), len(windows))
+	}
+	for i, row := range r.Rows {
+		if row.Window != windows[i] {
+			t.Fatalf("row %d window %v, want %v", i, row.Window, windows[i])
+		}
+		if row.Completed != 30 {
+			t.Errorf("window %v completed %d of 30", row.Window, row.Completed)
+		}
+		if row.Makespan <= 0 || row.P99RT <= 0 || row.P99RT < row.MeanRT/2 {
+			t.Errorf("window %v: implausible makespan %v / p99 %g / mean %g",
+				row.Window, row.Makespan, row.P99RT, row.MeanRT)
+		}
+		if row.Metrics == nil {
+			t.Errorf("window %v: no metrics", row.Window)
+		}
+	}
+	if base := r.Rows[0]; base.Epochs != 0 || base.MaxBatch != 0 {
+		t.Errorf("window-0 baseline batched: %+v", base)
+	}
+	wide := r.Rows[len(r.Rows)-1]
+	if wide.Epochs == 0 || wide.MaxBatch < 2 {
+		t.Errorf("window %v never batched two arrivals: %+v", wide.Window, wide)
+	}
+
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back EpochSweepResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if len(back.Rows) != len(windows) || back.Scheduler != "EPOCH" {
+		t.Errorf("JSON document: scheduler %q, %d rows", back.Scheduler, len(back.Rows))
+	}
+	csv := r.CSV()
+	if got := strings.Count(csv, "\n"); got != len(windows)+1 {
+		t.Errorf("CSV has %d lines, want header + %d rows", got, len(windows))
+	}
+}
+
+// TestEpochSweepParallelDeterminism extends the PR-5 guarantee to the
+// new sweep axis: the same sweep at -parallel 1 and -parallel 8 must
+// render byte-identical tables, JSON documents and JSONL traces.
+func TestEpochSweepParallelDeterminism(t *testing.T) {
+	run := func(parallel int) (string, []byte, []byte) {
+		o, windows := epochSweepOpts()
+		var buf bytes.Buffer
+		sink := obs.NewJSONL(&buf)
+		r, err := RunEpochSweep(o, windows, 2.0, 30,
+			WithParallelism(parallel), WithTrace(sink))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.Close(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := r.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Render() + r.CSV(), data, buf.Bytes()
+	}
+	tables1, json1, trace1 := run(1)
+	tables8, json8, trace8 := run(8)
+	if tables1 != tables8 {
+		t.Errorf("rendered sweep differs:\n--- 1:\n%s\n--- 8:\n%s", tables1, tables8)
+	}
+	if !bytes.Equal(json1, json8) {
+		t.Errorf("JSON documents differ between -parallel 1 and -parallel 8")
+	}
+	if n1, n8 := stripDurNS(trace1), stripDurNS(trace8); !bytes.Equal(n1, n8) {
+		t.Errorf("JSONL traces differ beyond dur_ns: %d vs %d bytes", len(n1), len(n8))
+	}
+	if len(trace1) == 0 {
+		t.Error("empty trace — the shared sink saw no events")
+	}
+}
+
+// TestEpochSweepDefaults pins the zero-value contract: nil windows and
+// non-positive lambda/maxTxns select the documented defaults.
+func TestEpochSweepDefaults(t *testing.T) {
+	if ws := DefaultEpochWindows(); len(ws) < 5 || ws[0] != 0 {
+		t.Fatalf("default windows %v", ws)
+	}
+	o := quickOpts()
+	o.Horizon = 4_000_000
+	r, err := RunEpochSweep(o, []event.Time{0, 1000}, 0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Lambda != 0.8 || r.MaxTxns != 20 {
+		t.Errorf("defaults: lambda %g, maxTxns %d", r.Lambda, r.MaxTxns)
+	}
+	if _, err := RunEpochSweep(o, []event.Time{-1}, 0, 10); err == nil {
+		t.Error("negative window did not error")
+	}
+}

@@ -7,15 +7,20 @@ import (
 	"batsched/internal/workload"
 )
 
+// factoriesByName resolves scheduler names through the registry — the
+// single place that constructs schedulers by name. Experiment scheduler
+// line-ups are spelled as the names the paper (and the CLIs) use.
+func factoriesByName(names ...string) []sched.Factory {
+	out := make([]sched.Factory, len(names))
+	for i, name := range names {
+		out[i] = sched.MustLookup(name)
+	}
+	return out
+}
+
 // experiment1Factories are the schedulers of Figures 6 and 7.
 func experiment1Factories() []sched.Factory {
-	return []sched.Factory{
-		sched.NODCFactory(),
-		sched.ASLFactory(),
-		sched.ChainFactory(),
-		sched.KWTPGFactory(2),
-		sched.C2PLFactory(),
-	}
+	return factoriesByName("NODC", "ASL", "CHAIN", "K2", "C2PL")
 }
 
 // Experiment1Result carries the Experiment 1 sweep, which renders both
@@ -68,12 +73,7 @@ type Experiment2Result struct {
 
 // experiment2Factories are the schedulers of Figures 8 and 9.
 func experiment2Factories() []sched.Factory {
-	return []sched.Factory{
-		sched.ASLFactory(),
-		sched.ChainFactory(),
-		sched.KWTPGFactory(2),
-		sched.C2PLFactory(),
-	}
+	return factoriesByName("ASL", "CHAIN", "K2", "C2PL")
 }
 
 // RunExperiment2 runs Experiment 2 (§4.3): Pattern2 over 8 read-only
@@ -162,13 +162,7 @@ type Experiment4Result struct {
 // C2PL ignore declared demands, so their results are flat in σ; the
 // paper plots them as reference lines.
 func experiment4Factories() []sched.Factory {
-	return []sched.Factory{
-		sched.ChainFactory(),
-		sched.KWTPGFactory(2),
-		sched.C2PLFactory(),
-		sched.ChainC2PLFactory(),
-		sched.KC2PLFactory(2),
-	}
+	return factoriesByName("CHAIN", "K2", "C2PL", "CHAIN-C2PL", "K2-C2PL")
 }
 
 // RunExperiment4 runs Experiment 4 (§4.4): Pattern1 with erroneous

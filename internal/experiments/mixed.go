@@ -5,7 +5,6 @@ import (
 	"sort"
 	"strings"
 
-	"batsched/internal/core/sched"
 	"batsched/internal/obs"
 	"batsched/internal/sim"
 	"batsched/internal/txn"
@@ -50,10 +49,7 @@ func RunMixedWorkload(o Options, lambda, shortShare float64, opts ...Option) (*M
 		shortShare = 0.8
 	}
 	res := &MixedResult{Lambda: lambda, ShortShare: shortShare}
-	factories := []sched.Factory{
-		sched.NODCFactory(), sched.ASLFactory(), sched.ChainFactory(),
-		sched.KWTPGFactory(2), sched.C2PLFactory(),
-	}
+	factories := factoriesByName("NODC", "ASL", "CHAIN", "K2", "C2PL")
 	// One grid cell per scheduler, fanned onto the same worker pool as
 	// the figure/ablation grids (runJobs): per-run sinks, pre-indexed
 	// result slots, deterministic sink merge order.

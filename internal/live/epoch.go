@@ -1,0 +1,283 @@
+package live
+
+// This file is epoch-batch admission for the live controller: collect
+// submissions for a wall-clock window, admit the whole window through
+// the scheduler's BatchAdmitter surface in one critical section, then
+// dispatch its conflict-free clusters to a worker pool with work
+// stealing. Transactions in one cluster conflict (transitively), so a
+// cluster runs sequentially on one worker; distinct clusters never
+// contend and run in parallel. Correctness never depends on the
+// clustering — every transaction still takes every lock through the
+// scheduler — it only shapes the dispatch so CHAIN's batch-computed
+// order W is consumed by exactly the parallelism the batch contains.
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"batsched/internal/core/sched"
+	"batsched/internal/obs"
+	"batsched/internal/txn"
+)
+
+// WithBatchWindow enables epoch-batch admission: transactions handed to
+// Submit are collected for wall-clock windows of d and admitted as one
+// batch at each window boundary, then dispatched cluster-by-cluster to
+// the epoch workers. Requires a batch-capable scheduler (EPOCH) for the
+// single-critical-section admission; with any other scheduler Submit
+// still works but every member admits through the per-arrival path.
+// Non-positive d disables batching (Submit degenerates to a goroutine
+// around Run).
+func WithBatchWindow(d time.Duration) Option {
+	return func(c *Controller) {
+		if d > 0 {
+			c.batchWindow = d
+		}
+	}
+}
+
+// WithEpochWorkers bounds the worker pool that executes one epoch's
+// clusters (default: GOMAXPROCS). The pool never exceeds the number of
+// clusters in the batch — extra workers would have nothing to steal.
+func WithEpochWorkers(n int) Option {
+	return func(c *Controller) {
+		if n > 0 {
+			c.epochWorkers = n
+		}
+	}
+}
+
+func defaultEpochWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// submission is one transaction waiting in the open epoch window.
+type submission struct {
+	ctx  context.Context
+	t    *txn.T
+	work func(step int, p Progress) error
+	done chan error
+}
+
+// Submit hands a transaction to the epoch collector and returns a
+// channel that delivers its final error (nil on commit), exactly as Run
+// would have returned it. The transaction waits for the current window
+// to close, admits with the rest of the batch, and executes when its
+// cluster is dispatched. Without WithBatchWindow, Submit is a goroutine
+// around Run — same contract, no batching. After Close the channel
+// delivers ErrClosed.
+func (c *Controller) Submit(ctx context.Context, t *txn.T, work func(step int, p Progress) error) <-chan error {
+	done := make(chan error, 1)
+	if c.batchWindow <= 0 {
+		go func() { done <- c.Run(ctx, t, work) }()
+		return done
+	}
+	c.epochMu.Lock()
+	if c.stopEpoch == nil || c.epochClosed {
+		c.epochMu.Unlock()
+		done <- ErrClosed
+		return done
+	}
+	c.epochBuf = append(c.epochBuf, &submission{ctx: ctx, t: t, work: work, done: done})
+	c.epochMu.Unlock()
+	return done
+}
+
+// RunBatch executes a batch synchronously: one batched admission, then
+// cluster dispatch over the epoch workers, returning each transaction's
+// error in input order (nil on commit). It is the one-shot form of the
+// Submit/window pipeline and works without WithBatchWindow.
+func (c *Controller) RunBatch(ctx context.Context, ts []*txn.T, work func(t *txn.T, step int, p Progress) error) []error {
+	batch := make([]*submission, len(ts))
+	for i, t := range ts {
+		t := t
+		var w func(int, Progress) error
+		if work != nil {
+			w = func(step int, p Progress) error { return work(t, step, p) }
+		}
+		batch[i] = &submission{ctx: ctx, t: t, work: w, done: make(chan error, 1)}
+	}
+	c.runEpoch(batch)
+	errs := make([]error, len(batch))
+	for i, s := range batch {
+		errs[i] = <-s.done
+	}
+	return errs
+}
+
+// epochLoop is the window collector (WithBatchWindow): every window it
+// swaps out the buffered submissions and processes them as one epoch,
+// concurrently with the next window's collection. On shutdown, pending
+// submissions fail with ErrClosed.
+func (c *Controller) epochLoop() {
+	defer c.epochWG.Done()
+	ticker := time.NewTicker(c.batchWindow)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stopEpoch:
+			c.epochMu.Lock()
+			c.epochClosed = true
+			batch := c.epochBuf
+			c.epochBuf = nil
+			c.epochMu.Unlock()
+			for _, s := range batch {
+				s.done <- ErrClosed
+			}
+			return
+		case <-ticker.C:
+			c.epochMu.Lock()
+			batch := c.epochBuf
+			c.epochBuf = nil
+			c.epochMu.Unlock()
+			if len(batch) == 0 {
+				continue
+			}
+			c.epochWG.Add(1)
+			go func() {
+				defer c.epochWG.Done()
+				c.runEpoch(batch)
+			}()
+		}
+	}
+}
+
+// runEpoch processes one closed window: batch admission in a single
+// critical section (when the scheduler supports it), then cluster
+// dispatch with work stealing. Members the batch pass did not admit —
+// chain-form rejections, injected refusals, non-batch schedulers — go
+// through the blocking per-arrival Admit on their worker, so the epoch
+// path never strands a transaction the normal path would have served.
+func (c *Controller) runEpoch(batch []*submission) {
+	ts := make([]*txn.T, len(batch))
+	for i, s := range batch {
+		ts[i] = s.t
+	}
+	admitted := c.admitBatch(ts)
+	clusters := sched.ConflictClusters(ts)
+	workers := c.epochWorkers
+	if workers <= 0 {
+		workers = defaultEpochWorkers()
+	}
+	if workers > len(clusters) {
+		workers = len(clusters)
+	}
+	q := newClusterQueue(workers, len(clusters))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				ci, ok := q.next(w)
+				if !ok {
+					return
+				}
+				for _, i := range clusters[ci] {
+					s := batch[i]
+					if admitted[s.t.ID] {
+						s.done <- c.runAdmitted(s.ctx, s.t, s.work)
+					} else {
+						s.done <- c.Run(s.ctx, s.t, s.work)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// admitBatch admits as much of the batch as the scheduler's batch
+// surface grants, in one critical section, and reports the flush to the
+// observability pipeline. Returns the granted set (nil when the
+// scheduler is not batch-capable or the controller closed — callers
+// fall back to per-arrival admission). Members the fault injector would
+// refuse at attempt 0 are withheld from the batch; their refusal fires
+// on the per-arrival path instead, keeping injector decisions
+// deterministic across both paths.
+func (c *Controller) admitBatch(ts []*txn.T) map[txn.ID]bool {
+	ba, ok := c.sch.(sched.BatchAdmitter)
+	if !ok {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	now := c.now()
+	kept := ts
+	if c.inj.Enabled() {
+		kept = make([]*txn.T, 0, len(ts))
+		for _, t := range ts {
+			if !c.inj.RefuseAdmit(t.ID, 0) {
+				kept = append(kept, t)
+			}
+		}
+	}
+	for _, t := range kept {
+		c.emitLocked(obs.Event{Kind: obs.KindAdmit, At: now, Txn: t.ID})
+	}
+	out := ba.AdmitBatch(kept, now)
+	admitted := make(map[txn.ID]bool, out.Admitted)
+	for i, o := range out.Outcomes {
+		if o.Decision == sched.Granted {
+			id := kept[i].ID
+			admitted[id] = true
+			c.stats.Admitted++
+			c.stats.BatchAdmitted++
+			c.started[id] = now
+		}
+	}
+	c.stats.Epochs++
+	if out.Admitted > 0 {
+		c.progressLocked()
+	}
+	c.emitLocked(obs.Event{Kind: obs.KindEpochFlush, At: now,
+		Batch: len(ts), Objects: float64(out.Admitted), Clusters: out.Clusters})
+	return admitted
+}
+
+// clusterQueue distributes cluster indices over per-worker queues with
+// work stealing: a worker drains its own queue from the front and, when
+// empty, steals from the back of the longest other queue — the classic
+// split to keep contention low while no worker idles beside a loaded
+// one.
+type clusterQueue struct {
+	mu     sync.Mutex
+	queues [][]int
+}
+
+func newClusterQueue(workers, clusters int) *clusterQueue {
+	q := &clusterQueue{queues: make([][]int, workers)}
+	for ci := 0; ci < clusters; ci++ {
+		w := ci % workers
+		q.queues[w] = append(q.queues[w], ci)
+	}
+	return q
+}
+
+// next returns the next cluster for worker w, stealing if its own queue
+// is empty; ok is false when no work remains anywhere.
+func (q *clusterQueue) next(w int) (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if own := q.queues[w]; len(own) > 0 {
+		ci := own[0]
+		q.queues[w] = own[1:]
+		return ci, true
+	}
+	victim, best := -1, 0
+	for i, qu := range q.queues {
+		if i != w && len(qu) > best {
+			victim, best = i, len(qu)
+		}
+	}
+	if victim < 0 {
+		return 0, false
+	}
+	qu := q.queues[victim]
+	ci := qu[len(qu)-1]
+	q.queues[victim] = qu[:len(qu)-1]
+	return ci, true
+}

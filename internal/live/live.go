@@ -204,6 +204,11 @@ type Stats struct {
 	// died with it (each is also counted in Aborted once it finishes).
 	NodeCrashes uint64
 	CrashDoomed uint64
+	// Epochs counts flushed admission windows (WithBatchWindow) and
+	// BatchAdmitted the transactions admitted through a batch flush
+	// rather than the per-arrival path (each is also in Admitted).
+	Epochs        uint64
+	BatchAdmitted uint64
 	// Active is the number of currently admitted, unfinished
 	// transactions at snapshot time.
 	Active int
@@ -255,6 +260,17 @@ type Controller struct {
 
 	stopWatch chan struct{}
 	watchWG   sync.WaitGroup
+
+	// Epoch-batch state (WithBatchWindow, see epoch.go): window length,
+	// cluster-dispatch worker count, the open window's submissions, and
+	// the collector goroutine's lifecycle.
+	batchWindow  time.Duration
+	epochWorkers int
+	epochMu      sync.Mutex
+	epochBuf     []*submission
+	epochClosed  bool
+	stopEpoch    chan struct{}
+	epochWG      sync.WaitGroup
 }
 
 // ErrClosed is returned when the controller has been shut down.
@@ -319,6 +335,14 @@ func New(factory sched.Factory, costs sched.Costs, opts ...Option) *Controller {
 		c.stopWatch = make(chan struct{})
 		c.watchWG.Add(1)
 		go c.watchdogLoop()
+	}
+	if c.batchWindow > 0 {
+		if c.epochWorkers <= 0 {
+			c.epochWorkers = defaultEpochWorkers()
+		}
+		c.stopEpoch = make(chan struct{})
+		c.epochWG.Add(1)
+		go c.epochLoop()
 	}
 	return c
 }
@@ -393,6 +417,10 @@ func (c *Controller) Close() {
 	if !already && c.stopWatch != nil {
 		close(c.stopWatch)
 		c.watchWG.Wait()
+	}
+	if !already && c.stopEpoch != nil {
+		close(c.stopEpoch)
+		c.epochWG.Wait()
 	}
 }
 
@@ -483,13 +511,21 @@ type Progress func(objects float64)
 // a watchdog abort behave the same way. A panic in the work callback is
 // recovered: the transaction aborts (locks released, other transactions
 // unaffected) and Run returns the panic as an error.
-func (c *Controller) Run(ctx context.Context, t *txn.T, work func(step int, p Progress) error) (err error) {
+func (c *Controller) Run(ctx context.Context, t *txn.T, work func(step int, p Progress) error) error {
 	if t == nil {
 		return fmt.Errorf("live: nil transaction")
 	}
 	if err := c.Admit(ctx, t); err != nil {
 		return err
 	}
+	return c.runAdmitted(ctx, t, work)
+}
+
+// runAdmitted is Run after admission: the step loop under locks, fault
+// hooks, panic recovery, and commit. Split out so the epoch dispatcher
+// (see epoch.go) can batch-admit a whole window first and then drive
+// each admitted transaction through exactly this path.
+func (c *Controller) runAdmitted(ctx context.Context, t *txn.T, work func(step int, p Progress) error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			c.Abort(t)

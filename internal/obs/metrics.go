@@ -153,14 +153,21 @@ type SchedMetrics struct {
 	Rehomes    uint64
 	Requeues   uint64
 
+	// Epoch-batch counters: admission windows flushed, and the largest
+	// number of conflict-free clusters seen in one batch.
+	Epochs         uint64
+	EpochMaxChunks float64
+
 	// Histograms: decision control-CPU cost (clocks), decision wall
 	// duration (µs), lock-queue depth at request submission, WTPG size
-	// at decision time, and commit response times (seconds).
+	// at decision time, commit response times (seconds), and epoch batch
+	// sizes (transactions per flushed window).
 	DecisionCPU  *Histogram
 	DecisionWall *Histogram
 	QueueDepth   *Histogram
 	GraphSize    *Histogram
 	ResponseTime *Histogram
+	BatchSize    *Histogram
 }
 
 func newSchedMetrics(label string) *SchedMetrics {
@@ -173,6 +180,7 @@ func newSchedMetrics(label string) *SchedMetrics {
 		QueueDepth:       NewHistogram(decadeBounds(1, 1e3)...),
 		GraphSize:        NewHistogram(decadeBounds(1, 1e3)...),
 		ResponseTime:     NewHistogram(decadeBounds(0.1, 1e3)...),
+		BatchSize:        NewHistogram(decadeBounds(1, 1e3)...),
 	}
 }
 
@@ -264,6 +272,12 @@ func (m *Metrics) Observe(e Event) {
 		sm.Rehomes++
 	case KindRequeue:
 		sm.Requeues++
+	case KindEpochFlush:
+		sm.Epochs++
+		sm.BatchSize.Add(float64(e.Batch))
+		if c := float64(e.Clusters); c > sm.EpochMaxChunks {
+			sm.EpochMaxChunks = c
+		}
 	}
 }
 
@@ -324,6 +338,10 @@ func (m *Metrics) Merge(o *Metrics) {
 		if osm.CritPathMax > sm.CritPathMax {
 			sm.CritPathMax = osm.CritPathMax
 		}
+		sm.Epochs += osm.Epochs
+		if osm.EpochMaxChunks > sm.EpochMaxChunks {
+			sm.EpochMaxChunks = osm.EpochMaxChunks
+		}
 		for k, v := range osm.AdmitDecisions {
 			sm.AdmitDecisions[k] += v
 		}
@@ -335,6 +353,7 @@ func (m *Metrics) Merge(o *Metrics) {
 		sm.QueueDepth.Merge(osm.QueueDepth)
 		sm.GraphSize.Merge(osm.GraphSize)
 		sm.ResponseTime.Merge(osm.ResponseTime)
+		sm.BatchSize.Merge(osm.BatchSize)
 	}
 }
 

@@ -93,6 +93,12 @@ const (
 	// node crash and was requeued — Txn/Step/Part locate it, FromNode is
 	// the dead node, Node the new one.
 	KindRequeue
+	// KindEpochFlush: an epoch-batch admission window closed and its
+	// collected arrivals were admitted as one batch. Batch is the batch
+	// size, Objects the admitted count, Clusters the number of
+	// conflict-free clusters among the admitted members, CPU the
+	// batch-level control cost (the single W recomputation).
+	KindEpochFlush
 )
 
 var kindNames = [...]string{
@@ -111,6 +117,7 @@ var kindNames = [...]string{
 	KindNodeDown:           "node-down",
 	KindRehome:             "rehome",
 	KindRequeue:            "requeue",
+	KindEpochFlush:         "epoch-flush",
 }
 
 func (k Kind) String() string {
@@ -189,6 +196,10 @@ type Event struct {
 	// job. Both are meaningless for other kinds.
 	Node     int `json:"node,omitempty"`
 	FromNode int `json:"from_node,omitempty"`
+	// Batch is the batch size of an EpochFlush event; Clusters is its
+	// number of conflict-free clusters among admitted members.
+	Batch    int `json:"batch,omitempty"`
+	Clusters int `json:"clusters,omitempty"`
 }
 
 // String renders the event in the grep-friendly one-line style of the
@@ -223,6 +234,8 @@ func (e Event) String() string {
 		s += fmt.Sprintf(" part=P%d %d->%d", e.Part, e.FromNode, e.Node)
 	case KindRequeue:
 		s += fmt.Sprintf(" step=%d part=P%d %d->%d", e.Step, e.Part, e.FromNode, e.Node)
+	case KindEpochFlush:
+		s += fmt.Sprintf(" batch=%d admitted=%g clusters=%d cpu=%d", e.Batch, e.Objects, e.Clusters, int64(e.CPU))
 	}
 	return s
 }

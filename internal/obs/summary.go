@@ -33,6 +33,10 @@ func (m *Metrics) Summary() string {
 			fmt.Fprintf(&b, "  %-16s %d nodes lost, %d partitions re-homed, %d jobs requeued\n",
 				"node crashes", sm.NodeDowns, sm.Rehomes, sm.Requeues)
 		}
+		if sm.Epochs > 0 {
+			fmt.Fprintf(&b, "  %-16s %d windows flushed, batch %s, max %.0f clusters\n",
+				"epochs", sm.Epochs, sm.BatchSize.format("txns"), sm.EpochMaxChunks)
+		}
 		if sm.Resolves > 0 || sm.CritPathChanges > 0 {
 			fmt.Fprintf(&b, "  %-16s %d edge resolutions, %d critical-path changes (max %.4g objects)\n",
 				"wtpg", sm.Resolves, sm.CritPathChanges, sm.CritPathMax)

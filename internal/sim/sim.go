@@ -118,6 +118,13 @@ type Config struct {
 	// replay a crashed run's post-crash placement, e.g. by the
 	// differential recovery tests. At least one node must survive.
 	DeadNodes []int
+	// BatchWindow enables epoch-batch admission: arrivals are collected
+	// for windows of this many clocks and admitted as one batch at each
+	// window boundary through the scheduler's BatchAdmitter surface
+	// (rejected members roll into a later epoch). Requires a batch-
+	// capable scheduler (EPOCH); 0 keeps the per-arrival admission path
+	// for every scheduler.
+	BatchWindow event.Time
 }
 
 // Result reports one run's metrics.
@@ -137,11 +144,12 @@ type Result struct {
 	RequestBlocks   int
 
 	// MeanRT / StdRT are response times in seconds over measured
-	// completions (creation to completion, §4.1); P95RT and MaxRT report
-	// the tail.
+	// completions (creation to completion, §4.1); P95RT, P99RT and MaxRT
+	// report the tail.
 	MeanRT float64
 	StdRT  float64
 	P95RT  float64
+	P99RT  float64
 	MaxRT  float64
 	// Throughput is completed transactions per second in the window.
 	Throughput float64
@@ -181,6 +189,16 @@ type Result struct {
 	RehomedParts int
 	RequeuedJobs int
 	CrashAborts  int
+
+	// Epoch-batch counters (zero unless Config.BatchWindow > 0): Epochs
+	// is admission windows flushed with at least one arrival, MaxBatch
+	// the largest batch, MeanBatch the mean batch size, and MaxClusters
+	// the largest number of conflict-free clusters admitted by one flush
+	// (the peak parallelism a cluster dispatcher could exploit).
+	Epochs      int
+	MaxBatch    int
+	MeanBatch   float64
+	MaxClusters int
 
 	// Response-time decomposition over measured completions (seconds):
 	// admission wait (arrival to admission), lock wait (request
@@ -268,6 +286,15 @@ type simulator struct {
 	obsLabel  string
 	inj       *fault.Injector // nil = no fault injection
 	slowSeen  map[txn.PartitionID]bool
+
+	// Epoch-batch state (BatchWindow > 0): the batch-capable scheduler
+	// surface, the arrivals collected in the open window, whether the
+	// window's flush event is already scheduled, and the running batch-
+	// size sum for MeanBatch.
+	batch          sched.BatchAdmitter
+	epochBuf       []*txnState
+	epochScheduled bool
+	batchSum       int
 }
 
 // Run executes one simulation and returns its metrics. It returns an
@@ -291,6 +318,9 @@ func Run(cfg Config, opts ...Option) (*Result, error) {
 	}
 	if cfg.Warmup < 0 || cfg.Warmup >= cfg.Horizon {
 		return nil, fmt.Errorf("sim: warmup %v outside horizon %v", cfg.Warmup, cfg.Horizon)
+	}
+	if cfg.BatchWindow < 0 {
+		return nil, fmt.Errorf("sim: negative batch window %v", cfg.BatchWindow)
 	}
 	if len(cfg.DeadNodes) > 0 {
 		dead := make(map[int]bool, len(cfg.DeadNodes))
@@ -329,6 +359,14 @@ func Run(cfg Config, opts ...Option) (*Result, error) {
 	if rc.observer != nil {
 		s.obs = rc.observer
 		s.sch = sched.Observed(s.sch, rc.observer)
+	}
+	if cfg.BatchWindow > 0 {
+		ba, ok := s.sch.(sched.BatchAdmitter)
+		if !ok {
+			return nil, fmt.Errorf("sim: batch window %v but scheduler %s cannot batch-admit (want EPOCH)",
+				cfg.BatchWindow, s.sch.Name())
+		}
+		s.batch = ba
 	}
 	s.res.Scheduler = s.sch.Name()
 	s.obsLabel = s.res.Scheduler // matches the sched.Observed label
@@ -437,11 +475,17 @@ func (s *simulator) scheduleArrival(from event.Time) {
 	})
 }
 
-// submitAdmit asks the scheduler to admit st's transaction. An
-// injected admission refusal intercepts the attempt at the control
-// node — the scheduler never sees it — and the transaction resubmits
-// after the usual retry delay.
+// submitAdmit asks the scheduler to admit st's transaction. Under
+// epoch-batch admission the transaction instead joins the open window's
+// batch and is decided at the window boundary. An injected admission
+// refusal intercepts the attempt at the control node — the scheduler
+// never sees it — and the transaction resubmits after the usual retry
+// delay (into a later epoch when batching).
 func (s *simulator) submitAdmit(st *txnState) {
+	if s.batch != nil {
+		s.bufferAdmit(st)
+		return
+	}
 	s.cn.Submit(func(now event.Time) (event.Time, func(event.Time)) {
 		attempt := st.admitAttempts
 		st.admitAttempts++
@@ -489,6 +533,83 @@ func (s *simulator) handleAdmit(st *txnState, d sched.Decision, now event.Time) 
 	default:
 		panic(fmt.Sprintf("sim: admit decision %v", d))
 	}
+}
+
+// bufferAdmit collects st into the open epoch window and schedules the
+// window's flush at the next epoch-grid boundary — the smallest
+// multiple of BatchWindow strictly after now, so every arrival waits at
+// most one window and all runs flush on the same deterministic grid.
+func (s *simulator) bufferAdmit(st *txnState) {
+	s.epochBuf = append(s.epochBuf, st)
+	if s.epochScheduled {
+		return
+	}
+	s.epochScheduled = true
+	w := s.cfg.BatchWindow
+	boundary := (s.q.Now()/w + 1) * w
+	s.q.At(boundary, s.flushEpoch)
+}
+
+// flushEpoch closes the open window and admits its batch as one control
+// job: injected admission refusals peel off first (the scheduler never
+// sees them, as in the per-arrival path), the rest go through one
+// AdmitBatch call, and the job's CPU charge is the sum of the per-
+// transaction admission tests plus the single batch-level W
+// recomputation plus startup coordination per actual start. Rejected
+// members retry into a later epoch through the normal retry path.
+func (s *simulator) flushEpoch(now event.Time) {
+	s.epochScheduled = false
+	batch := s.epochBuf
+	s.epochBuf = nil
+	if len(batch) == 0 {
+		return
+	}
+	s.cn.Submit(func(now event.Time) (event.Time, func(event.Time)) {
+		var refused, kept []*txnState
+		for _, st := range batch {
+			attempt := st.admitAttempts
+			st.admitAttempts++
+			if s.inj.RefuseAdmit(st.t.ID, attempt) {
+				refused = append(refused, st)
+			} else {
+				kept = append(kept, st)
+			}
+		}
+		ts := make([]*txn.T, len(kept))
+		for i, st := range kept {
+			ts[i] = st.t
+		}
+		out := s.batch.AdmitBatch(ts, now)
+		cpu := out.CPU
+		for _, o := range out.Outcomes {
+			cpu += o.CPU
+		}
+		cpu += event.Time(out.Admitted) * s.cfg.Machine.StartupTime
+		return cpu, func(now event.Time) {
+			s.res.Epochs++
+			s.batchSum += len(batch)
+			if len(batch) > s.res.MaxBatch {
+				s.res.MaxBatch = len(batch)
+			}
+			if out.Clusters > s.res.MaxClusters {
+				s.res.MaxClusters = out.Clusters
+			}
+			s.trace.emit(now, 0, "epoch-flush",
+				"batch", len(batch), "admitted", out.Admitted, "clusters", out.Clusters)
+			s.emitObs(obs.Event{Kind: obs.KindEpochFlush, At: now,
+				Batch: len(batch), Objects: float64(out.Admitted), Clusters: out.Clusters, CPU: out.CPU})
+			for _, st := range refused {
+				st := st
+				s.res.InjectedRefusals++
+				s.trace.emit(now, st.t.ID, "admit-refused-fault")
+				s.emitObs(obs.Event{Kind: obs.KindFault, At: now, Txn: st.t.ID, Op: "refuse-admit"})
+				s.retryLater(func(event.Time) { s.submitAdmit(st) })
+			}
+			for i, st := range kept {
+				s.handleAdmit(st, out.Outcomes[i].Decision, now)
+			}
+		}
+	})
 }
 
 // emitObs sends one structured trace event (nil observer = one branch).
@@ -835,6 +956,9 @@ func (s *simulator) finish() {
 		if p, err := stats.Percentile(s.rts, 95); err == nil {
 			s.res.P95RT = p
 		}
+		if p, err := stats.Percentile(s.rts, 99); err == nil {
+			s.res.P99RT = p
+		}
 		max := s.rts[0]
 		for _, v := range s.rts {
 			if v > max {
@@ -850,6 +974,9 @@ func (s *simulator) finish() {
 			s.res.ClassMeanRT[class] = w.Mean()
 			s.res.ClassCompleted[class] = int(w.Count())
 		}
+	}
+	if s.res.Epochs > 0 {
+		s.res.MeanBatch = float64(s.batchSum) / float64(s.res.Epochs)
 	}
 	s.res.MeanAdmitWait = s.admitWait.Mean()
 	s.res.MeanLockWait = s.lockWait.Mean()
