@@ -1,0 +1,50 @@
+package live
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"batsched/internal/txn"
+)
+
+func TestProbeEpochOrderInversion(t *testing.T) {
+	shapes := map[string][]float64{
+		"big-small":      {50, 1},
+		"small-big":      {1, 50},
+		"mid-big-small":  {10, 50, 1},
+		"asc":            {1, 10, 50},
+		"desc":           {50, 10, 1},
+		"equal":          {5, 5, 5},
+		"vee":            {50, 1, 50},
+	}
+	for name, costs := range shapes {
+		name, costs := name, costs
+		t.Run(name, func(t *testing.T) {
+			ctl := epochCtl(WithEpochWorkers(1))
+			defer ctl.Close()
+			ts := make([]*txn.T, len(costs))
+			for i, c := range costs {
+				ts[i] = txn.New(txn.ID(i+1), []txn.Step{w(0, c)})
+			}
+			done := make(chan []error, 1)
+			go func() {
+				done <- ctl.RunBatch(context.Background(), ts, func(tx *txn.T, step int, p Progress) error {
+					p(tx.Steps[step].Cost)
+					return nil
+				})
+			}()
+			select {
+			case errs := <-done:
+				for i, err := range errs {
+					if err != nil {
+						t.Logf("txn %d err: %v", i, err)
+					}
+				}
+			case <-time.After(3 * time.Second):
+				t.Fatal(fmt.Sprintf("RunBatch hung for shape %s", name))
+			}
+		})
+	}
+}
