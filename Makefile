@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-all bench-smoke bench-harness bench-epoch epoch-smoke chaos chaos-nodes verify
+.PHONY: build test bench bench-all bench-smoke bench-harness bench-epoch epoch-smoke chaos chaos-nodes chaos-restart verify
 
 build:
 	$(GO) build ./...
@@ -91,8 +91,19 @@ chaos-nodes:
 	$(GO) test -race -count=1 -run 'NodeCrash|CrashNode|CrashedCommits|CrashAnywhere|ErrNodeCrashed|EpisodesNotTicks|Placement|DataNodeKill' \
 		./internal/sim/ ./internal/live/ ./internal/fault/ ./internal/machine/ ./internal/modelcheck/
 
-verify: build test chaos chaos-nodes bench-smoke epoch-smoke
+# chaos-restart runs the kill-and-restart battery (docs/ROBUSTNESS.md
+# §9) under the race detector: WAL encode/decode + corruption fuzz +
+# group commit, the simulator's 100-seed × scheduler kill matrix with
+# replay-equivalence checks, the live controller's crash/recover round
+# trip, the KillAt determinism test, and the recovery model checker.
+# Every failure message carries a one-line repro (scheduler, seed, kill
+# point, flush fraction).
+chaos-restart:
+	$(GO) test -race -count=1 -run 'Restart|KillRestart|KillAt|Recover|WAL|Replay|Torn|GroupCommit|Corruption|RoundTrip' \
+		./internal/wal/ ./internal/sim/ ./internal/live/ ./internal/fault/ ./internal/modelcheck/
+
+verify: build test chaos chaos-nodes chaos-restart bench-smoke epoch-smoke
 	$(GO) vet ./...
-	$(GO) test -race ./internal/live/... ./internal/obs/... ./internal/experiments/ ./internal/event/
+	$(GO) test -race ./internal/live/... ./internal/obs/... ./internal/experiments/ ./internal/event/ ./internal/wal/
 	$(GO) test -race -count=1 -run 'Epoch' ./internal/core/sched/ ./internal/sim/
 	$(GO) test -tags wtpgshadow -count=1 ./internal/core/... ./internal/sim/

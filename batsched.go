@@ -54,6 +54,7 @@ import (
 	"batsched/internal/planner"
 	"batsched/internal/sim"
 	"batsched/internal/txn"
+	"batsched/internal/wal"
 	"batsched/internal/workload"
 )
 
@@ -288,6 +289,62 @@ func WithSimFaults(in *FaultInjector) SimOption { return sim.WithFaults(in) }
 
 // WithControllerFaults injects faults into a live controller.
 func WithControllerFaults(in *FaultInjector) ControllerOption { return live.WithFaults(in) }
+
+// Durable recovery (docs/ROBUSTNESS.md §9): a per-node dependency-logging
+// write-ahead log. Each record carries a transaction's partition
+// footprint and its resolved WTPG predecessor set, so recovery replays
+// the committed history in parallel waves constrained only by true
+// precedence.
+type (
+	// WAL is the per-node write-ahead log.
+	WAL = wal.Log
+	// WALRecord is one logged record (begin, commit or abort).
+	WALRecord = wal.Record
+	// WALStats counts appends, fsync passes and group-commit batching.
+	WALStats = wal.Stats
+	// WALNodeScan is one node file's decoded records plus its torn tail.
+	WALNodeScan = wal.NodeScan
+	// WALRecovery is the outcome of a replay: committed/aborted/
+	// incomplete transactions and the parallel replay schedule.
+	WALRecovery = wal.Recovery
+)
+
+// OpenWAL creates or reopens a write-ahead log with one file per node
+// under dir, truncating any torn tail left by a crash.
+func OpenWAL(dir string, numNodes int) (*WAL, error) { return wal.Open(dir, numNodes) }
+
+// ScanWAL decodes every node file under dir without replaying it.
+func ScanWAL(dir string) ([]WALNodeScan, error) { return wal.Scan(dir) }
+
+// ReplayWAL rebuilds the committed history from scanned node files,
+// applying committed transactions in dependency-ordered parallel waves
+// (workers <= 0 means one goroutine per transaction per wave; apply may
+// be nil to only classify).
+func ReplayWAL(scans []WALNodeScan, workers int, apply func(begin WALRecord, wave int)) (*WALRecovery, error) {
+	return wal.Replay(scans, workers, apply)
+}
+
+// WithSimWAL attaches a write-ahead log to a simulation run: admissions
+// append begin records, completions append commit/abort records, and the
+// durable committed set equals the run's committed set exactly.
+func WithSimWAL(l *WAL) SimOption { return sim.WithWAL(l) }
+
+// WithControllerWAL attaches a write-ahead log under dir to a live
+// controller: begins are forced durable before the first grant and
+// commits are forced durable before they apply. A commit that cannot be
+// logged is an abort.
+func WithControllerWAL(dir string) ControllerOption { return live.WithWAL(dir) }
+
+// WithControllerWALLog is WithControllerWAL over an already-open log.
+func WithControllerWALLog(l *WAL) ControllerOption { return live.WithWALLog(l) }
+
+// RecoverController rebuilds a controller from the log under dir:
+// committed transactions are replayed (wave-parallel) into a fresh
+// scheduler, incomplete ones are re-aborted, and the returned controller
+// continues logging to the same directory.
+func RecoverController(dir string, f SchedulerFactory, costs ControlCosts, opts ...ControllerOption) (*Controller, *WALRecovery, error) {
+	return live.Recover(dir, f, costs, opts...)
+}
 
 // Observability (docs/OBSERVABILITY.md): structured trace events,
 // counters and histograms over every layer — schedulers, the simulator,

@@ -31,6 +31,7 @@ import (
 
 	"batsched/internal/event"
 	"batsched/internal/experiments"
+	"batsched/internal/fault"
 	"batsched/internal/machine"
 	"batsched/internal/obs"
 )
@@ -60,6 +61,11 @@ func main() {
 		metrics  = flag.Bool("metrics", false, "print per-scheduler decision counts and latency histograms after the runs")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with `go tool pprof`)")
 		memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		abortRate   = flag.Float64("abortrate", 0, "fraction of transactions killed mid-run by the fault injector")
+		crashNodes  = flag.Int("crashnodes", 0, "crash this many data nodes per run (deterministic in -faultseed; at least one node survives)")
+		crashWindow = flag.Int64("crashwindow", 0, "clocks within which injected node crashes land (0 = the horizon)")
+		faultSeed   = flag.Uint64("faultseed", 0, "fault-injection seed (0 = derive from -seed); parity with batsim")
 	)
 	flag.Parse()
 
@@ -109,6 +115,19 @@ func main() {
 	var expOpts []experiments.Option
 	if poolSize > 0 {
 		expOpts = append(expOpts, experiments.WithParallelism(poolSize))
+	}
+	if *abortRate > 0 || *crashNodes > 0 {
+		fseed := *faultSeed
+		if fseed == 0 {
+			fseed = uint64(*seed)
+		}
+		inj, err := fault.New(fseed, fault.Config{
+			AbortRate:       *abortRate,
+			NodeCrashes:     *crashNodes,
+			NodeCrashWindow: event.Time(*crashWindow),
+		})
+		must(err)
+		expOpts = append(expOpts, experiments.WithFaults(inj))
 	}
 	var traceSink *obs.JSONL
 	var agg *obs.Metrics

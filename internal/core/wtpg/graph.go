@@ -592,6 +592,26 @@ func (g *Graph) Before(id txn.ID) map[txn.ID]bool {
 	return res
 }
 
+// Predecessors returns id's direct resolved predecessors — the sources of
+// the precedence-edges entering id, sorted by transaction id. Unlike
+// Before it does not chase the transitive closure: these are exactly the
+// wait-for edges the schedulers resolved against id, which is the set a
+// dependency log must record (replay needs only direct edges; transitivity
+// is implied). Returns nil when id is not in the graph or has no resolved
+// in-edges, and never aliases internal storage.
+func (g *Graph) Predecessors(id txn.ID) []txn.ID {
+	s, ok := g.slotOf[id]
+	if !ok || len(g.in[s]) == 0 {
+		return nil
+	}
+	out := make([]txn.ID, 0, len(g.in[s]))
+	for _, idx := range g.in[s] {
+		out = append(out, g.ids[g.edges[idx].fromSlot()])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // WouldCycle reports whether the precedence-edges plus the proposed extra
 // resolutions contain a directed cycle — the cautious schedulers' deadlock
 // prediction test. Proposed resolutions over pairs that are already

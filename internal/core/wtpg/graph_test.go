@@ -413,3 +413,53 @@ func TestRandomResolutionMonotonic(t *testing.T) {
 		}
 	}
 }
+
+// TestPredecessors pins the accessor the WAL's dependency records are
+// built from: direct resolved in-edges only (no transitive closure, no
+// unresolved conflicts), sorted by ID, never aliasing graph storage.
+func TestPredecessors(t *testing.T) {
+	g := New()
+	for id := txn.ID(1); id <= 5; id++ {
+		if err := g.AddNode(id, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 3 <- {2, 1} resolved; 3 <-> 4 unresolved; 5 isolated; 1 -> 2 too,
+	// so 1 reaches 3 both directly and transitively through 2.
+	for _, e := range [][2]txn.ID{{1, 2}, {2, 3}, {1, 3}, {3, 4}} {
+		if err := g.AddConflict(e[0], e[1], 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]txn.ID{{2, 3}, {1, 3}, {1, 2}} {
+		if err := g.Resolve(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check := func(id txn.ID, want []txn.ID) {
+		t.Helper()
+		got := g.Predecessors(id)
+		if len(got) != len(want) {
+			t.Fatalf("Predecessors(%v) = %v, want %v", id, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Predecessors(%v) = %v, want %v", id, got, want)
+			}
+		}
+	}
+	check(1, nil)                 // no in-edges
+	check(2, []txn.ID{1})         // single resolved pred
+	check(3, []txn.ID{1, 2})      // direct only, sorted — 4 unresolved, excluded
+	check(4, nil)                 // its conflict with 3 is unresolved
+	check(5, nil)                 // isolated
+	check(99, nil)                // unknown ID
+	// The returned slice is a copy: mutating it must not corrupt the graph.
+	p := g.Predecessors(3)
+	p[0] = 999
+	check(3, []txn.ID{1, 2})
+	// Removing a predecessor drops it from later reads.
+	g.Remove(1)
+	check(3, []txn.ID{2})
+	check(2, nil)
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"sync"
 
+	"batsched/internal/fault"
 	"batsched/internal/obs"
 	"batsched/internal/sim"
 )
@@ -22,6 +23,7 @@ type runConfig struct {
 	trace    obs.Observer
 	metrics  bool
 	parallel int
+	inj      *fault.Injector
 }
 
 func buildRunConfig(opts []Option) runConfig {
@@ -54,6 +56,17 @@ func WithTrace(o obs.Observer) Option {
 // runs complete, in grid order.
 func WithMetrics() Option {
 	return func(rc *runConfig) { rc.metrics = true }
+}
+
+// WithFaults runs every grid cell under the fault injector: injected
+// aborts, slow partitions, admission refusals, node crashes — whatever
+// the injector's Config enables. The same injector is shared by every
+// cell; that is safe and deterministic because fault decisions are pure
+// functions of (seed, identifier), never of call order, so each cell
+// sees exactly the schedule its own transaction IDs draw. A nil
+// injector is ignored.
+func WithFaults(in *fault.Injector) Option {
+	return func(rc *runConfig) { rc.inj = in }
 }
 
 // WithParallelism bounds the harness worker pool to n concurrent
@@ -102,6 +115,10 @@ type cellSinks struct {
 // replayed into the shared observer in grid order.
 func (rc runConfig) forJob() (cellSinks, []sim.Option) {
 	var s cellSinks
+	var simOpts []sim.Option
+	if rc.inj.Enabled() {
+		simOpts = append(simOpts, sim.WithFaults(rc.inj))
+	}
 	var observers []obs.Observer
 	if rc.trace != nil {
 		s.trace = &capture{}
@@ -111,10 +128,10 @@ func (rc runConfig) forJob() (cellSinks, []sim.Option) {
 		s.metrics = obs.NewMetrics()
 		observers = append(observers, s.metrics)
 	}
-	if len(observers) == 0 {
-		return s, nil
+	if len(observers) > 0 {
+		simOpts = append(simOpts, sim.WithTrace(obs.Multi(observers...)))
 	}
-	return s, []sim.Option{sim.WithTrace(obs.Multi(observers...))}
+	return s, simOpts
 }
 
 // orderedFlush replays per-run trace buffers into the shared observer

@@ -66,6 +66,13 @@ type Config struct {
 	// when zero.
 	NodeCrashes     int
 	NodeCrashWindow event.Time
+	// KillRestart schedules a whole-machine kill (SIGKILL-equivalent):
+	// the run is cut off at a deterministic point inside KillWindow (the
+	// consumer substitutes its horizon when the window is zero), its
+	// write-ahead log crash-closed with a torn tail, and recovery
+	// replayed from the surviving log prefix. See KillAt.
+	KillRestart bool
+	KillWindow  event.Time
 }
 
 // Validate rejects rates outside [0,1] and negative tuning knobs.
@@ -88,6 +95,9 @@ func (c Config) Validate() error {
 	}
 	if c.NodeCrashes < 0 || c.NodeCrashWindow < 0 {
 		return errors.New("fault: negative node-crash parameter")
+	}
+	if c.KillWindow < 0 {
+		return errors.New("fault: negative kill window")
 	}
 	return nil
 }
@@ -147,6 +157,7 @@ const (
 	domAdmit uint64 = 0xAD317000
 	domCrash uint64 = 0xC4A54000
 	domNode  uint64 = 0xD0DEAD00
+	domKill  uint64 = 0x6E55A110
 )
 
 // unit maps (seed, domain, id) to a uniform float64 in [0,1).
@@ -260,6 +271,41 @@ func (in *Injector) NodeCrash(node, numNodes int, window event.Time) (at event.T
 	return at, true
 }
 
+// KillAt reports whether a whole-machine kill is scheduled, and if so
+// when: a deterministic point in [0.15, 0.85] of KillWindow (or of
+// `window` when the config leaves it zero), so the kill always lands
+// with transactions genuinely in flight — never in the empty warm-up
+// prefix or the drained tail. Alongside the time the caller needs a
+// second draw for how much of the log's unsynced tail survives the
+// kill (the kernel may have flushed part of a dying process's buffers):
+// KillFlushFrac supplies it, uniform in [0,1).
+func (in *Injector) KillAt(window event.Time) (at event.Time, ok bool) {
+	if in == nil || !in.cfg.KillRestart {
+		return 0, false
+	}
+	if in.cfg.KillWindow > 0 {
+		window = in.cfg.KillWindow
+	}
+	if window <= 0 {
+		return 0, false
+	}
+	frac := 0.15 + 0.70*in.unit(domKill, 0)
+	at = event.Time(frac * float64(window))
+	if at < 1 {
+		at = 1
+	}
+	return at, true
+}
+
+// KillFlushFrac is the fraction of buffered-but-unsynced log bytes that
+// survive the kill (see KillAt). Zero for nil or non-kill injectors.
+func (in *Injector) KillFlushFrac() float64 {
+	if in == nil || !in.cfg.KillRestart {
+		return 0
+	}
+	return in.unit(domKill+1, 0)
+}
+
 // Enabled reports whether the injector can produce any fault at all.
 func (in *Injector) Enabled() bool {
 	if in == nil {
@@ -267,5 +313,5 @@ func (in *Injector) Enabled() bool {
 	}
 	c := in.cfg
 	return c.AbortRate > 0 || c.SlowIORate > 0 || c.AdmitRefusalRate > 0 || c.CrashRate > 0 ||
-		c.NodeCrashes > 0
+		c.NodeCrashes > 0 || c.KillRestart
 }

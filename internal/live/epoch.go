@@ -20,6 +20,7 @@ import (
 	"batsched/internal/core/sched"
 	"batsched/internal/obs"
 	"batsched/internal/txn"
+	"batsched/internal/wal"
 )
 
 // WithBatchWindow enables epoch-batch admission: transactions handed to
@@ -153,7 +154,22 @@ func (c *Controller) runEpoch(batch []*submission) {
 	for i, s := range batch {
 		ts[i] = s.t
 	}
-	admitted := c.admitBatch(ts)
+	admitted, walRecs := c.admitBatch(ts)
+	if len(walRecs) > 0 {
+		// Write-ahead for the whole window in one group commit: every
+		// Begin record durable before any member's first grant takes
+		// effect (the workers below). On failure the batch admissions
+		// roll back; members then retry per-arrival and surface the
+		// sticky WAL error through Admit.
+		if err := c.walForce(walRecs...); err != nil {
+			for _, t := range ts {
+				if admitted[t.ID] {
+					c.Abort(t)
+					delete(admitted, t.ID)
+				}
+			}
+		}
+	}
 	clusters := sched.ConflictClusters(ts)
 	workers := c.epochWorkers
 	if workers <= 0 {
@@ -195,15 +211,19 @@ func (c *Controller) runEpoch(batch []*submission) {
 // refuse at attempt 0 are withheld from the batch; their refusal fires
 // on the per-arrival path instead, keeping injector decisions
 // deterministic across both paths.
-func (c *Controller) admitBatch(ts []*txn.T) map[txn.ID]bool {
+// It also returns the WAL Begin records for the granted members (nil
+// without a WAL) — built inside the same critical section so each
+// carries the predecessors resolved by this batch's admission — for the
+// caller to force durable before dispatching.
+func (c *Controller) admitBatch(ts []*txn.T) (map[txn.ID]bool, []wal.Record) {
 	ba, ok := c.sch.(sched.BatchAdmitter)
 	if !ok {
-		return nil
+		return nil, nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.closed {
-		return nil
+	if c.closed || c.walErr != nil {
+		return nil, nil
 	}
 	now := c.now()
 	kept := ts
@@ -220,6 +240,7 @@ func (c *Controller) admitBatch(ts []*txn.T) map[txn.ID]bool {
 	}
 	out := ba.AdmitBatch(kept, now)
 	admitted := make(map[txn.ID]bool, out.Admitted)
+	var walRecs []wal.Record
 	for i, o := range out.Outcomes {
 		if o.Decision == sched.Granted {
 			id := kept[i].ID
@@ -227,6 +248,9 @@ func (c *Controller) admitBatch(ts []*txn.T) map[txn.ID]bool {
 			c.stats.Admitted++
 			c.stats.BatchAdmitted++
 			c.started[id] = now
+			if rec, logIt := c.walBeginLocked(kept[i], now); logIt {
+				walRecs = append(walRecs, rec)
+			}
 		}
 	}
 	c.stats.Epochs++
@@ -235,7 +259,7 @@ func (c *Controller) admitBatch(ts []*txn.T) map[txn.ID]bool {
 	}
 	c.emitLocked(obs.Event{Kind: obs.KindEpochFlush, At: now,
 		Batch: len(ts), Objects: float64(out.Admitted), Clusters: out.Clusters})
-	return admitted
+	return admitted, walRecs
 }
 
 // clusterQueue distributes cluster indices over per-worker queues with

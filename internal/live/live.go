@@ -45,6 +45,7 @@ import (
 	"batsched/internal/machine"
 	"batsched/internal/obs"
 	"batsched/internal/txn"
+	"batsched/internal/wal"
 )
 
 // Option configures a Controller at construction.
@@ -258,6 +259,18 @@ type Controller struct {
 	place    *machine.Placement
 	resident map[txn.ID]*residency
 
+	// Durable dependency logging (WithWAL/WithWALLog, see wal.go):
+	// walDir is the configured directory, wal the open log (owned when
+	// walOwned), walErr the sticky first failure — open or IO — that
+	// makes later admissions fail instead of running unlogged, and
+	// walNode remembers which per-node log each admitted transaction's
+	// Begin record went to, so its completion lands in the same file.
+	walDir   string
+	wal      *wal.Log
+	walOwned bool
+	walErr   error
+	walNode  map[txn.ID]int
+
 	stopWatch chan struct{}
 	watchWG   sync.WaitGroup
 
@@ -325,6 +338,21 @@ func New(factory sched.Factory, costs sched.Costs, opts ...Option) *Controller {
 	}
 	if c.topo.NumNodes > 0 {
 		c.place = machine.NewPlacement(c.topo)
+	}
+	if c.wal == nil && c.walDir != "" {
+		nodes := 1
+		if c.topo.NumNodes > 0 {
+			nodes = c.topo.NumNodes
+		}
+		if l, err := wal.Open(c.walDir, nodes); err != nil {
+			c.walErr = err // sticky; surfaces from the first Admit
+		} else {
+			c.wal = l
+			c.walOwned = true
+		}
+	}
+	if c.wal != nil {
+		c.walNode = make(map[txn.ID]int)
 	}
 	c.sch = factory.New(costs)
 	c.label = c.sch.Name()
@@ -421,6 +449,9 @@ func (c *Controller) Close() {
 	if !already && c.stopEpoch != nil {
 		close(c.stopEpoch)
 		c.epochWG.Wait()
+	}
+	if !already && c.walOwned && c.wal != nil {
+		c.wal.Close()
 	}
 }
 
@@ -616,13 +647,30 @@ func (c *Controller) Admit(ctx context.Context, t *txn.T) error {
 			}
 			continue
 		}
+		if c.walErr != nil {
+			// Durability was requested and is broken (open or IO failure):
+			// admitting would run the transaction unlogged.
+			err := c.walErr
+			c.mu.Unlock()
+			return fmt.Errorf("live: wal: %w", err)
+		}
 		out := c.sch.Admit(t, now)
 		ch := c.wake
 		if out.Decision == sched.Granted {
 			c.stats.Admitted++
 			c.started[t.ID] = now
 			c.progressLocked()
+			rec, logIt := c.walBeginLocked(t, now)
 			c.mu.Unlock()
+			if logIt {
+				// Write-ahead: the Begin record — footprint + resolved
+				// predecessors — must be durable before the grant takes
+				// effect. On failure the admission is rolled back.
+				if err := c.walForce(rec); err != nil {
+					c.Abort(t)
+					return fmt.Errorf("live: wal: %w", err)
+				}
+			}
 			return nil
 		}
 		c.mu.Unlock()
@@ -725,14 +773,23 @@ func (c *Controller) Abort(t *txn.T) error {
 	return c.finish(t, false)
 }
 
+// finish runs in three phases so the commit record's fsync never stalls
+// the controller's critical sections: (1) under mu, claim the finish —
+// validate, apply the doom check, remove t from the tracking maps so no
+// concurrent finish/crash-doom can touch it, and build the completion
+// record while t is still in the WTPG; (2) outside mu, make a commit
+// record durable (group-committed — aborts are appended unforced, a
+// lost abort record re-aborts at recovery anyway); (3) under mu, apply
+// the completion to the scheduler and wake waiters. Without a WAL,
+// phase 2 is empty and the behavior is the old single-section finish.
 func (c *Controller) finish(t *txn.T, committed bool) error {
 	if t == nil {
 		return fmt.Errorf("live: nil transaction")
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	start, ok := c.started[t.ID]
 	if !ok {
+		c.mu.Unlock()
 		return fmt.Errorf("live: %v is not an admitted transaction", t.ID)
 	}
 	now := c.now()
@@ -745,24 +802,51 @@ func (c *Controller) finish(t *txn.T, committed bool) error {
 			doomErr = fmt.Errorf("live: %v: %w", t.ID, err)
 		}
 	}
-	if committed {
-		c.sch.Commit(t, now)
-	} else {
-		sched.AbortTxn(c.sch, t, now)
-	}
-	e := obs.Event{Kind: obs.KindCommit, At: now, Txn: t.ID, RT: now - start}
 	delete(c.started, t.ID)
 	delete(c.doomed, t.ID)
 	delete(c.resident, t.ID)
+	rec, logIt := c.walCompletionLocked(t, committed, now)
+	c.mu.Unlock()
+
+	if c.wal != nil && committed && !logIt {
+		// The WAL is attached but unusable (sticky walErr) or t's begin
+		// was never logged: committing would succeed in memory with no
+		// durable record behind it — recovery would silently drop it. A
+		// commit that cannot be logged is an abort.
+		committed = false
+		doomErr = fmt.Errorf("live: %v: wal unavailable, commit aborted", t.ID)
+	}
+	if logIt {
+		if committed {
+			// Write-ahead: the commit is not a commit until its record is
+			// durable. On failure the transaction aborts instead — its
+			// begin record stays completion-less and recovery re-aborts it.
+			if err := c.walForce(rec); err != nil {
+				committed = false
+				doomErr = fmt.Errorf("live: %v: commit record not durable: %w", t.ID, err)
+			}
+		} else {
+			c.walAppend(rec)
+		}
+	}
+
+	c.mu.Lock()
+	now = c.now()
 	if committed {
+		c.sch.Commit(t, now)
 		c.stats.Committed++
 	} else {
+		sched.AbortTxn(c.sch, t, now)
 		c.stats.Aborted++
+	}
+	e := obs.Event{Kind: obs.KindCommit, At: now, Txn: t.ID, RT: now - start}
+	if !committed {
 		e.Decision = "aborted"
 	}
 	c.progressLocked()
 	c.emitLocked(e)
 	c.broadcast()
+	c.mu.Unlock()
 	return doomErr
 }
 

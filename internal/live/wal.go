@@ -1,0 +1,201 @@
+package live
+
+// This file wires the per-node dependency log (internal/wal) through
+// the live controller. The write-ahead contract:
+//
+//   - admission: the Begin record — footprint plus the WTPG predecessor
+//     set resolved at admission — is forced durable BEFORE Admit
+//     returns, i.e. before the first grant takes effect;
+//   - commit: the Commit record, carrying the final resolved
+//     predecessor set (read before the scheduler drops the transaction
+//     from the graph), is forced durable BEFORE the scheduler applies
+//     the commit and before Commit reports success;
+//   - abort: the Abort record is appended but not forced — a lost abort
+//     record re-aborts at recovery anyway (no completion ⇒ re-abort),
+//     so aborts never pay an fsync.
+//
+// Sync points group-commit: concurrent committers piggyback on one
+// fsync pass (wal.Log.Sync), and the controller emits KindWALAppend /
+// KindWALSync / KindRecover events so the obs pipeline sees appends,
+// fsync batching, and recovery behavior.
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"batsched/internal/core/sched"
+	"batsched/internal/event"
+	"batsched/internal/obs"
+	"batsched/internal/txn"
+	"batsched/internal/wal"
+)
+
+// WithWAL enables durable dependency logging under dir: one append-only
+// log per data node (one log total without WithTopology). The logs are
+// opened by New — an open failure is sticky and surfaces as an error
+// from the first Admit, never as silently-dropped durability — and
+// closed (flushed + fsynced) by Close.
+func WithWAL(dir string) Option {
+	return func(c *Controller) { c.walDir = dir }
+}
+
+// WithWALLog attaches an already-open, caller-owned log instead of
+// having the controller open one: the caller keeps Close/Crash
+// authority, which is what the kill-and-restart chaos battery needs to
+// simulate SIGKILL (wal.Log.Crash) underneath the controller.
+func WithWALLog(l *wal.Log) Option {
+	return func(c *Controller) { c.wal = l }
+}
+
+// WALStats returns a snapshot of the attached log's counters; ok is
+// false when the controller has no WAL.
+func (c *Controller) WALStats() (wal.Stats, bool) {
+	if c.wal == nil {
+		return wal.Stats{}, false
+	}
+	return c.wal.Stats(), true
+}
+
+// walFail records the first WAL error; once set, durability is broken
+// and every subsequent admission fails rather than running unlogged.
+func (c *Controller) walFail(err error) {
+	c.mu.Lock()
+	if c.walErr == nil {
+		c.walErr = err
+	}
+	c.mu.Unlock()
+}
+
+// walBeginLocked builds the Begin record for a just-admitted t: its
+// declared footprint and the predecessor set the scheduler resolved at
+// admission, routed to the node of its first partition. Callers must
+// hold mu (the predecessor read must be atomic with the admission).
+func (c *Controller) walBeginLocked(t *txn.T, now event.Time) (wal.Record, bool) {
+	if c.wal == nil || c.walErr != nil {
+		return wal.Record{}, false
+	}
+	node := 0
+	if c.place != nil && len(t.Steps) > 0 {
+		node = c.place.NodeOf(t.Steps[0].Part)
+	}
+	c.walNode[t.ID] = node
+	return wal.Record{
+		Kind:  wal.Begin,
+		Txn:   t.ID,
+		Node:  node,
+		At:    now,
+		Steps: wal.Footprint(t),
+		Preds: sched.Predecessors(c.sch, t.ID),
+	}, true
+}
+
+// walCompletionLocked builds the completion record for a finishing t,
+// reading the final predecessor set while the transaction is still in
+// the graph. It consumes the walNode entry, so a transaction whose
+// Begin was never logged (WAL failed mid-run) gets no completion
+// record either — replay would reject a completion without a begin.
+// Callers must hold mu.
+func (c *Controller) walCompletionLocked(t *txn.T, committed bool, now event.Time) (wal.Record, bool) {
+	if c.wal == nil {
+		return wal.Record{}, false
+	}
+	node, ok := c.walNode[t.ID]
+	delete(c.walNode, t.ID)
+	if !ok || c.walErr != nil {
+		return wal.Record{}, false
+	}
+	rec := wal.Record{Kind: wal.Abort, Txn: t.ID, Node: node, At: now}
+	if committed {
+		rec.Kind = wal.Commit
+		rec.Preds = sched.Predecessors(c.sch, t.ID)
+	}
+	return rec, true
+}
+
+// walForce appends recs and forces them durable in one group-commit
+// Sync. Called WITHOUT mu held — the fsync must not stall the
+// controller's critical sections.
+func (c *Controller) walForce(recs ...wal.Record) error {
+	for _, rec := range recs {
+		if err := c.wal.Append(rec); err != nil {
+			c.walFail(err)
+			return err
+		}
+		c.emit(obs.Event{Kind: obs.KindWALAppend, At: rec.At, Txn: rec.Txn, Op: rec.Kind.String(), Node: rec.Node})
+	}
+	start := time.Now()
+	n, err := c.wal.Sync()
+	if err != nil {
+		c.walFail(err)
+		return err
+	}
+	if n > 0 {
+		c.emit(obs.Event{Kind: obs.KindWALSync, At: c.now(), Batch: n, DurNS: time.Since(start).Nanoseconds()})
+	}
+	return nil
+}
+
+// walAppend appends rec without forcing it (abort records).
+func (c *Controller) walAppend(rec wal.Record) {
+	if err := c.wal.Append(rec); err != nil {
+		c.walFail(err)
+		return
+	}
+	c.emit(obs.Event{Kind: obs.KindWALAppend, At: rec.At, Txn: rec.Txn, Op: rec.Kind.String(), Node: rec.Node})
+}
+
+// Recover rebuilds a controller from the per-node logs under dir: the
+// logs are scanned in parallel (torn tails truncated to the longest
+// valid prefix), the committed history is replayed topologically
+// ordered only by the logged predecessor edges (wave-parallel — see
+// wal.Replay), transactions with a Begin but no completion record are
+// re-aborted (their locks died with the process; the abort records are
+// appended and forced so a second recovery agrees with this one), and
+// the returned controller — fresh scheduler state, WAL reattached —
+// passes its scheduler invariant checks before serving new traffic.
+//
+// The Recovery report carries what was reconstructed: the committed
+// set in replay order, the re-aborted in-flight transactions, and the
+// replay schedule's width (MaxParallel). opts are applied as in New;
+// do not pass WithWAL/WithWALLog (Recover manages the log itself).
+func Recover(dir string, factory sched.Factory, costs sched.Costs, opts ...Option) (*Controller, *wal.Recovery, error) {
+	scans, err := wal.Scan(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec, err := wal.Replay(scans, runtime.GOMAXPROCS(0), nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	c := New(factory, costs, append(append([]Option(nil), opts...), WithWAL(dir))...)
+	if c.walErr != nil {
+		err := c.walErr
+		c.Close()
+		return nil, nil, err
+	}
+	now := c.now()
+	if len(rec.Incomplete) > 0 {
+		reaborts := make([]wal.Record, len(rec.Incomplete))
+		for i, b := range rec.Incomplete {
+			reaborts[i] = wal.Record{Kind: wal.Abort, Txn: b.Txn, Node: b.Node, At: now}
+		}
+		if err := c.walForce(reaborts...); err != nil {
+			c.Close()
+			return nil, nil, fmt.Errorf("live: recover: %w", err)
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		c.Close()
+		return nil, nil, fmt.Errorf("live: recover: %w", err)
+	}
+	c.emit(obs.Event{
+		Kind:     obs.KindRecover,
+		At:       now,
+		Batch:    len(rec.Committed),
+		Clusters: rec.MaxParallel,
+		Objects:  float64(len(rec.Incomplete)),
+		DurNS:    rec.Elapsed.Nanoseconds(),
+	})
+	return c, rec, nil
+}

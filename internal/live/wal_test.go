@@ -1,0 +1,203 @@
+package live
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"batsched/internal/core/sched"
+	"batsched/internal/modelcheck"
+	"batsched/internal/txn"
+	"batsched/internal/wal"
+)
+
+// TestWALKillRecoverRoundTrip is the live controller's half of the
+// kill-and-restart story: commit a batch of transactions against a
+// caller-owned log, crash the log (SIGKILL-equivalent) with two
+// transactions still in flight, recover, and check the committed set
+// survived exactly while the in-flight pair was re-aborted — then that
+// the recovered controller serves new traffic and a second recovery
+// agrees with the first.
+func TestWALKillRecoverRoundTrip(t *testing.T) {
+	for _, f := range []sched.Factory{sched.C2PLFactory(), sched.KWTPGFactory(2)} {
+		f := f
+		t.Run(f.Label, func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			l, err := wal.Open(dir, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctl := New(f, liveCosts, WithWALLog(l), WithRetryDelay(time.Millisecond))
+
+			var wg sync.WaitGroup
+			for i := 1; i <= 8; i++ {
+				i := i
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					tx := txn.New(txn.ID(i), []txn.Step{w(txn.PartitionID(i%4), 1)})
+					if err := ctl.Run(context.Background(), tx, func(step int, p Progress) error {
+						p(1)
+						return nil
+					}); err != nil {
+						t.Errorf("txn %d: %v", i, err)
+					}
+				}()
+			}
+			wg.Wait()
+
+			// Two transactions admitted (Begin forced durable) but parked
+			// inside their work when the machine dies.
+			started := make(chan struct{}, 2)
+			release := make(chan struct{})
+			inflight := make(chan error, 2)
+			for i := 9; i <= 10; i++ {
+				i := i
+				go func() {
+					tx := txn.New(txn.ID(i), []txn.Step{w(txn.PartitionID(i-5), 1)})
+					inflight <- ctl.Run(context.Background(), tx, func(step int, p Progress) error {
+						started <- struct{}{}
+						<-release
+						p(1)
+						return nil
+					})
+				}()
+			}
+			<-started
+			<-started
+			l.Crash(0.6)
+			close(release)
+			for i := 0; i < 2; i++ {
+				if err := <-inflight; err == nil {
+					t.Fatalf("in-flight transaction committed after the WAL died (stats %+v)", ctl.Stats())
+				}
+			}
+			// Durability is broken; the controller must refuse new work
+			// rather than run it unlogged.
+			tx := txn.New(11, []txn.Step{w(7, 1)})
+			if err := ctl.Run(context.Background(), tx, nil); err == nil {
+				t.Fatal("admission succeeded on a dead WAL")
+			}
+			ctl.Close()
+
+			ctl2, rec, err := Recover(dir, f, liveCosts, WithRetryDelay(time.Millisecond))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rec.Committed) != 8 {
+				t.Fatalf("recovered %d committed, want 8: %v", len(rec.Committed), rec.Committed)
+			}
+			for _, id := range rec.Committed {
+				if id < 1 || id > 8 {
+					t.Fatalf("resurrected %v", id)
+				}
+			}
+			if len(rec.Incomplete) != 2 || rec.Incomplete[0].Txn != 9 || rec.Incomplete[1].Txn != 10 {
+				t.Fatalf("incomplete %v, want txns 9 and 10 re-aborted", rec.Incomplete)
+			}
+			scans, err := wal.Scan(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := modelcheck.VerifyRecovery(scans, rec); err != nil {
+				t.Fatal(err)
+			}
+
+			// The recovered controller is live: commit one more.
+			tx12 := txn.New(12, []txn.Step{w(2, 1)})
+			if err := ctl2.Run(context.Background(), tx12, func(step int, p Progress) error {
+				p(1)
+				return nil
+			}); err != nil {
+				t.Fatalf("post-recovery run: %v", err)
+			}
+			if st, ok := ctl2.WALStats(); !ok || st.Appends == 0 {
+				t.Errorf("recovered controller WAL stats = %+v, %v", st, ok)
+			}
+			ctl2.Close()
+
+			// A second recovery agrees: the re-abort records appended by
+			// the first make 9 and 10 properly aborted, not incomplete.
+			ctl3, rec2, err := Recover(dir, f, liveCosts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ctl3.Close()
+			if len(rec2.Committed) != 9 {
+				t.Fatalf("second recovery found %d committed, want 9 (batch + post-recovery txn)", len(rec2.Committed))
+			}
+			if len(rec2.Incomplete) != 0 {
+				t.Fatalf("second recovery still has incomplete %v", rec2.Incomplete)
+			}
+			aborted := map[txn.ID]bool{}
+			for _, id := range rec2.Aborted {
+				aborted[id] = true
+			}
+			if !aborted[9] || !aborted[10] {
+				t.Fatalf("re-aborts not durable: aborted set %v", rec2.Aborted)
+			}
+		})
+	}
+}
+
+// TestWALOpenFailureIsSticky: a controller whose WAL cannot open must
+// refuse admissions with an error rather than silently running without
+// durability.
+func TestWALOpenFailureIsSticky(t *testing.T) {
+	// A file where the directory should be makes MkdirAll fail.
+	dir := t.TempDir() + "/blocked"
+	l, err := wal.Open(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	ctl := New(sched.C2PLFactory(), liveCosts, WithWAL(dir+"/node-0000.wal/sub"))
+	defer ctl.Close()
+	tx := txn.New(1, []txn.Step{w(0, 1)})
+	if err := ctl.Run(context.Background(), tx, nil); err == nil {
+		t.Fatal("admission succeeded with an unopenable WAL")
+	}
+	if st := ctl.Stats(); st.Committed != 0 {
+		t.Errorf("stats %+v after refused admissions", st)
+	}
+}
+
+// TestWALAbortsAreLogged: work errors produce Abort records that a
+// clean-shutdown recovery reports as aborted, not incomplete.
+func TestWALAbortsAreLogged(t *testing.T) {
+	dir := t.TempDir()
+	ctl := New(sched.ChainFactory(), liveCosts, WithWAL(dir), WithRetryDelay(time.Millisecond))
+	good := txn.New(1, []txn.Step{w(0, 1)})
+	if err := ctl.Run(context.Background(), good, func(step int, p Progress) error {
+		p(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bad := txn.New(2, []txn.Step{w(1, 1)})
+	if err := ctl.Run(context.Background(), bad, func(step int, p Progress) error {
+		return context.Canceled
+	}); err == nil {
+		t.Fatal("failing work committed")
+	}
+	ctl.Close()
+	scans, err := wal.Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := wal.Replay(scans, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Committed) != 1 || rec.Committed[0] != 1 {
+		t.Errorf("committed %v, want [T1]", rec.Committed)
+	}
+	if len(rec.Aborted) != 1 || rec.Aborted[0] != 2 {
+		t.Errorf("aborted %v, want [T2]", rec.Aborted)
+	}
+	if len(rec.Incomplete) != 0 {
+		t.Errorf("incomplete %v after clean shutdown", rec.Incomplete)
+	}
+}

@@ -1,0 +1,153 @@
+package modelcheck
+
+// Recovery verification: an independent audit of a wal.Replay result
+// against the raw per-node log scans it was computed from. wal.Replay
+// already validates its own input; this checker re-derives the
+// invariants from scratch — including rebuilding the committed
+// dependency history inside a real wtpg.Graph and asking IT whether the
+// logged precedence order is acyclic — so a bug in the replay code and
+// a bug in its self-checks would have to agree to slip through. The
+// kill-and-restart chaos battery runs this after every recovery.
+
+import (
+	"fmt"
+
+	"batsched/internal/core/wtpg"
+	"batsched/internal/txn"
+	"batsched/internal/wal"
+)
+
+// VerifyRecovery checks a replay result against the node scans it came
+// from:
+//
+//   - completeness: every committed transaction has a durable Begin, and
+//     every durable Commit record is in the committed set;
+//   - exclusivity: no transaction is in more than one of committed /
+//     aborted / incomplete (re-aborted);
+//   - acyclicity: the committed transactions' logged predecessor edges
+//     (restricted to committed predecessors — dead ones impose no
+//     order) form a DAG, verified by loading them into a wtpg.Graph as
+//     resolved conflicts and running its critical-path cycle check;
+//   - wave sanity: every committed transaction sits in a strictly later
+//     wave than each of its committed predecessors, wave numbers are
+//     dense in [0, Waves), and MaxParallel equals the widest wave.
+func VerifyRecovery(scans []wal.NodeScan, rec *wal.Recovery) error {
+	if rec == nil {
+		return fmt.Errorf("modelcheck: nil recovery")
+	}
+	begins := make(map[txn.ID]wal.Record)
+	commits := make(map[txn.ID]wal.Record)
+	for _, ns := range scans {
+		for _, r := range ns.Records {
+			switch r.Kind {
+			case wal.Begin:
+				begins[r.Txn] = r
+			case wal.Commit:
+				commits[r.Txn] = r
+			}
+		}
+	}
+	committed := make(map[txn.ID]bool, len(rec.Committed))
+	for _, id := range rec.Committed {
+		if committed[id] {
+			return fmt.Errorf("modelcheck: %v committed twice in replay order", id)
+		}
+		committed[id] = true
+		if _, ok := begins[id]; !ok {
+			return fmt.Errorf("modelcheck: committed %v has no durable begin record", id)
+		}
+		if _, ok := commits[id]; !ok {
+			return fmt.Errorf("modelcheck: committed %v has no durable commit record", id)
+		}
+	}
+	for id := range commits {
+		if !committed[id] {
+			return fmt.Errorf("modelcheck: durable commit record for %v missing from recovered committed set", id)
+		}
+	}
+	for _, id := range rec.Aborted {
+		if committed[id] {
+			return fmt.Errorf("modelcheck: %v both committed and aborted", id)
+		}
+	}
+	for _, b := range rec.Incomplete {
+		if committed[b.Txn] {
+			return fmt.Errorf("modelcheck: %v both committed and re-aborted as incomplete", b.Txn)
+		}
+		if _, ok := commits[b.Txn]; ok {
+			return fmt.Errorf("modelcheck: %v re-aborted despite a durable commit record", b.Txn)
+		}
+	}
+
+	// Rebuild the committed precedence history in a wtpg.Graph: each
+	// logged predecessor edge becomes a resolved conflict, then the
+	// graph's own cycle detection (CriticalPath errors on a cycle)
+	// passes judgment on the order recovery replayed in.
+	g := wtpg.New()
+	for _, id := range rec.Committed {
+		if err := g.AddNode(id, 1); err != nil {
+			return fmt.Errorf("modelcheck: rebuild: %w", err)
+		}
+	}
+	preds := func(id txn.ID) []txn.ID {
+		seen := map[txn.ID]bool{}
+		var out []txn.ID
+		for _, p := range append(append([]txn.ID(nil), begins[id].Preds...), commits[id].Preds...) {
+			if committed[p] && !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	for _, id := range rec.Committed {
+		for _, p := range preds(id) {
+			if _, _, ok := g.Resolved(p, id); ok {
+				continue // edge already present from the other record
+			}
+			if err := g.AddConflict(p, id, 1, 1); err != nil {
+				return fmt.Errorf("modelcheck: rebuild edge %v->%v: %w", p, id, err)
+			}
+			if err := g.Resolve(p, id); err != nil {
+				return fmt.Errorf("modelcheck: resolve %v->%v: %w", p, id, err)
+			}
+		}
+	}
+	if _, err := g.CriticalPath(); err != nil {
+		return fmt.Errorf("modelcheck: committed dependency history is cyclic: %w", err)
+	}
+
+	// Wave sanity: precedence respected, numbering dense, width honest.
+	width := make(map[int]int)
+	for _, id := range rec.Committed {
+		w, ok := rec.Wave[id]
+		if !ok {
+			return fmt.Errorf("modelcheck: committed %v has no wave assignment", id)
+		}
+		if w < 0 || w >= rec.Waves {
+			return fmt.Errorf("modelcheck: %v wave %d outside [0,%d)", id, w, rec.Waves)
+		}
+		width[w]++
+		for _, p := range preds(id) {
+			if pw := rec.Wave[p]; pw >= w {
+				return fmt.Errorf("modelcheck: %v (wave %d) replayed no later than its predecessor %v (wave %d)", id, w, p, pw)
+			}
+		}
+	}
+	maxWidth := 0
+	for w := 0; w < rec.Waves; w++ {
+		if width[w] == 0 {
+			return fmt.Errorf("modelcheck: wave %d is empty (of %d waves)", w, rec.Waves)
+		}
+		if width[w] > maxWidth {
+			maxWidth = width[w]
+		}
+	}
+	if rec.MaxParallel != maxWidth {
+		return fmt.Errorf("modelcheck: MaxParallel %d but widest wave has %d", rec.MaxParallel, maxWidth)
+	}
+	if len(rec.Committed) == 0 && rec.Waves != 0 {
+		return fmt.Errorf("modelcheck: empty committed set but %d waves", rec.Waves)
+	}
+	return nil
+}

@@ -158,16 +158,27 @@ type SchedMetrics struct {
 	Epochs         uint64
 	EpochMaxChunks float64
 
+	// Durable-recovery counters: dependency-log appends, group-commit
+	// fsync passes, WAL replays, the widest replay wave observed
+	// (replay parallelism), and the total replay wall time in ns.
+	WALAppends   uint64
+	WALSyncs     uint64
+	Recovers     uint64
+	ReplayMaxPar float64
+	RecoverNS    int64
+
 	// Histograms: decision control-CPU cost (clocks), decision wall
 	// duration (µs), lock-queue depth at request submission, WTPG size
-	// at decision time, commit response times (seconds), and epoch batch
-	// sizes (transactions per flushed window).
+	// at decision time, commit response times (seconds), epoch batch
+	// sizes (transactions per flushed window), and WAL group-commit
+	// batch sizes (records per fsync pass).
 	DecisionCPU  *Histogram
 	DecisionWall *Histogram
 	QueueDepth   *Histogram
 	GraphSize    *Histogram
 	ResponseTime *Histogram
 	BatchSize    *Histogram
+	WALBatch     *Histogram
 }
 
 func newSchedMetrics(label string) *SchedMetrics {
@@ -181,6 +192,7 @@ func newSchedMetrics(label string) *SchedMetrics {
 		GraphSize:        NewHistogram(decadeBounds(1, 1e3)...),
 		ResponseTime:     NewHistogram(decadeBounds(0.1, 1e3)...),
 		BatchSize:        NewHistogram(decadeBounds(1, 1e3)...),
+		WALBatch:         NewHistogram(decadeBounds(1, 1e3)...),
 	}
 }
 
@@ -278,6 +290,17 @@ func (m *Metrics) Observe(e Event) {
 		if c := float64(e.Clusters); c > sm.EpochMaxChunks {
 			sm.EpochMaxChunks = c
 		}
+	case KindWALAppend:
+		sm.WALAppends++
+	case KindWALSync:
+		sm.WALSyncs++
+		sm.WALBatch.Add(float64(e.Batch))
+	case KindRecover:
+		sm.Recovers++
+		sm.RecoverNS += e.DurNS
+		if p := float64(e.Clusters); p > sm.ReplayMaxPar {
+			sm.ReplayMaxPar = p
+		}
 	}
 }
 
@@ -342,6 +365,13 @@ func (m *Metrics) Merge(o *Metrics) {
 		if osm.EpochMaxChunks > sm.EpochMaxChunks {
 			sm.EpochMaxChunks = osm.EpochMaxChunks
 		}
+		sm.WALAppends += osm.WALAppends
+		sm.WALSyncs += osm.WALSyncs
+		sm.Recovers += osm.Recovers
+		sm.RecoverNS += osm.RecoverNS
+		if osm.ReplayMaxPar > sm.ReplayMaxPar {
+			sm.ReplayMaxPar = osm.ReplayMaxPar
+		}
 		for k, v := range osm.AdmitDecisions {
 			sm.AdmitDecisions[k] += v
 		}
@@ -354,6 +384,7 @@ func (m *Metrics) Merge(o *Metrics) {
 		sm.GraphSize.Merge(osm.GraphSize)
 		sm.ResponseTime.Merge(osm.ResponseTime)
 		sm.BatchSize.Merge(osm.BatchSize)
+		sm.WALBatch.Merge(osm.WALBatch)
 	}
 }
 

@@ -99,6 +99,20 @@ const (
 	// conflict-free clusters among the admitted members, CPU the
 	// batch-level control cost (the single W recomputation).
 	KindEpochFlush
+	// KindWALAppend: a dependency-log record was appended (not yet
+	// durable). Op is the record kind ("begin", "commit", "abort"),
+	// Node the per-node log it was routed to.
+	KindWALAppend
+	// KindWALSync: a WAL group-commit fsync pass completed; Batch is
+	// the number of records the pass made durable (piggybacked callers
+	// emit nothing), DurNS its wall duration.
+	KindWALSync
+	// KindRecover: a WAL replay rebuilt controller state. Batch is the
+	// number of committed transactions replayed, Clusters the widest
+	// replay wave (the parallelism the dependency log permitted),
+	// Objects the re-aborted incomplete count, DurNS the replay wall
+	// duration.
+	KindRecover
 )
 
 var kindNames = [...]string{
@@ -118,6 +132,9 @@ var kindNames = [...]string{
 	KindRehome:             "rehome",
 	KindRequeue:            "requeue",
 	KindEpochFlush:         "epoch-flush",
+	KindWALAppend:          "wal-append",
+	KindWALSync:            "wal-sync",
+	KindRecover:            "recover",
 }
 
 func (k Kind) String() string {
@@ -236,6 +253,12 @@ func (e Event) String() string {
 		s += fmt.Sprintf(" step=%d part=P%d %d->%d", e.Step, e.Part, e.FromNode, e.Node)
 	case KindEpochFlush:
 		s += fmt.Sprintf(" batch=%d admitted=%g clusters=%d cpu=%d", e.Batch, e.Objects, e.Clusters, int64(e.CPU))
+	case KindWALAppend:
+		s += fmt.Sprintf(" op=%s node=%d", e.Op, e.Node)
+	case KindWALSync:
+		s += fmt.Sprintf(" batch=%d", e.Batch)
+	case KindRecover:
+		s += fmt.Sprintf(" replayed=%d maxpar=%d reaborted=%g dur_ns=%d", e.Batch, e.Clusters, e.Objects, e.DurNS)
 	}
 	return s
 }

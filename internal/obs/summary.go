@@ -37,6 +37,11 @@ func (m *Metrics) Summary() string {
 			fmt.Fprintf(&b, "  %-16s %d windows flushed, batch %s, max %.0f clusters\n",
 				"epochs", sm.Epochs, sm.BatchSize.format("txns"), sm.EpochMaxChunks)
 		}
+		if sm.WALAppends > 0 || sm.Recovers > 0 {
+			fmt.Fprintf(&b, "  %-16s %d appends, %d fsync passes (batch %s); %d recoveries, replay max-par %.0f, %.2fms replaying\n",
+				"wal", sm.WALAppends, sm.WALSyncs, sm.WALBatch.format("recs"),
+				sm.Recovers, sm.ReplayMaxPar, float64(sm.RecoverNS)/1e6)
+		}
 		if sm.Resolves > 0 || sm.CritPathChanges > 0 {
 			fmt.Fprintf(&b, "  %-16s %d edge resolutions, %d critical-path changes (max %.4g objects)\n",
 				"wtpg", sm.Resolves, sm.CritPathChanges, sm.CritPathMax)

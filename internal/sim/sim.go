@@ -23,6 +23,7 @@ import (
 	"batsched/internal/obs"
 	"batsched/internal/stats"
 	"batsched/internal/txn"
+	"batsched/internal/wal"
 	"batsched/internal/workload"
 )
 
@@ -34,6 +35,7 @@ type Option func(*runOpts)
 type runOpts struct {
 	observer obs.Observer
 	inj      *fault.Injector
+	wal      *wal.Log
 }
 
 // WithTrace attaches a structured trace observer to the run: the
@@ -258,6 +260,15 @@ type txnState struct {
 	jobs          []*machine.Job
 	aborting      bool
 	admitAttempts int
+
+	// WAL bookkeeping (zero without WithWAL): the node file the Begin
+	// record went to (completions must follow it there — see
+	// internal/wal), whether a Begin was logged at all, and the final
+	// predecessor set captured just before the scheduler's Commit drops
+	// the transaction from the graph.
+	walNode   int
+	walLogged bool
+	walPreds  []txn.ID
 }
 
 type simulator struct {
@@ -286,6 +297,8 @@ type simulator struct {
 	obsLabel  string
 	inj       *fault.Injector // nil = no fault injection
 	slowSeen  map[txn.PartitionID]bool
+	wal       *wal.Log // nil = no dependency logging
+	walErr    error    // first WAL failure; reported by Run
 
 	// Epoch-batch state (BatchWindow > 0): the batch-capable scheduler
 	// surface, the arrivals collected in the open window, whether the
@@ -354,6 +367,7 @@ func Run(cfg Config, opts ...Option) (*Result, error) {
 		s.inj = rc.inj
 		s.slowSeen = make(map[txn.PartitionID]bool)
 	}
+	s.wal = rc.wal
 	s.cn = machine.NewControlNode(s.q)
 	s.sch = cfg.Scheduler.New(cfg.Machine.Control)
 	if rc.observer != nil {
@@ -425,6 +439,9 @@ func Run(cfg Config, opts ...Option) (*Result, error) {
 		if err := s.checker.Verify(); err != nil {
 			return &s.res, err
 		}
+	}
+	if s.walErr != nil {
+		return &s.res, fmt.Errorf("sim: wal: %w", s.walErr)
 	}
 	return &s.res, nil
 }
@@ -519,6 +536,9 @@ func (s *simulator) handleAdmit(st *txnState, d sched.Decision, now event.Time) 
 		st.admittedAt = now
 		if at, ok := s.inj.AbortAt(st.t); ok {
 			st.abortAt = at
+		}
+		if s.wal != nil {
+			s.walBegin(st, now)
 		}
 		s.trace.emit(now, st.t.ID, "admit")
 		s.advance(st, now)
@@ -784,6 +804,9 @@ func (s *simulator) injectAbort(st *txnState, now event.Time) {
 // and waiters on the freed partitions are woken.
 func (s *simulator) handleAbort(st *txnState, freed []txn.PartitionID, now event.Time) {
 	delete(s.live, st.t.ID)
+	if st.walLogged {
+		s.walAbort(st, now)
+	}
 	s.trace.emit(now, st.t.ID, "aborted")
 	s.selfCheck()
 	s.wakeWaiters(freed)
@@ -891,6 +914,11 @@ func (s *simulator) onStepDone(j *machine.Job, now event.Time) {
 // submitCommit coordinates two-phase commitment at the control node.
 func (s *simulator) submitCommit(st *txnState) {
 	s.cn.Submit(func(now event.Time) (event.Time, func(event.Time)) {
+		if st.walLogged {
+			// Final resolved predecessor set, read while the transaction
+			// is still in the graph — Commit drops it on the next line.
+			st.walPreds = sched.Predecessors(s.sch, st.t.ID)
+		}
 		freed, cpu := s.sch.Commit(st.t, now)
 		return s.cfg.Machine.CommitTime + cpu, func(now event.Time) {
 			s.handleCommit(st, freed, now)
@@ -900,6 +928,12 @@ func (s *simulator) submitCommit(st *txnState) {
 
 func (s *simulator) handleCommit(st *txnState, freed []txn.PartitionID, now event.Time) {
 	delete(s.live, st.t.ID)
+	if st.walLogged {
+		// Synchronous commit: durable before the run counts it, so the
+		// recovered committed set equals Result.Completed's population
+		// exactly — the chaos battery's replay-equivalence invariant.
+		s.walCommit(st, st.walPreds, now)
+	}
 	s.res.Completed++
 	if now > s.res.LastCompletion {
 		s.res.LastCompletion = now

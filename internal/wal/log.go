@@ -1,0 +1,345 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Log is a set of per-node append-only logs under one directory
+// (node-0000.wal, node-0001.wal, ...). Append buffers a record in memory
+// against its node's log; Sync makes everything appended so far durable
+// with group-commit batching: concurrent callers piggyback on a single
+// write+fsync pass instead of issuing one fsync each.
+//
+// The pending buffers deliberately live in user space (not bufio, not
+// the kernel page cache model): Crash discards them the way SIGKILL
+// discards a process's unflushed state, optionally leaving a partial —
+// torn — prefix behind, which is exactly what the torn-tail truncation
+// rule and the kill-and-restart chaos battery exercise.
+//
+// Log is safe for concurrent use.
+type Log struct {
+	dir string
+
+	mu       sync.Mutex
+	syncDone sync.Cond // broadcast after every sync pass
+	files    []*nodeLog
+
+	appendGen uint64 // bumped per Append
+	syncedGen uint64 // appendGen known durable
+	syncing   bool
+	syncErr   error // sticky: an fsync failure poisons the log
+	closed    bool
+
+	appends     uint64
+	syncs       uint64
+	syncedRecs  uint64
+	maxBatch    int
+	lastBatch   int
+	truncatedIn int64 // torn bytes discarded while opening existing files
+
+	// syncHook, when set (tests only), runs during the unlocked IO phase
+	// of a sync pass — stretching it lets tests force group-commit
+	// pile-ups deterministically even on a single-core host.
+	syncHook func()
+}
+
+type nodeLog struct {
+	f           *os.File
+	pending     []byte
+	pendingRecs int
+}
+
+// Stats is a snapshot of log-level counters.
+type Stats struct {
+	Appends        uint64 // records appended
+	Syncs          uint64 // fsync passes (group commits)
+	SyncedRecords  uint64 // records made durable
+	MaxBatch       int    // most records made durable by one sync pass
+	TruncatedBytes int64  // torn bytes discarded when opening existing logs
+}
+
+func nodeFileName(node int) string { return fmt.Sprintf("node-%04d.wal", node) }
+
+// Open opens (creating as needed) the per-node logs under dir for at
+// least n nodes; existing node files beyond n are opened too, so a
+// recovery over a smaller topology still appends completion records to
+// the right log. Existing files are validated and truncated to their
+// longest valid prefix — the torn tail a crash left behind is discarded
+// before any new append.
+func Open(dir string, n int) (*Log, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("wal: Open with %d nodes", n)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if hi, err := highestNode(dir); err != nil {
+		return nil, err
+	} else if hi+1 > n {
+		n = hi + 1
+	}
+	l := &Log{dir: dir, files: make([]*nodeLog, n)}
+	l.syncDone.L = &l.mu
+	for node := 0; node < n; node++ {
+		nl, torn, err := openNode(filepath.Join(dir, nodeFileName(node)), node)
+		if err != nil {
+			l.closeFiles()
+			return nil, err
+		}
+		l.files[node] = nl
+		l.truncatedIn += torn
+	}
+	return l, nil
+}
+
+func highestNode(dir string) (int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return -1, fmt.Errorf("wal: %w", err)
+	}
+	hi := -1
+	for _, e := range ents {
+		var node int
+		if _, err := fmt.Sscanf(e.Name(), "node-%d.wal", &node); err == nil && node > hi {
+			hi = node
+		}
+	}
+	return hi, nil
+}
+
+// openNode opens one node file for appending, truncating a torn tail.
+// A brand-new (or fully torn-header) file gets a fresh header.
+func openNode(path string, node int) (*nodeLog, int64, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	var torn int64
+	keep := 0
+	if len(data) < fileHeaderLen {
+		// Empty or torn mid-header: start the file over.
+		torn = int64(len(data))
+	} else {
+		hnode, err := parseHeader(data)
+		if err != nil {
+			f.Close()
+			return nil, 0, fmt.Errorf("wal: %s: %w", path, err)
+		}
+		if hnode != node {
+			f.Close()
+			return nil, 0, fmt.Errorf("wal: %s: header names node %d", path, hnode)
+		}
+		_, valid, _ := scanPrefix(data[fileHeaderLen:])
+		keep = fileHeaderLen + valid
+		torn = int64(len(data) - keep)
+	}
+	if err := f.Truncate(int64(keep)); err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Seek(int64(keep), 0); err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	nl := &nodeLog{f: f}
+	if keep == 0 {
+		nl.pending = appendHeader(nl.pending, node)
+	}
+	return nl, torn, nil
+}
+
+// Dir returns the directory the logs live in.
+func (l *Log) Dir() string { return l.dir }
+
+// NumNodes returns the number of per-node logs.
+func (l *Log) NumNodes() int { return len(l.files) }
+
+// Append buffers r against its node's log. The record is NOT durable
+// until a subsequent Sync returns; callers enforcing write-ahead rules
+// (begin durable before first grant, commit durable before reporting
+// success) must call Sync at those points.
+func (l *Log) Append(r Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: append on closed log")
+	}
+	if l.syncErr != nil {
+		return l.syncErr
+	}
+	if r.Node < 0 || r.Node >= len(l.files) {
+		return fmt.Errorf("wal: record for node %d, log has %d", r.Node, len(l.files))
+	}
+	nl := l.files[r.Node]
+	buf, err := appendRecord(nl.pending, r)
+	if err != nil {
+		return err
+	}
+	nl.pending = buf
+	nl.pendingRecs++
+	l.appends++
+	l.appendGen++
+	return nil
+}
+
+// Sync makes every record appended before the call durable. Concurrent
+// callers group-commit: while one caller's write+fsync pass is in
+// flight, later callers wait and — if the pass covered their records —
+// return without touching disk. It returns the number of records this
+// call's own pass made durable (0 for piggybackers) so call sites can
+// report group-commit batch sizes.
+func (l *Log) Sync() (batched int, err error) {
+	l.mu.Lock()
+	target := l.appendGen
+	for l.syncedGen < target && l.syncing && l.syncErr == nil && !l.closed {
+		l.syncDone.Wait()
+	}
+	switch {
+	case l.syncErr != nil:
+		err = l.syncErr
+		l.mu.Unlock()
+		return 0, err
+	case l.closed:
+		l.mu.Unlock()
+		return 0, errors.New("wal: sync on closed log")
+	case l.syncedGen >= target:
+		l.mu.Unlock() // piggybacked on another caller's pass
+		return 0, nil
+	}
+	// Become the syncer: steal every pending buffer, release the lock,
+	// do the IO, then publish the new durable generation.
+	l.syncing = true
+	type item struct {
+		f    *os.File
+		data []byte
+	}
+	var items []item
+	for _, nl := range l.files {
+		if len(nl.pending) > 0 {
+			items = append(items, item{nl.f, nl.pending})
+			batched += nl.pendingRecs
+			nl.pending = nil
+			nl.pendingRecs = 0
+		}
+	}
+	target = l.appendGen // everything buffered up to here rides this pass
+	hook := l.syncHook
+	l.mu.Unlock()
+
+	if hook != nil {
+		hook()
+	}
+	for _, it := range items {
+		if _, werr := it.f.Write(it.data); werr != nil {
+			err = fmt.Errorf("wal: %w", werr)
+			break
+		}
+		if serr := it.f.Sync(); serr != nil {
+			err = fmt.Errorf("wal: %w", serr)
+			break
+		}
+	}
+
+	l.mu.Lock()
+	l.syncing = false
+	if err != nil {
+		l.syncErr = err
+	} else {
+		if target > l.syncedGen {
+			l.syncedGen = target
+		}
+		l.syncs++
+		l.syncedRecs += uint64(batched)
+		l.lastBatch = batched
+		if batched > l.maxBatch {
+			l.maxBatch = batched
+		}
+	}
+	l.syncDone.Broadcast()
+	l.mu.Unlock()
+	return batched, err
+}
+
+// Crash simulates SIGKILL: for each node log, a frac-sized prefix of the
+// pending (unsynced) bytes is written — as the page cache might have
+// partially flushed — and the file is closed WITHOUT fsync. Everything
+// else buffered is lost, typically leaving a torn frame at the tail.
+// The log is unusable afterwards. frac is clamped to [0,1].
+func (l *Log) Crash(frac float64) {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	for _, nl := range l.files {
+		if n := int(frac * float64(len(nl.pending))); n > 0 {
+			nl.f.Write(nl.pending[:n])
+		}
+		nl.pending = nil
+		nl.f.Close()
+	}
+	l.syncDone.Broadcast()
+}
+
+// Close flushes and fsyncs every pending buffer, then closes the files.
+func (l *Log) Close() error {
+	if _, err := l.Sync(); err != nil {
+		l.mu.Lock()
+		l.closed = true
+		l.closeFiles()
+		l.mu.Unlock()
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	err := l.closeFiles()
+	l.syncDone.Broadcast()
+	return err
+}
+
+func (l *Log) closeFiles() error {
+	var first error
+	for _, nl := range l.files {
+		if nl == nil || nl.f == nil {
+			continue
+		}
+		if err := nl.f.Close(); err != nil && first == nil {
+			first = err
+		}
+		nl.f = nil
+	}
+	return first
+}
+
+// Stats returns a snapshot of the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Appends:        l.appends,
+		Syncs:          l.syncs,
+		SyncedRecords:  l.syncedRecs,
+		MaxBatch:       l.maxBatch,
+		TruncatedBytes: l.truncatedIn,
+	}
+}

@@ -1,0 +1,295 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"batsched/internal/txn"
+)
+
+// NodeScan is the decoded valid prefix of one node's log.
+type NodeScan struct {
+	Node           int
+	Records        []Record
+	ValidBytes     int64 // frame bytes decoded (header excluded)
+	TruncatedBytes int64 // torn/corrupt tail bytes ignored
+}
+
+// Scan reads every node log under dir in parallel (one goroutine per
+// file — recovery reads are embarrassingly parallel across nodes),
+// applying the torn-tail truncation rule: each file contributes its
+// longest valid prefix. Scan never modifies the files; Open performs
+// the actual truncation when the log is reopened for appending.
+func Scan(dir string) ([]NodeScan, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var nodes []int
+	for _, e := range ents {
+		var node int
+		if _, err := fmt.Sscanf(e.Name(), "node-%d.wal", &node); err == nil {
+			nodes = append(nodes, node)
+		}
+	}
+	sort.Ints(nodes)
+	scans := make([]NodeScan, len(nodes))
+	errs := make([]error, len(nodes))
+	var wg sync.WaitGroup
+	for i, node := range nodes {
+		wg.Add(1)
+		go func(i, node int) {
+			defer wg.Done()
+			scans[i], errs[i] = scanNode(filepath.Join(dir, nodeFileName(node)), node)
+		}(i, node)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return scans, nil
+}
+
+func scanNode(path string, node int) (NodeScan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return NodeScan{}, fmt.Errorf("wal: %w", err)
+	}
+	sc := NodeScan{Node: node}
+	if len(data) < fileHeaderLen {
+		// Torn mid-header: the node never synced a single record.
+		sc.TruncatedBytes = int64(len(data))
+		return sc, nil
+	}
+	hnode, err := parseHeader(data)
+	if err != nil {
+		return NodeScan{}, fmt.Errorf("wal: %s: %w", path, err)
+	}
+	if hnode != node {
+		return NodeScan{}, fmt.Errorf("wal: %s: header names node %d", path, hnode)
+	}
+	recs, valid, _ := scanPrefix(data[fileHeaderLen:])
+	sc.Records = recs
+	sc.ValidBytes = int64(valid)
+	sc.TruncatedBytes = int64(len(data) - fileHeaderLen - valid)
+	return sc, nil
+}
+
+// Recovery reports what a Replay reconstructed.
+type Recovery struct {
+	// Committed lists every durably committed transaction in replay
+	// order: wave-major, ascending id within a wave.
+	Committed []txn.ID
+	// Aborted lists transactions with an explicit abort record.
+	Aborted []txn.ID
+	// Incomplete holds the Begin records with no completion record —
+	// transactions in flight at the crash. Recovery must re-abort them
+	// (they held locks but never committed); live.Recover appends the
+	// abort records.
+	Incomplete []Record
+	// Wave maps each committed transaction to its topological replay
+	// wave; every logged committed predecessor lands in a strictly
+	// earlier wave.
+	Wave map[txn.ID]int
+	// Waves and MaxParallel summarize the replay schedule: number of
+	// topological waves and the widest wave — the replay parallelism
+	// the dependency log permits, independent of worker count.
+	Waves       int
+	MaxParallel int
+	// Records and TruncatedBytes total the scans' valid records and
+	// discarded torn-tail bytes.
+	Records        int
+	TruncatedBytes int64
+	// Elapsed is the wall time Replay took (scan time excluded).
+	Elapsed time.Duration
+}
+
+// Replay reconstructs the committed history from per-node scans and
+// replays it in parallel, constrained only by the logged predecessor
+// edges: wave w holds every committed transaction whose committed
+// predecessors all lie in waves < w, and apply runs concurrently across
+// the transactions of one wave on up to workers goroutines (workers < 1
+// means one per transaction). apply — called as apply(begin, wave) with
+// the transaction's Begin record — may be nil to compute the schedule
+// without replaying; when non-nil it must be safe for concurrent calls
+// within a wave.
+//
+// Predecessor edges pointing at transactions that did not durably commit
+// (aborted, incomplete, or lost to a torn tail) impose no ordering: a
+// waiter observed the predecessor's locks, and a lost predecessor's
+// effects were never durable. A cycle among committed records is
+// corruption and returns an error, as do duplicate Begin/completion
+// records and completions without a Begin.
+func Replay(scans []NodeScan, workers int, apply func(begin Record, wave int)) (*Recovery, error) {
+	start := time.Now()
+	rec := &Recovery{Wave: make(map[txn.ID]int)}
+	begins := make(map[txn.ID]Record)
+	commits := make(map[txn.ID]Record)
+	aborts := make(map[txn.ID]Record)
+	for _, sc := range scans {
+		rec.Records += len(sc.Records)
+		rec.TruncatedBytes += sc.TruncatedBytes
+		for _, r := range sc.Records {
+			switch r.Kind {
+			case Begin:
+				if _, dup := begins[r.Txn]; dup {
+					return nil, fmt.Errorf("wal: duplicate begin for %v", r.Txn)
+				}
+				begins[r.Txn] = r
+			case Commit:
+				if _, dup := commits[r.Txn]; dup {
+					return nil, fmt.Errorf("wal: duplicate commit for %v", r.Txn)
+				}
+				commits[r.Txn] = r
+			case Abort:
+				if _, dup := aborts[r.Txn]; dup {
+					return nil, fmt.Errorf("wal: duplicate abort for %v", r.Txn)
+				}
+				aborts[r.Txn] = r
+			}
+		}
+	}
+	for id := range commits {
+		if _, ok := begins[id]; !ok {
+			return nil, fmt.Errorf("wal: commit without begin for %v", id)
+		}
+		if _, both := aborts[id]; both {
+			return nil, fmt.Errorf("wal: %v both committed and aborted", id)
+		}
+	}
+	for id := range aborts {
+		if _, ok := begins[id]; !ok {
+			return nil, fmt.Errorf("wal: abort without begin for %v", id)
+		}
+		rec.Aborted = append(rec.Aborted, id)
+	}
+	sortIDs(rec.Aborted)
+	for id, b := range begins {
+		if _, done := commits[id]; done {
+			continue
+		}
+		if _, done := aborts[id]; done {
+			continue
+		}
+		rec.Incomplete = append(rec.Incomplete, b)
+	}
+	sort.Slice(rec.Incomplete, func(i, j int) bool { return rec.Incomplete[i].Txn < rec.Incomplete[j].Txn })
+
+	// Dependency DAG over the committed set: union of admission-time
+	// (Begin) and final (Commit) predecessor sets, filtered to committed.
+	succs := make(map[txn.ID][]txn.ID, len(commits))
+	indeg := make(map[txn.ID]int, len(commits))
+	for id := range commits {
+		indeg[id] = 0
+	}
+	for id := range commits {
+		for _, p := range predUnion(begins[id], commits[id]) {
+			if _, committed := commits[p]; !committed {
+				continue
+			}
+			succs[p] = append(succs[p], id)
+			indeg[id]++
+		}
+	}
+
+	// Kahn by waves; each wave is an antichain and replays in parallel.
+	frontier := make([]txn.ID, 0, len(indeg))
+	for id, d := range indeg {
+		if d == 0 {
+			frontier = append(frontier, id)
+		}
+	}
+	sortIDs(frontier)
+	replayed := 0
+	for len(frontier) > 0 {
+		wave := rec.Waves
+		rec.Waves++
+		if len(frontier) > rec.MaxParallel {
+			rec.MaxParallel = len(frontier)
+		}
+		for _, id := range frontier {
+			rec.Wave[id] = wave
+		}
+		rec.Committed = append(rec.Committed, frontier...)
+		if apply != nil {
+			runWave(frontier, begins, workers, wave, apply)
+		}
+		replayed += len(frontier)
+		var next []txn.ID
+		for _, id := range frontier {
+			for _, s := range succs[id] {
+				if indeg[s]--; indeg[s] == 0 {
+					next = append(next, s)
+				}
+			}
+		}
+		sortIDs(next)
+		frontier = next
+	}
+	if replayed != len(commits) {
+		return nil, fmt.Errorf("wal: dependency cycle among committed records (%d of %d replayable)",
+			replayed, len(commits))
+	}
+	rec.Elapsed = time.Since(start)
+	return rec, nil
+}
+
+// predUnion merges the Begin- and Commit-record predecessor sets.
+func predUnion(b, c Record) []txn.ID {
+	if len(c.Preds) == 0 {
+		return b.Preds
+	}
+	if len(b.Preds) == 0 {
+		return c.Preds
+	}
+	seen := make(map[txn.ID]bool, len(b.Preds)+len(c.Preds))
+	out := make([]txn.ID, 0, len(b.Preds)+len(c.Preds))
+	for _, ids := range [2][]txn.ID{b.Preds, c.Preds} {
+		for _, id := range ids {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// runWave applies one wave across at most workers goroutines.
+func runWave(wave []txn.ID, begins map[txn.ID]Record, workers int, w int, apply func(Record, int)) {
+	if workers < 1 || workers > len(wave) {
+		workers = len(wave)
+	}
+	if workers <= 1 {
+		for _, id := range wave {
+			apply(begins[id], w)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	ch := make(chan txn.ID)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := range ch {
+				apply(begins[id], w)
+			}
+		}()
+	}
+	for _, id := range wave {
+		ch <- id
+	}
+	close(ch)
+	wg.Wait()
+}
+
+func sortIDs(ids []txn.ID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
