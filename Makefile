@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-all bench-smoke bench-harness bench-epoch epoch-smoke chaos chaos-nodes chaos-restart verify
+.PHONY: build test bench bench-all bench-smoke bench-harness bench-epoch bench-live epoch-smoke chaos chaos-nodes chaos-restart verify
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,24 @@ bench-epoch:
 epoch-smoke:
 	$(GO) run ./cmd/batbench -epoch -quick -q -maxtxns 20 -windows 0,500,2000 -json /dev/null
 
+# The PR8 set tracks the sharded live controller: open-loop throughput
+# through the real-goroutine hot path at GOMAXPROCS 1/2/4/8.
+# bench-live records the committed BENCH_PR8.json as a benchstat-style
+# old/new comparison — old = LIVE_SHARDS=1 (the single global mutex),
+# new = the default sharded configuration (16 shards) — from the same
+# BenchmarkLiveThroughput binary.
+PR8_BENCH := BenchmarkLiveThroughput
+PR8_PKGS  := ./internal/live/
+
+bench-live:
+	LIVE_SHARDS=1 $(GO) test -run '^$$' -bench '^($(PR8_BENCH))$$' -benchmem -count 3 $(PR8_PKGS) \
+		| tee bench/baseline_pr8.txt
+	$(GO) test -run '^$$' -bench '^($(PR8_BENCH))$$' -benchmem -count 3 $(PR8_PKGS) \
+		| tee bench/current_pr8.txt
+	$(GO) run ./tools/benchjson -old bench/baseline_pr8.txt -new bench/current_pr8.txt \
+		-note "old = single-mutex controller (LIVE_SHARDS=1), new = 16-shard hot path; /p=N pins GOMAXPROCS=N — on a 1-core recording host ($(shell nproc) cores when last regenerated) the p2/p4/p8 columns cannot show multicore scaling, re-run on a multicore host for the GOMAXPROCS curve" > BENCH_PR8.json
+	@echo wrote BENCH_PR8.json
+
 # bench-all is the old kitchen-sink run over every benchmark in the repo.
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
@@ -71,6 +89,7 @@ bench-all:
 bench-smoke:
 	$(GO) test -run '^$$' -bench '^($(PR3_BENCH))$$' -benchtime 1x $(PR3_PKGS)
 	$(GO) test -run '^$$' -bench '^($(PR5_BENCH))$$' -benchtime 1x $(PR5_PKGS)
+	$(GO) test -run '^$$' -bench '^($(PR8_BENCH))$$' -benchtime 1x $(PR8_PKGS)
 
 # chaos runs the fault-injection suites (docs/ROBUSTNESS.md) under the
 # race detector: the simulator's 100-seed × scheduler matrix (including
@@ -104,6 +123,6 @@ chaos-restart:
 
 verify: build test chaos chaos-nodes chaos-restart bench-smoke epoch-smoke
 	$(GO) vet ./...
-	$(GO) test -race ./internal/live/... ./internal/obs/... ./internal/experiments/ ./internal/event/ ./internal/wal/
+	$(GO) test -race ./internal/live/... ./internal/obs/... ./internal/core/sched/ ./internal/core/wtpg/ ./internal/experiments/ ./internal/event/ ./internal/wal/
 	$(GO) test -race -count=1 -run 'Epoch' ./internal/core/sched/ ./internal/sim/
 	$(GO) test -tags wtpgshadow -count=1 ./internal/core/... ./internal/sim/

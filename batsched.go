@@ -484,6 +484,15 @@ func WithBackoff(base, max time.Duration) ControllerOption { return live.WithBac
 // force-aborts the youngest blocked transaction (docs/ROBUSTNESS.md).
 func WithWatchdog(d time.Duration) ControllerOption { return live.WithWatchdog(d) }
 
+// WithShards partitions the controller's hot path — lock table, WTPG,
+// scheduler state, wake channels, retry-jitter RNGs, counters — into n
+// shards by partition-ownership hashing (n rounded up to a power of
+// two, capped at 64). Single-shard transactions never touch another
+// shard's lock; spanning transactions acquire all their locks
+// atomically at admission (DESIGN.md §13). n ≤ 1 keeps the historical
+// single-mutex behavior.
+func WithShards(n int) ControllerOption { return live.WithShards(n) }
+
 // WithBatchWindow enables the controller's epoch-batch admission:
 // transactions handed to Controller.Submit are collected for wall-clock
 // windows of d, admitted as one batch through the scheduler's

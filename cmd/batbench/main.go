@@ -46,6 +46,7 @@ func main() {
 		windows  = flag.String("windows", "", "comma-separated batch windows in clocks for -epoch (default 0,500,1000,2000,5000,10000)")
 		maxTxns  = flag.Int("maxtxns", 0, "arrivals per -epoch cell (0 = default 300)")
 		jsonOut  = flag.String("json", "", "write the -epoch sweep as JSON to this file (the BENCH_PR6.json document)")
+		shards   = flag.Int("shards", 0, "compare live-controller throughput: single-mutex vs this many shards (DESIGN.md §13); txn count from -maxtxns")
 		table1   = flag.Bool("table1", false, "print the effective Table 1 parameters")
 		horizon  = flag.Int64("horizon", 2_000_000, "simulated clocks per run (paper: 2,000,000)")
 		seed     = flag.Int64("seed", 1990, "base random seed")
@@ -70,6 +71,14 @@ func main() {
 	flag.Parse()
 
 	defer startProfiles(*cpuprof, *memprof)()
+
+	if *shards > 0 {
+		if err := runLiveComparison(*shards, *maxTxns); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *table1 {
 		printTable1()

@@ -60,6 +60,9 @@ func main() {
 		crashWindow = flag.Int64("crashwindow", 0, "clocks within which injected node crashes land (0 = the horizon)")
 		faultSeed   = flag.Uint64("faultseed", 0, "fault-injection seed (0 = derive from -seed)")
 
+		shards   = flag.Int("shards", 0, "run the workload through the sharded live controller (real goroutines, DESIGN.md §13) instead of the simulator; 0 = simulator")
+		liveTxns = flag.Int("livetxns", 1000, "transactions to drive in -shards live mode")
+
 		walDir     = flag.String("wal", "", "write per-node dependency logs under this directory (docs/ROBUSTNESS.md §9)")
 		recoverWAL = flag.String("recoverwal", "", "scan + parallel-replay the dependency logs under this directory, print the recovery report, and exit")
 	)
@@ -124,6 +127,14 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
 		os.Exit(2)
+	}
+
+	if *shards > 0 {
+		if err := runLiveMode(factory, gen, *shards, *liveTxns, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "live run failed:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	cfg := sim.Config{

@@ -150,8 +150,8 @@ func TestObservedKeepsBatchSurface(t *testing.T) {
 	if sm == nil {
 		t.Fatal("no EPOCH metrics")
 	}
-	if sm.AdmitDecisions["granted"] != 3 {
-		t.Errorf("observed %d granted admits, want 3", sm.AdmitDecisions["granted"])
+	if sm.AdmitDecisions()["granted"] != 3 {
+		t.Errorf("observed %d granted admits, want 3", sm.AdmitDecisions()["granted"])
 	}
 }
 

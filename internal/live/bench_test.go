@@ -1,0 +1,90 @@
+package live
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"batsched/internal/core/sched"
+	"batsched/internal/txn"
+)
+
+// benchShards reads LIVE_SHARDS: the shard count for the throughput
+// benchmark. 1 is the single-mutex baseline; unset defaults to 16
+// (the sharded configuration recorded in BENCH_PR8.json).
+func benchShards() int {
+	if s := os.Getenv("LIVE_SHARDS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 16
+}
+
+// BenchmarkLiveThroughput measures committed transactions per second
+// through the live controller with real goroutines: open-loop arrivals
+// (one goroutine per transaction, gated by a bounded in-flight window
+// of 8×GOMAXPROCS) over a mostly-single-partition workload — 90%
+// single-step, 10% spanning two distant partitions — against 4096
+// partitions, so contention is low and the ceiling is the controller's
+// own hot path. Sub-benchmarks pin GOMAXPROCS to 1/2/4/8; compare
+// LIVE_SHARDS=1 (single global mutex) against the default sharded
+// configuration to see the scaling the sharded hot path buys
+// (`make bench-live` emits the comparison as BENCH_PR8.json).
+func BenchmarkLiveThroughput(b *testing.B) {
+	shards := benchShards()
+	for _, procs := range []int{1, 2, 4, 8} {
+		procs := procs
+		b.Run(fmt.Sprintf("p%d", procs), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			ctl := New(sched.C2PLFactory(), liveCosts,
+				WithShards(shards), WithRetryDelay(time.Millisecond))
+			defer ctl.Close()
+			const parts = 4096
+			rng := rand.New(rand.NewSource(1))
+			txns := make([]*txn.T, b.N)
+			for i := range txns {
+				p := txn.PartitionID(rng.Intn(parts))
+				steps := []txn.Step{{Mode: txn.Write, Part: p, Cost: 1}}
+				if rng.Float64() < 0.10 {
+					steps = append(steps, txn.Step{
+						Mode: txn.Write, Part: (p + parts/2) % parts, Cost: 1})
+				}
+				txns[i] = txn.New(txn.ID(i+1), steps)
+			}
+			window := make(chan struct{}, 8*procs)
+			var failed atomic.Int64
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				window <- struct{}{}
+				wg.Add(1)
+				go func(tx *txn.T) {
+					defer wg.Done()
+					defer func() { <-window }()
+					err := ctl.Run(context.Background(), tx, func(step int, p Progress) error {
+						p(1)
+						return nil
+					})
+					if err != nil {
+						failed.Add(1)
+					}
+				}(txns[i])
+			}
+			wg.Wait()
+			b.StopTimer()
+			if n := failed.Load(); n > 0 {
+				b.Fatalf("%d transactions failed", n)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "txn/s")
+		})
+	}
+}

@@ -216,13 +216,20 @@ func (c *Controller) runEpoch(batch []*submission) {
 // carries the predecessors resolved by this batch's admission — for the
 // caller to force durable before dispatching.
 func (c *Controller) admitBatch(ts []*txn.T) (map[txn.ID]bool, []wal.Record) {
-	ba, ok := c.sch.(sched.BatchAdmitter)
+	if c.nshards > 1 {
+		// Batch admission needs the global single-critical-section view;
+		// with a sharded hot path every member takes the per-arrival
+		// admission on its own shard instead (the callers' fallback).
+		return nil, nil
+	}
+	sh := c.shards[0]
+	ba, ok := sh.sch.(sched.BatchAdmitter)
 	if !ok {
 		return nil, nil
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed || c.walErr != nil {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if c.closed.Load() || c.walBroken() != nil {
 		return nil, nil
 	}
 	now := c.now()
@@ -236,7 +243,7 @@ func (c *Controller) admitBatch(ts []*txn.T) (map[txn.ID]bool, []wal.Record) {
 		}
 	}
 	for _, t := range kept {
-		c.emitLocked(obs.Event{Kind: obs.KindAdmit, At: now, Txn: t.ID})
+		c.emit(obs.Event{Kind: obs.KindAdmit, At: now, Txn: t.ID})
 	}
 	out := ba.AdmitBatch(kept, now)
 	admitted := make(map[txn.ID]bool, out.Admitted)
@@ -245,19 +252,21 @@ func (c *Controller) admitBatch(ts []*txn.T) (map[txn.ID]bool, []wal.Record) {
 		if o.Decision == sched.Granted {
 			id := kept[i].ID
 			admitted[id] = true
-			c.stats.Admitted++
-			c.stats.BatchAdmitted++
-			c.started[id] = now
-			if rec, logIt := c.walBeginLocked(kept[i], now); logIt {
+			sh.stats.Admitted++
+			sh.stats.BatchAdmitted++
+			sh.started[id] = now
+			if rec, logIt := c.walBeginLocked(sh, kept[i], now, func() []txn.ID {
+				return sched.Predecessors(sh.sch, id)
+			}); logIt {
 				walRecs = append(walRecs, rec)
 			}
 		}
 	}
-	c.stats.Epochs++
+	sh.stats.Epochs++
 	if out.Admitted > 0 {
-		c.progressLocked()
+		c.bumpProgress()
 	}
-	c.emitLocked(obs.Event{Kind: obs.KindEpochFlush, At: now,
+	c.emit(obs.Event{Kind: obs.KindEpochFlush, At: now,
 		Batch: len(ts), Objects: float64(out.Admitted), Clusters: out.Clusters})
 	return admitted, walRecs
 }

@@ -6,17 +6,28 @@
 // through the scheduler (CHAIN, K-WTPG, C2PL, ASL, …), runs caller code
 // while holding it, and releases everything at commit.
 //
-// The controller serializes scheduler decisions under one mutex — the
-// moral equivalent of the paper's centralized control node — and blocks
-// refused requests on a broadcast channel that commit events close, plus
-// a retry-delay fallback (fixed by default, jittered-exponential with
+// The controller partitions its hot path into shards (WithShards): each
+// shard owns a slice of the partition space — ownership hashing, see
+// shard.go — with its own mutex, scheduler instance, lock table, WTPG,
+// wake channel and retry-jitter RNG. A transaction whose footprint lies
+// in one shard (the common case under CHAIN/K-WTPG) schedules entirely
+// under that shard's lock and never touches another shard; a
+// transaction spanning shards takes the shard locks in canonical
+// ascending order and acquires all of its locks atomically at admission
+// (ASL-style, see admitSpanning). The default is one shard — the moral
+// equivalent of the paper's centralized control node, byte-for-byte the
+// old single-mutex behavior. Refused requests block on the owning
+// shard's broadcast channel, which commit events close, plus a
+// retry-delay fallback (fixed by default, jittered-exponential with
 // WithBackoff). All the guarantees of the scheduler carry over:
 // conflicting holders never coexist and schedules are conflict
-// serializable. Admitted transactions are normally never aborted by the
-// controller; the two exceptions are explicit robustness features — a
-// panic in caller work is recovered into an abort, and the optional
-// no-progress watchdog (WithWatchdog) force-aborts a blocked transaction
-// after two silent deadlines (see docs/ROBUSTNESS.md).
+// serializable (every scheduler is strict — locks are held to commit —
+// and each partition's locks are managed by exactly one shard).
+// Admitted transactions are normally never aborted by the controller;
+// the two exceptions are explicit robustness features — a panic in
+// caller work is recovered into an abort, and the optional no-progress
+// watchdog (WithWatchdog) force-aborts a blocked transaction after two
+// silent deadlines (see docs/ROBUSTNESS.md).
 //
 // Construction uses functional options:
 //
@@ -37,6 +48,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"batsched/internal/core/sched"
@@ -90,7 +102,7 @@ func WithBackoff(base, max time.Duration) Option {
 // that checks every d whether any scheduler progress (admission, grant,
 // object completion, commit or abort) happened since the last check
 // while transactions were waiting. The first silent deadline emits a
-// Stall event (Op "kick") and re-broadcasts the wake channel — curing
+// Stall event (Op "kick") and re-broadcasts the wake channels — curing
 // lost-wakeup classes of stall. A second consecutive silent deadline
 // force-aborts the youngest blocked transaction (Stall event with Op
 // "abort"): its Acquire returns ErrWatchdogAborted and its locks are
@@ -136,10 +148,12 @@ func WithTopology(numNodes, numParts int) Option {
 
 // WithObserver attaches a structured trace observer: the controller
 // emits timeline events (Admit, Request, ObjectDone, Commit) and wraps
-// its scheduler with sched.Observed so every decision, WTPG edge
-// resolution and critical-path change is reported too. Observers run
-// under the controller mutex — in admission/commit order — and must be
-// fast; the obs sinks (Ring, JSONL, Metrics) all qualify.
+// each shard's scheduler with sched.Observed so every decision, WTPG
+// edge resolution and critical-path change is reported too, tagged with
+// the emitting shard (Event.Shard). With more than one shard, events
+// from different shards are emitted concurrently — observers must be
+// safe for concurrent use; the obs sinks (Ring, JSONL, Metrics) all
+// qualify. Within one shard, event order still matches decision order.
 func WithObserver(o obs.Observer) Option {
 	return func(c *Controller) { c.observer = o }
 }
@@ -175,7 +189,8 @@ type Options struct {
 	OnCommit func(t *txn.T)
 }
 
-// Stats is a consistent snapshot of the controller's lifetime counters.
+// Stats is a consistent snapshot of the controller's lifetime counters,
+// summed over all shards.
 type Stats struct {
 	// Admitted counts granted admissions; Committed and Aborted split
 	// the finished transactions by outcome. An abort is the caller
@@ -215,61 +230,62 @@ type Stats struct {
 	Active int
 }
 
+// add folds another partial Stats (one shard's counters) into s.
+func (s *Stats) add(o Stats) {
+	s.Admitted += o.Admitted
+	s.Committed += o.Committed
+	s.Aborted += o.Aborted
+	s.Granted += o.Granted
+	s.Retries += o.Retries
+	s.Stalled += o.Stalled
+	s.Recovered += o.Recovered
+	s.NodeCrashes += o.NodeCrashes
+	s.CrashDoomed += o.CrashDoomed
+	s.Epochs += o.Epochs
+	s.BatchAdmitted += o.BatchAdmitted
+}
+
 // Controller is a live lock manager driven by one of the paper's
 // schedulers. Create with New; safe for concurrent use.
 type Controller struct {
-	mu     sync.Mutex
-	sch    sched.Scheduler
-	label  string
-	wake   chan struct{}
-	epoch  time.Time
-	closed bool
+	nshards int
+	shards  []*lshard
+	label   string
+	epoch   time.Time
+	closed  atomic.Bool
 
 	retryDelay  time.Duration
 	backoffBase time.Duration // 0 = fixed retryDelay
 	backoffMax  time.Duration
 	watchdog    time.Duration // 0 = no watchdog
-	rng         *rand.Rand    // jitter source; guarded by mu
 	inj         *fault.Injector
 	observer    obs.Observer
 	onGrant     func(t *txn.T, step int)
 	onCommit    func(t *txn.T)
 
-	// started maps each admitted transaction to its admission time
-	// (drives Stats.Active and commit-event response times). blocked
-	// tracks the admitted transactions currently parked in Acquire
-	// (candidates for a watchdog abort); doomed carries the error a
-	// watchdog- or crash-aborted transaction finds at its next Acquire
-	// loop (or, for a crash, at its Commit). progress counts
-	// scheduler-state changes for the watchdog; waiters counts
-	// goroutines parked in any retry wait.
-	started  map[txn.ID]event.Time
-	blocked  map[txn.ID]event.Time
-	doomed   map[txn.ID]error
-	progress uint64
-	waiters  int
-	stats    Stats
+	// progress counts scheduler-state changes for the watchdog. It is
+	// atomic — every shard bumps it lock-free — so watchdog liveness
+	// accounting never funnels the shards through a shared lock.
+	progress atomic.Uint64
 
 	// topo/place model the data-node layout for CrashNode (zero/nil
-	// without WithTopology); resident tracks, per admitted transaction,
-	// the last granted step, its partition's node at grant time, and the
-	// objects reported since that grant — the state the recoverability
-	// rule reads when a node dies.
-	topo     machine.Config
-	place    *machine.Placement
-	resident map[txn.ID]*residency
+	// without WithTopology). place is mutated only by CrashNode, which
+	// holds every shard lock, and read under at least one shard lock —
+	// so per-shard readers always see a consistent placement.
+	topo  machine.Config
+	place *machine.Placement
 
 	// Durable dependency logging (WithWAL/WithWALLog, see wal.go):
 	// walDir is the configured directory, wal the open log (owned when
 	// walOwned), walErr the sticky first failure — open or IO — that
-	// makes later admissions fail instead of running unlogged, and
-	// walNode remembers which per-node log each admitted transaction's
-	// Begin record went to, so its completion lands in the same file.
+	// makes later admissions fail instead of running unlogged. walErr
+	// has its own mutex: WAL failures surface from fsync paths that run
+	// outside any shard lock. Lock order: shard locks before walMu.
 	walDir   string
 	wal      *wal.Log
 	walOwned bool
+	walMu    sync.Mutex
 	walErr   error
-	walNode  map[txn.ID]int
 
 	stopWatch chan struct{}
 	watchWG   sync.WaitGroup
@@ -284,6 +300,39 @@ type Controller struct {
 	epochClosed  bool
 	stopEpoch    chan struct{}
 	epochWG      sync.WaitGroup
+}
+
+// lshard is one shard of the controller's hot path: a slice of the
+// partition space (ownership hashing, see shardOf) with its own mutex,
+// scheduler instance — lock table, WTPG, admission policy — wake
+// channel, retry-jitter RNG and counters. A transaction's control state
+// (started/blocked/doomed/resident/walNode) lives on its *home* shard,
+// the lowest-indexed shard its footprint touches; for the single-shard
+// common case that is also the only shard that ever schedules it.
+type lshard struct {
+	idx  int
+	mu   sync.Mutex
+	sch  sched.Scheduler
+	wake chan struct{}
+	rng  *rand.Rand // jitter source; guarded by mu
+
+	// started maps each admitted transaction homed here to its admission
+	// time (drives Stats.Active and commit-event response times).
+	// blocked tracks the admitted transactions currently parked in
+	// Acquire (candidates for a watchdog abort); doomed carries the
+	// error a watchdog- or crash-aborted transaction finds at its next
+	// Acquire loop (or, for a crash, at its Commit); resident is the
+	// node-crash bookkeeping; walNode remembers which per-node log the
+	// transaction's Begin record went to. waiters counts goroutines
+	// parked in a retry wait against this shard; stats holds this
+	// shard's partial counters (summed by Controller.Stats).
+	started  map[txn.ID]event.Time
+	blocked  map[txn.ID]event.Time
+	doomed   map[txn.ID]error
+	resident map[txn.ID]*residency
+	walNode  map[txn.ID]int
+	waiters  int
+	stats    Stats
 }
 
 // ErrClosed is returned when the controller has been shut down.
@@ -324,14 +373,9 @@ type residency struct {
 // wall-clock milliseconds.
 func New(factory sched.Factory, costs sched.Costs, opts ...Option) *Controller {
 	c := &Controller{
-		wake:       make(chan struct{}),
+		nshards:    1,
 		epoch:      time.Now(),
 		retryDelay: 20 * time.Millisecond,
-		started:    make(map[txn.ID]event.Time),
-		blocked:    make(map[txn.ID]event.Time),
-		doomed:     make(map[txn.ID]error),
-		resident:   make(map[txn.ID]*residency),
-		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -351,13 +395,30 @@ func New(factory sched.Factory, costs sched.Costs, opts ...Option) *Controller {
 			c.walOwned = true
 		}
 	}
-	if c.wal != nil {
-		c.walNode = make(map[txn.ID]int)
-	}
-	c.sch = factory.New(costs)
-	c.label = c.sch.Name()
-	if c.observer != nil {
-		c.sch = sched.Observed(c.sch, c.observer)
+	seed := time.Now().UnixNano()
+	c.shards = make([]*lshard, c.nshards)
+	for i := range c.shards {
+		sh := &lshard{
+			idx:      i,
+			wake:     make(chan struct{}),
+			rng:      rand.New(rand.NewSource(seed + int64(i)*0x9E3779B9)),
+			started:  make(map[txn.ID]event.Time),
+			blocked:  make(map[txn.ID]event.Time),
+			doomed:   make(map[txn.ID]error),
+			resident: make(map[txn.ID]*residency),
+		}
+		if c.wal != nil {
+			sh.walNode = make(map[txn.ID]int)
+		}
+		s := factory.New(costs)
+		if i == 0 {
+			c.label = s.Name()
+		}
+		if c.observer != nil {
+			s = sched.Observed(s, shardTagged{o: c.observer, shard: i})
+		}
+		sh.sch = s
+		c.shards[i] = sh
 	}
 	if c.watchdog > 0 {
 		c.stopWatch = make(chan struct{})
@@ -390,9 +451,10 @@ func (c *Controller) now() event.Time {
 	return event.Time(time.Since(c.epoch).Milliseconds())
 }
 
-// emitLocked sends one trace event. Callers must hold mu, which makes
-// event order identical to decision/commit order.
-func (c *Controller) emitLocked(e obs.Event) {
+// emit sends one trace event. The obs sinks are safe for concurrent
+// use, so no controller lock is needed; shard locks held by callers
+// keep per-shard event order aligned with decision order.
+func (c *Controller) emit(e obs.Event) {
 	if c.observer == nil {
 		return
 	}
@@ -401,33 +463,40 @@ func (c *Controller) emitLocked(e obs.Event) {
 	c.observer.Observe(e)
 }
 
-// emit sends one trace event, taking the controller mutex itself.
-func (c *Controller) emit(e obs.Event) {
-	if c.observer == nil {
-		return
-	}
-	c.mu.Lock()
-	c.emitLocked(e)
-	c.mu.Unlock()
+// emitShard sends one trace event tagged with the emitting shard.
+func (c *Controller) emitShard(shard int, e obs.Event) {
+	e.Shard = shard
+	c.emit(e)
 }
 
-// Stats returns a consistent snapshot of the lifetime counters.
+// Stats returns a consistent snapshot of the lifetime counters: all
+// shard locks are held while the partials are summed.
 func (c *Controller) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.stats
-	s.Active = len(c.started)
+	c.lockAll()
+	defer c.unlockAll()
+	var s Stats
+	for _, sh := range c.shards {
+		s.add(sh.stats)
+		s.Active += len(sh.started)
+	}
 	return s
 }
 
-// CheckInvariants runs the scheduler's internal consistency checks (no
-// conflicting lock holders, acyclic WTPG) under the controller mutex.
-// The chaos tests call it after every injected fault.
+// CheckInvariants runs every shard scheduler's internal consistency
+// checks (no conflicting lock holders, acyclic WTPG) under all shard
+// locks. The chaos tests call it after every injected fault.
 func (c *Controller) CheckInvariants() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if ci, ok := c.sch.(interface{ CheckInvariants() error }); ok {
-		return ci.CheckInvariants()
+	c.lockAll()
+	defer c.unlockAll()
+	for _, sh := range c.shards {
+		if ci, ok := sh.sch.(interface{ CheckInvariants() error }); ok {
+			if err := ci.CheckInvariants(); err != nil {
+				if c.nshards > 1 {
+					return fmt.Errorf("live: shard %d: %w", sh.idx, err)
+				}
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -435,43 +504,45 @@ func (c *Controller) CheckInvariants() error {
 // Close shuts the controller down; subsequent or blocked operations
 // return ErrClosed. The watchdog goroutine, if any, is joined.
 func (c *Controller) Close() {
-	c.mu.Lock()
-	already := c.closed
-	if !already {
-		c.closed = true
-		close(c.wake)
+	if c.closed.Swap(true) {
+		return
 	}
-	c.mu.Unlock()
-	if !already && c.stopWatch != nil {
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		close(sh.wake)
+		sh.mu.Unlock()
+	}
+	if c.stopWatch != nil {
 		close(c.stopWatch)
 		c.watchWG.Wait()
 	}
-	if !already && c.stopEpoch != nil {
+	if c.stopEpoch != nil {
 		close(c.stopEpoch)
 		c.epochWG.Wait()
 	}
-	if !already && c.walOwned && c.wal != nil {
+	if c.walOwned && c.wal != nil {
 		c.wal.Close()
 	}
 }
 
-// broadcast wakes every waiter. Callers must hold mu.
-func (c *Controller) broadcast() {
-	if c.closed {
+// broadcastLocked wakes every waiter parked on sh. Callers must hold
+// sh.mu. After Close the (already closed) channel is left alone.
+func (c *Controller) broadcastLocked(sh *lshard) {
+	if c.closed.Load() {
 		return
 	}
-	close(c.wake)
-	c.wake = make(chan struct{})
+	close(sh.wake)
+	sh.wake = make(chan struct{})
 }
 
-// progressLocked records one unit of scheduler progress for the
-// watchdog. Callers must hold mu.
-func (c *Controller) progressLocked() { c.progress++ }
+// bumpProgress records one unit of scheduler progress for the watchdog.
+func (c *Controller) bumpProgress() { c.progress.Add(1) }
 
-// retryWait computes the delay before the attempt-th resubmission
-// (0-based): the fixed retry delay, or jittered exponential backoff
-// when WithBackoff is configured.
-func (c *Controller) retryWait(attempt int) time.Duration {
+// retryBase computes the pre-jitter delay for the attempt-th
+// resubmission (0-based): the fixed retry delay, or the exponential
+// term of WithBackoff. The uniform jitter is applied in awaitOn, under
+// the shard lock, from the shard's own RNG.
+func (c *Controller) retryBase(attempt int) time.Duration {
 	if c.backoffBase <= 0 {
 		return c.retryDelay
 	}
@@ -482,41 +553,44 @@ func (c *Controller) retryWait(attempt int) time.Duration {
 	if d > c.backoffMax {
 		d = c.backoffMax
 	}
-	half := d / 2
-	if half <= 0 {
-		return d
-	}
-	c.mu.Lock()
-	j := time.Duration(c.rng.Int63n(int64(half) + 1))
-	c.mu.Unlock()
-	return half + j
+	return d
 }
 
 // awaitOn waits on a wake channel captured earlier (atomically with the
-// refusal it follows), the retry delay for this attempt, or ctx. When
-// t is non-nil the transaction is registered as blocked for the
-// duration of the wait, making it a candidate for a watchdog abort.
-func (c *Controller) awaitOn(ctx context.Context, ch <-chan struct{}, t *txn.T, attempt int) error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+// refusal it follows), the retry delay for this attempt, or ctx. The
+// waiter is registered on sh — the shard whose commit broadcast it
+// waits for — and the backoff jitter draws from sh's RNG inside the
+// same critical section, so jitter costs no extra lock acquisition and
+// never contends across shards. When t is non-nil the transaction is
+// registered as blocked for the duration of the wait, making it a
+// candidate for a watchdog abort.
+func (c *Controller) awaitOn(ctx context.Context, ch <-chan struct{}, sh *lshard, t *txn.T, attempt int) error {
+	d := c.retryBase(attempt)
+	sh.mu.Lock()
+	if c.closed.Load() {
+		sh.mu.Unlock()
 		return ErrClosed
 	}
-	c.stats.Retries++
-	c.waiters++
+	sh.stats.Retries++
+	sh.waiters++
 	if t != nil {
-		c.blocked[t.ID] = c.started[t.ID]
+		sh.blocked[t.ID] = sh.started[t.ID]
 	}
-	c.mu.Unlock()
-	defer func() {
-		c.mu.Lock()
-		c.waiters--
-		if t != nil {
-			delete(c.blocked, t.ID)
+	if c.backoffBase > 0 {
+		if half := d / 2; half > 0 {
+			d = half + time.Duration(sh.rng.Int63n(int64(half)+1))
 		}
-		c.mu.Unlock()
+	}
+	sh.mu.Unlock()
+	defer func() {
+		sh.mu.Lock()
+		sh.waiters--
+		if t != nil {
+			delete(sh.blocked, t.ID)
+		}
+		sh.mu.Unlock()
 	}()
-	timer := time.NewTimer(c.retryWait(attempt))
+	timer := time.NewTimer(d)
 	defer timer.Stop()
 	select {
 	case <-ch:
@@ -620,48 +694,56 @@ func (c *Controller) slowIO(ctx context.Context, t *txn.T, step int) {
 // Admit blocks until the scheduler admits t (or ctx ends, or the
 // controller closes). After a successful Admit the caller owns the
 // transaction's lifecycle and must finish it with Commit or Abort.
-// Most callers want Run instead.
+// Most callers want Run instead. A transaction whose footprint spans
+// shards routes through the spanning slow path, which acquires all of
+// its locks atomically at admission (see admitSpanning).
 func (c *Controller) Admit(ctx context.Context, t *txn.T) error {
 	if t == nil {
 		return fmt.Errorf("live: nil transaction")
 	}
+	mask := c.shardMask(t)
+	if spanning(mask) {
+		return c.admitSpanning(ctx, t, mask)
+	}
+	sh := c.shards[homeShard(mask)]
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		c.mu.Lock()
-		if c.closed {
-			c.mu.Unlock()
+		sh.mu.Lock()
+		if c.closed.Load() {
+			sh.mu.Unlock()
 			return ErrClosed
 		}
 		now := c.now()
 		if attempt == 0 {
-			c.emitLocked(obs.Event{Kind: obs.KindAdmit, At: now, Txn: t.ID})
+			c.emitShard(sh.idx, obs.Event{Kind: obs.KindAdmit, At: now, Txn: t.ID})
 		}
 		if c.inj.RefuseAdmit(t.ID, attempt) {
-			c.emitLocked(obs.Event{Kind: obs.KindFault, At: now, Txn: t.ID, Op: "refuse-admit"})
-			ch := c.wake
-			c.mu.Unlock()
-			if err := c.awaitOn(ctx, ch, nil, attempt); err != nil {
+			c.emitShard(sh.idx, obs.Event{Kind: obs.KindFault, At: now, Txn: t.ID, Op: "refuse-admit"})
+			ch := sh.wake
+			sh.mu.Unlock()
+			if err := c.awaitOn(ctx, ch, sh, nil, attempt); err != nil {
 				return err
 			}
 			continue
 		}
-		if c.walErr != nil {
+		if err := c.walBroken(); err != nil {
 			// Durability was requested and is broken (open or IO failure):
 			// admitting would run the transaction unlogged.
-			err := c.walErr
-			c.mu.Unlock()
+			sh.mu.Unlock()
 			return fmt.Errorf("live: wal: %w", err)
 		}
-		out := c.sch.Admit(t, now)
-		ch := c.wake
+		out := sh.sch.Admit(t, now)
+		ch := sh.wake
 		if out.Decision == sched.Granted {
-			c.stats.Admitted++
-			c.started[t.ID] = now
-			c.progressLocked()
-			rec, logIt := c.walBeginLocked(t, now)
-			c.mu.Unlock()
+			sh.stats.Admitted++
+			sh.started[t.ID] = now
+			c.bumpProgress()
+			rec, logIt := c.walBeginLocked(sh, t, now, func() []txn.ID {
+				return sched.Predecessors(sh.sch, t.ID)
+			})
+			sh.mu.Unlock()
 			if logIt {
 				// Write-ahead: the Begin record — footprint + resolved
 				// predecessors — must be durable before the grant takes
@@ -673,8 +755,8 @@ func (c *Controller) Admit(ctx context.Context, t *txn.T) error {
 			}
 			return nil
 		}
-		c.mu.Unlock()
-		if err := c.awaitOn(ctx, ch, nil, attempt); err != nil {
+		sh.mu.Unlock()
+		if err := c.awaitOn(ctx, ch, sh, nil, attempt); err != nil {
 			return err
 		}
 	}
@@ -682,40 +764,61 @@ func (c *Controller) Admit(ctx context.Context, t *txn.T) error {
 
 // Acquire blocks until the lock needed by step of t is granted (or ctx
 // ends, the controller closes, or the watchdog force-aborts t — then
-// ErrWatchdogAborted). Valid only between Admit and Commit/Abort.
+// ErrWatchdogAborted). Valid only between Admit and Commit/Abort. For
+// a spanning transaction every lock was already granted at admission,
+// so Acquire only performs the per-step bookkeeping and never blocks.
 func (c *Controller) Acquire(ctx context.Context, t *txn.T, step int) error {
+	mask := c.shardMask(t)
+	home := c.shards[homeShard(mask)]
+	span := spanning(mask)
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		c.mu.Lock()
-		if c.closed {
-			c.mu.Unlock()
+		home.mu.Lock()
+		if c.closed.Load() {
+			home.mu.Unlock()
 			return ErrClosed
 		}
-		if err := c.doomed[t.ID]; err != nil {
-			delete(c.doomed, t.ID)
-			c.mu.Unlock()
+		if err := home.doomed[t.ID]; err != nil {
+			delete(home.doomed, t.ID)
+			home.mu.Unlock()
 			return err
 		}
 		now := c.now()
+		part := t.Steps[step].Part
+		stepShard := c.shardOf(part)
 		if attempt == 0 {
-			c.emitLocked(obs.Event{Kind: obs.KindRequest, At: now, Txn: t.ID, Step: step, Part: t.Steps[step].Part})
+			c.emitShard(stepShard, obs.Event{Kind: obs.KindRequest, At: now, Txn: t.ID, Step: step, Part: part})
 		}
-		out := c.sch.Request(t, step, now)
+		if span {
+			// The lock was granted at admission; record the step's
+			// residency (the node-crash window moves to this step) and
+			// count the grant.
+			home.stats.Granted++
+			c.bumpProgress()
+			if c.place != nil {
+				home.resident[t.ID] = &residency{step: step, part: part, node: c.place.NodeOf(part)}
+			}
+			home.mu.Unlock()
+			if c.onGrant != nil {
+				c.onGrant(t, step)
+			}
+			return nil
+		}
+		out := home.sch.Request(t, step, now)
 		// Capture the wake channel under the same critical section as the
 		// refused decision: a commit between the decision and the wait
 		// would otherwise be missed, costing a full retry delay.
-		ch := c.wake
+		ch := home.wake
 		if out.Decision == sched.Granted {
-			c.stats.Granted++
-			c.progressLocked()
+			home.stats.Granted++
+			c.bumpProgress()
 			if c.place != nil {
-				part := t.Steps[step].Part
-				c.resident[t.ID] = &residency{step: step, part: part, node: c.place.NodeOf(part)}
+				home.resident[t.ID] = &residency{step: step, part: part, node: c.place.NodeOf(part)}
 			}
 		}
-		c.mu.Unlock()
+		home.mu.Unlock()
 		if out.Decision == sched.Granted {
 			if c.onGrant != nil {
 				c.onGrant(t, step)
@@ -725,24 +828,42 @@ func (c *Controller) Acquire(ctx context.Context, t *txn.T, step int) error {
 		// Blocked and Delayed both wait for the next commit broadcast or
 		// the retry delay; the scheduler re-decides on resubmission. The
 		// wait registers t as blocked — a watchdog-abort candidate.
-		if err := c.awaitOn(ctx, ch, t, attempt); err != nil {
+		if err := c.awaitOn(ctx, ch, home, t, attempt); err != nil {
 			return err
 		}
 	}
 }
 
 // ObjectDone reports completed work for an admitted transaction — the
-// §3.1 weight-adjustment message behind the Progress callback.
+// §3.1 weight-adjustment message behind the Progress callback. The
+// weight adjustment lands on the shard owning the partition of the
+// transaction's current step (for a spanning transaction, that shard's
+// WTPG holds the corresponding projected declaration).
 func (c *Controller) ObjectDone(t *txn.T, objects float64) {
-	c.mu.Lock()
+	mask := c.shardMask(t)
+	home := c.shards[homeShard(mask)]
+	home.mu.Lock()
 	now := c.now()
-	c.sch.ObjectDone(t, objects, now)
-	c.progressLocked()
-	if r := c.resident[t.ID]; r != nil {
+	target := home
+	r := home.resident[t.ID]
+	if r != nil {
 		r.work += objects
+		if sh := c.shardOf(r.part); sh != home.idx {
+			target = c.shards[sh]
+		}
 	}
-	c.emitLocked(obs.Event{Kind: obs.KindObjectDone, At: now, Txn: t.ID, Objects: objects})
-	c.mu.Unlock()
+	if target == home {
+		home.sch.ObjectDone(t, objects, now)
+	} else {
+		// target.idx > home.idx always: home is the lowest shard of the
+		// footprint, so this nesting respects the canonical lock order.
+		target.mu.Lock()
+		target.sch.ObjectDone(t, objects, now)
+		target.mu.Unlock()
+	}
+	c.bumpProgress()
+	c.emitShard(target.idx, obs.Event{Kind: obs.KindObjectDone, At: now, Txn: t.ID, Objects: objects})
+	home.mu.Unlock()
 }
 
 // Commit finishes an admitted transaction: all its locks drop and
@@ -774,39 +895,50 @@ func (c *Controller) Abort(t *txn.T) error {
 }
 
 // finish runs in three phases so the commit record's fsync never stalls
-// the controller's critical sections: (1) under mu, claim the finish —
-// validate, apply the doom check, remove t from the tracking maps so no
-// concurrent finish/crash-doom can touch it, and build the completion
-// record while t is still in the WTPG; (2) outside mu, make a commit
-// record durable (group-committed — aborts are appended unforced, a
-// lost abort record re-aborts at recovery anyway); (3) under mu, apply
-// the completion to the scheduler and wake waiters. Without a WAL,
-// phase 2 is empty and the behavior is the old single-section finish.
+// the shards' critical sections: (1) under the footprint's shard locks,
+// claim the finish — validate, apply the doom check, remove t from the
+// tracking maps so no concurrent finish/crash-doom can touch it, and
+// build the completion record while t is still in the WTPG(s); (2)
+// outside the locks, make a commit record durable (group-committed —
+// aborts are appended unforced, a lost abort record re-aborts at
+// recovery anyway); (3) under each shard's lock in canonical order,
+// apply the completion to that shard's scheduler and wake its waiters.
+// Without a WAL, phase 2 is empty.
 func (c *Controller) finish(t *txn.T, committed bool) error {
 	if t == nil {
 		return fmt.Errorf("live: nil transaction")
 	}
-	c.mu.Lock()
-	start, ok := c.started[t.ID]
+	mask := c.shardMask(t)
+	home := c.shards[homeShard(mask)]
+
+	c.lockMask(mask)
+	start, ok := home.started[t.ID]
 	if !ok {
-		c.mu.Unlock()
+		c.unlockMask(mask)
 		return fmt.Errorf("live: %v is not an admitted transaction", t.ID)
 	}
 	now := c.now()
 	var doomErr error
 	if committed {
-		if err := c.doomed[t.ID]; err != nil {
+		if err := home.doomed[t.ID]; err != nil {
 			// Doomed after its last Acquire (node crash): committing would
 			// publish bulk results that died with the node. Abort instead.
 			committed = false
 			doomErr = fmt.Errorf("live: %v: %w", t.ID, err)
 		}
 	}
-	delete(c.started, t.ID)
-	delete(c.doomed, t.ID)
-	delete(c.resident, t.ID)
-	rec, logIt := c.walCompletionLocked(t, committed, now)
-	c.mu.Unlock()
+	delete(home.started, t.ID)
+	delete(home.doomed, t.ID)
+	delete(home.resident, t.ID)
+	rec, logIt := c.walCompletionLocked(home, t, committed, now, func() []txn.ID {
+		if !spanning(mask) {
+			return sched.Predecessors(home.sch, t.ID)
+		}
+		schs := make([]sched.Scheduler, 0, 2)
+		c.eachShard(mask, func(sh *lshard) { schs = append(schs, sh.sch) })
+		return sched.PredecessorsUnion(schs, t.ID)
+	})
+	c.unlockMask(mask)
 
 	if c.wal != nil && committed && !logIt {
 		// The WAL is attached but unusable (sticky walErr) or t's begin
@@ -830,23 +962,30 @@ func (c *Controller) finish(t *txn.T, committed bool) error {
 		}
 	}
 
-	c.mu.Lock()
 	now = c.now()
-	if committed {
-		c.sch.Commit(t, now)
-		c.stats.Committed++
-	} else {
-		sched.AbortTxn(c.sch, t, now)
-		c.stats.Aborted++
-	}
-	e := obs.Event{Kind: obs.KindCommit, At: now, Txn: t.ID, RT: now - start}
-	if !committed {
-		e.Decision = "aborted"
-	}
-	c.progressLocked()
-	c.emitLocked(e)
-	c.broadcast()
-	c.mu.Unlock()
+	c.eachShard(mask, func(sh *lshard) {
+		sh.mu.Lock()
+		if committed {
+			sh.sch.Commit(t, now)
+		} else {
+			sched.AbortTxn(sh.sch, t, now)
+		}
+		if sh == home {
+			if committed {
+				sh.stats.Committed++
+			} else {
+				sh.stats.Aborted++
+			}
+			e := obs.Event{Kind: obs.KindCommit, At: now, Txn: t.ID, RT: now - start}
+			if !committed {
+				e.Decision = "aborted"
+			}
+			c.emitShard(sh.idx, e)
+		}
+		c.broadcastLocked(sh)
+		sh.mu.Unlock()
+	})
+	c.bumpProgress()
 	return doomErr
 }
 
@@ -859,12 +998,14 @@ func (c *Controller) finish(t *txn.T, committed bool) error {
 // objects mean partial bulk results died with the node, so the
 // transaction is doomed: its next Acquire (or its Commit) returns
 // ErrNodeCrashed and it aborts through the scheduler's recovery path.
+// The triage runs under every shard lock — residency and doom live on
+// each transaction's home shard — so it is atomic against all shards.
 // Errors: no WithTopology, an unknown/already-dead node, or the last
 // alive node.
 func (c *Controller) CrashNode(node int) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
+	c.lockAll()
+	defer c.unlockAll()
+	if c.closed.Load() {
 		return ErrClosed
 	}
 	if c.place == nil {
@@ -877,37 +1018,44 @@ func (c *Controller) CrashNode(node int) error {
 		return fmt.Errorf("live: refusing to crash the last alive node %d", node)
 	}
 	now := c.now()
-	c.stats.NodeCrashes++
-	c.emitLocked(obs.Event{Kind: obs.KindNodeDown, At: now, Node: node})
+	c.shards[0].stats.NodeCrashes++
+	c.emit(obs.Event{Kind: obs.KindNodeDown, At: now, Node: node})
 	for _, rh := range c.place.Kill(node) {
-		c.emitLocked(obs.Event{Kind: obs.KindRehome, At: now, Part: rh.Part, FromNode: rh.From, Node: rh.To})
+		c.emit(obs.Event{Kind: obs.KindRehome, At: now, Part: rh.Part, FromNode: rh.From, Node: rh.To})
 	}
-	for id, r := range c.resident {
-		if r.node != node {
-			continue
+	for _, sh := range c.shards {
+		for id, r := range sh.resident {
+			if r.node != node {
+				continue
+			}
+			if r.work > 0 {
+				sh.doomed[id] = ErrNodeCrashed
+				c.shards[0].stats.CrashDoomed++
+				c.emitShard(sh.idx, obs.Event{Kind: obs.KindFault, At: now, Txn: id, Step: r.step, Part: r.part, Op: "node-crash"})
+				continue
+			}
+			to := c.place.NodeOf(r.part)
+			r.node = to
+			c.emitShard(sh.idx, obs.Event{Kind: obs.KindRequeue, At: now, Txn: id, Step: r.step, Part: r.part, FromNode: node, Node: to})
 		}
-		if r.work > 0 {
-			c.doomed[id] = ErrNodeCrashed
-			c.stats.CrashDoomed++
-			c.emitLocked(obs.Event{Kind: obs.KindFault, At: now, Txn: id, Step: r.step, Part: r.part, Op: "node-crash"})
-			continue
-		}
-		to := c.place.NodeOf(r.part)
-		r.node = to
-		c.emitLocked(obs.Event{Kind: obs.KindRequeue, At: now, Txn: id, Step: r.step, Part: r.part, FromNode: node, Node: to})
 	}
 	// The triage itself is scheduler progress: parked waiters re-check
 	// their doom on wake, and a stall the crash caused (or cured) must be
 	// visible to the watchdog as movement, keeping Stalled/Recovered
 	// symmetric when the requeue path — not the watchdog — unblocks a run.
-	c.progressLocked()
-	c.broadcast()
+	c.bumpProgress()
+	for _, sh := range c.shards {
+		c.broadcastLocked(sh)
+	}
 	return nil
 }
 
 // watchdogLoop is the no-progress watchdog (WithWatchdog): every period
 // it compares the progress counter against the previous tick. A silent
-// period with waiters present is a stall — first kick, then abort.
+// period with waiters present is a stall — first kick, then abort. The
+// progress read is lock-free; only a silent deadline pays for the shard
+// locks (victim selection must be atomic against every shard so a
+// transaction that just unblocked is never doomed).
 func (c *Controller) watchdogLoop() {
 	defer c.watchWG.Done()
 	ticker := time.NewTicker(c.watchdog)
@@ -921,24 +1069,39 @@ func (c *Controller) watchdogLoop() {
 			return
 		case <-ticker.C:
 		}
-		c.mu.Lock()
-		if c.closed {
-			c.mu.Unlock()
+		if c.closed.Load() {
 			return
 		}
-		if c.progress != lastProgress {
-			lastProgress = c.progress
+		if p := c.progress.Load(); p != lastProgress {
+			lastProgress = p
 			kicked = false
 			if stalled {
 				stalled = false
-				c.stats.Recovered++
+				sh := c.shards[0]
+				sh.mu.Lock()
+				sh.stats.Recovered++
+				sh.mu.Unlock()
 			}
-			c.mu.Unlock()
 			continue
 		}
-		if len(c.started) == 0 && c.waiters == 0 {
+		c.lockAll()
+		if c.closed.Load() {
+			c.unlockAll()
+			return
+		}
+		if p := c.progress.Load(); p != lastProgress {
+			// Progress raced the lock acquisition; treat as a live tick.
+			c.unlockAll()
+			continue
+		}
+		active, waiters := 0, 0
+		for _, sh := range c.shards {
+			active += len(sh.started)
+			waiters += sh.waiters
+		}
+		if active == 0 && waiters == 0 {
 			// Idle, not stalled: nothing is waiting for progress.
-			c.mu.Unlock()
+			c.unlockAll()
 			continue
 		}
 		if !stalled {
@@ -947,47 +1110,49 @@ func (c *Controller) watchdogLoop() {
 			// stay symmetric however long the stall lasts and whoever cures
 			// it (watchdog kick/abort or an external requeue).
 			stalled = true
-			c.stats.Stalled++
+			c.shards[0].stats.Stalled++
 		}
 		if !kicked {
 			// First silent deadline: re-broadcast. If the stall was a lost
 			// wakeup (or everyone is sitting out a long backoff), this
 			// alone cures it.
 			kicked = true
-			c.emitLocked(obs.Event{Kind: obs.KindStall, At: c.now(), Op: "kick"})
-			c.broadcast()
-			c.mu.Unlock()
-			continue
-		}
-		// Second consecutive silent deadline: force-abort the youngest
-		// blocked transaction. Blocked means parked in Acquire — no caller
-		// work is running, so releasing its locks is safe; youngest means
-		// the least completed work is thrown away.
-		if victim, ok := c.youngestBlockedLocked(); ok {
-			c.doomed[victim] = ErrWatchdogAborted
-			c.emitLocked(obs.Event{Kind: obs.KindStall, At: c.now(), Txn: victim, Op: "abort"})
+			c.emit(obs.Event{Kind: obs.KindStall, At: c.now(), Op: "kick"})
+		} else if victim, vsh, ok := c.youngestBlockedLocked(); ok {
+			// Second consecutive silent deadline: force-abort the youngest
+			// blocked transaction. Blocked means parked in Acquire — no
+			// caller work is running, so releasing its locks is safe;
+			// youngest means the least completed work is thrown away.
+			vsh.doomed[victim] = ErrWatchdogAborted
+			c.emitShard(vsh.idx, obs.Event{Kind: obs.KindStall, At: c.now(), Txn: victim, Op: "abort"})
 		} else {
-			c.emitLocked(obs.Event{Kind: obs.KindStall, At: c.now(), Op: "kick"})
+			c.emit(obs.Event{Kind: obs.KindStall, At: c.now(), Op: "kick"})
 		}
-		c.broadcast()
-		c.mu.Unlock()
+		for _, sh := range c.shards {
+			c.broadcastLocked(sh)
+		}
+		c.unlockAll()
 	}
 }
 
 // youngestBlockedLocked picks the blocked transaction with the latest
-// admission time (ties broken by higher ID for determinism). Callers
-// must hold mu.
-func (c *Controller) youngestBlockedLocked() (txn.ID, bool) {
+// admission time across all shards (ties broken by higher ID for
+// determinism) and the home shard it is blocked on. Callers must hold
+// every shard lock.
+func (c *Controller) youngestBlockedLocked() (txn.ID, *lshard, bool) {
 	var best txn.ID
+	var bestSh *lshard
 	var bestAt event.Time
 	found := false
-	for id, at := range c.blocked {
-		if c.doomed[id] != nil {
-			continue // already sentenced, give it a tick to act
-		}
-		if !found || at > bestAt || (at == bestAt && id > best) {
-			best, bestAt, found = id, at, true
+	for _, sh := range c.shards {
+		for id, at := range sh.blocked {
+			if sh.doomed[id] != nil {
+				continue // already sentenced, give it a tick to act
+			}
+			if !found || at > bestAt || (at == bestAt && id > best) {
+				best, bestAt, bestSh, found = id, at, sh, true
+			}
 		}
 	}
-	return best, found
+	return best, bestSh, found
 }

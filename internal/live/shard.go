@@ -1,0 +1,277 @@
+package live
+
+// This file is the controller's shard map: how partitions hash to
+// shards, how a transaction's footprint becomes a shard mask, and the
+// cross-shard slow path that admits a spanning transaction atomically.
+//
+// Sharding invariants (DESIGN.md §13):
+//
+//  1. Ownership: every partition's locks are managed by exactly one
+//     shard (shardOf), so conflicting holders can never coexist across
+//     shards — any sharded execution stays conflict serializable
+//     because every scheduler is strict (locks held to commit).
+//  2. Canonical lock order: shard mutexes are only ever acquired in
+//     ascending shard index, and walMu only after shard locks; no code
+//     path acquires a lower shard while holding a higher one.
+//  3. Spanning admission is atomic: a transaction whose footprint spans
+//     shards acquires ALL of its locks at admission, under all of its
+//     shard locks, or none (rollback via the scheduler abort path). A
+//     spanning transaction therefore never waits while holding locks,
+//     so no wait-for cycle can cross a shard boundary and the per-shard
+//     cautious schedulers retain deadlock freedom.
+//  4. Home shard: a transaction's control state (started, blocked,
+//     doomed, resident, walNode) lives on the lowest-indexed shard of
+//     its footprint; all other shards hold only scheduler state.
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+
+	"batsched/internal/core/sched"
+	"batsched/internal/obs"
+	"batsched/internal/txn"
+)
+
+// maxShards bounds WithShards so a footprint's shard set fits in one
+// uint64 bitmask. 64 shards is far beyond the core counts this
+// controller targets.
+const maxShards = 64
+
+// WithShards partitions the controller's hot path — lock table, WTPG,
+// scheduler state, wake channel, retry-jitter RNG, counters — into n
+// shards by partition-ownership hashing. n is rounded up to a power of
+// two and capped at 64; values ≤ 1 keep the default single shard,
+// which behaves exactly like the historical single-mutex controller.
+//
+// Sharding trades strictly-global admission policy for parallelism:
+// each shard's scheduler makes its decisions from its own partitions'
+// state only, so cross-shard policy interactions (e.g. CHAIN's
+// batch-wide order W) apply per shard. Correctness is unaffected — see
+// the invariants at the top of shard.go — and the differential tests
+// pin the sharded committed set against the single-mutex one.
+// WithBatchWindow's single-critical-section batch admission requires
+// the global view and falls back to per-arrival admission when n > 1.
+func WithShards(n int) Option {
+	return func(c *Controller) {
+		if n <= 1 {
+			c.nshards = 1
+			return
+		}
+		if n > maxShards {
+			n = maxShards
+		}
+		p := 1
+		for p < n {
+			p <<= 1
+		}
+		c.nshards = p
+	}
+}
+
+// Shards reports the controller's shard count.
+func (c *Controller) Shards() int { return c.nshards }
+
+// shardTagged decorates an observer so every event a shard's scheduler
+// emits carries the shard index (Event.Shard). Shard 0's tag is the
+// zero value, keeping unsharded traces byte-identical.
+type shardTagged struct {
+	o     obs.Observer
+	shard int
+}
+
+func (s shardTagged) Observe(e obs.Event) {
+	e.Shard = s.shard
+	s.o.Observe(e)
+}
+
+// shardOf maps a partition to its owning shard: a Fibonacci hash of the
+// partition id masked to the (power-of-two) shard count. With one shard
+// this is constant 0 and the compiler-visible fast path.
+func (c *Controller) shardOf(p txn.PartitionID) int {
+	if c.nshards == 1 {
+		return 0
+	}
+	return int((uint64(uint32(p))*0x9E3779B97F4A7C15)>>32) & (c.nshards - 1)
+}
+
+// shardMask returns the set of shards t's footprint touches as a
+// bitmask (bit i = shard i). An empty footprint maps to shard 0.
+func (c *Controller) shardMask(t *txn.T) uint64 {
+	if c.nshards == 1 || len(t.Steps) == 0 {
+		return 1
+	}
+	var m uint64
+	for _, s := range t.Steps {
+		m |= 1 << uint(c.shardOf(s.Part))
+	}
+	return m
+}
+
+// homeShard is the lowest-indexed shard of a footprint mask — the shard
+// holding the transaction's control state.
+func homeShard(mask uint64) int { return bits.TrailingZeros64(mask) }
+
+// spanning reports whether the mask covers more than one shard.
+func spanning(mask uint64) bool { return mask&(mask-1) != 0 }
+
+// lockAll acquires every shard lock in canonical (ascending) order.
+func (c *Controller) lockAll() {
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+	}
+}
+
+// unlockAll releases every shard lock (reverse order).
+func (c *Controller) unlockAll() {
+	for i := len(c.shards) - 1; i >= 0; i-- {
+		c.shards[i].mu.Unlock()
+	}
+}
+
+// lockMask acquires the masked shards' locks in canonical order.
+func (c *Controller) lockMask(mask uint64) {
+	for m := mask; m != 0; m &= m - 1 {
+		c.shards[bits.TrailingZeros64(m)].mu.Lock()
+	}
+}
+
+// unlockMask releases the masked shards' locks.
+func (c *Controller) unlockMask(mask uint64) {
+	for m := mask; m != 0; m &= m - 1 {
+		c.shards[bits.TrailingZeros64(m)].mu.Unlock()
+	}
+}
+
+// eachShard calls fn for every masked shard in ascending order.
+func (c *Controller) eachShard(mask uint64, fn func(sh *lshard)) {
+	for m := mask; m != 0; m &= m - 1 {
+		fn(c.shards[bits.TrailingZeros64(m)])
+	}
+}
+
+// project returns t's sub-transaction for one shard: the steps (and
+// their declared demands) whose partitions the shard owns, under the
+// same transaction ID. Each shard's scheduler admits and locks exactly
+// the projection; scheduler state is keyed by ID, so later full-footprint
+// calls (ObjectDone, Commit, Abort) resolve to the same registration.
+func (c *Controller) project(t *txn.T, shard int) *txn.T {
+	steps := make([]txn.Step, 0, len(t.Steps))
+	decl := make([]float64, 0, len(t.Steps))
+	for i, s := range t.Steps {
+		if c.shardOf(s.Part) == shard {
+			steps = append(steps, s)
+			decl = append(decl, t.Declared[i])
+		}
+	}
+	return txn.NewDeclared(t.ID, steps, decl)
+}
+
+// admitSpanning is the cross-shard admission slow path: under all of
+// the footprint's shard locks (canonical order), each shard admits the
+// transaction's projection and grants every projected step — all of
+// the transaction's locks, atomically. Any refusal rolls the attempt
+// back through the scheduler abort path on every shard it reached,
+// releases the locks, and waits for the refusing shard's next commit
+// broadcast (or the retry delay) before retrying — the transaction
+// never waits while holding locks, which is what keeps the sharded
+// controller deadlock-free (invariant 3). After a successful return,
+// Acquire calls are pure bookkeeping.
+//
+// This is ASL-style pessimism applied only to the spanning minority;
+// single-shard traffic keeps the scheduler's incremental granting.
+func (c *Controller) admitSpanning(ctx context.Context, t *txn.T, mask uint64) error {
+	// Projections are stable across attempts; build them once.
+	projs := make(map[int]*txn.T, bits.OnesCount64(mask))
+	c.eachShard(mask, func(sh *lshard) {
+		projs[sh.idx] = c.project(t, sh.idx)
+	})
+	home := c.shards[homeShard(mask)]
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if c.closed.Load() {
+			return ErrClosed
+		}
+		now := c.now()
+		if attempt == 0 {
+			c.emitShard(home.idx, obs.Event{Kind: obs.KindAdmit, At: now, Txn: t.ID})
+		}
+		if c.inj.RefuseAdmit(t.ID, attempt) {
+			c.emitShard(home.idx, obs.Event{Kind: obs.KindFault, At: now, Txn: t.ID, Op: "refuse-admit"})
+			home.mu.Lock()
+			ch := home.wake
+			home.mu.Unlock()
+			if err := c.awaitOn(ctx, ch, home, nil, attempt); err != nil {
+				return err
+			}
+			continue
+		}
+		c.lockMask(mask)
+		if c.closed.Load() {
+			c.unlockMask(mask)
+			return ErrClosed
+		}
+		if err := c.walBroken(); err != nil {
+			c.unlockMask(mask)
+			return fmt.Errorf("live: wal: %w", err)
+		}
+		now = c.now()
+		granted := true
+		var refused *lshard
+		var reached []*lshard // shards whose scheduler registered t this attempt
+		c.eachShard(mask, func(sh *lshard) {
+			if !granted {
+				return
+			}
+			proj := projs[sh.idx]
+			if out := sh.sch.Admit(proj, now); out.Decision != sched.Granted {
+				granted, refused = false, sh
+				return
+			}
+			reached = append(reached, sh)
+			for step := range proj.Steps {
+				if out := sh.sch.Request(proj, step, now); out.Decision != sched.Granted {
+					granted, refused = false, sh
+					return
+				}
+			}
+		})
+		if !granted {
+			// Roll back every shard the attempt registered on (including a
+			// shard whose Admit succeeded but a Request refused — the abort
+			// path releases partial grants and repairs the WTPG).
+			for _, sh := range reached {
+				sched.AbortTxn(sh.sch, projs[sh.idx], now)
+			}
+			ch := refused.wake
+			c.unlockMask(mask)
+			if err := c.awaitOn(ctx, ch, refused, nil, attempt); err != nil {
+				return err
+			}
+			continue
+		}
+		home.stats.Admitted++
+		home.started[t.ID] = now
+		c.bumpProgress()
+		rec, logIt := c.walBeginLocked(home, t, now, func() []txn.ID {
+			schs := make([]sched.Scheduler, 0, len(reached))
+			for _, sh := range reached {
+				schs = append(schs, sh.sch)
+			}
+			return sched.PredecessorsUnion(schs, t.ID)
+		})
+		c.unlockMask(mask)
+		if logIt {
+			// Write-ahead, as on the single-shard path: the Begin record —
+			// full footprint + the union of per-shard predecessors — must
+			// be durable before the grants take effect.
+			if err := c.walForce(rec); err != nil {
+				c.Abort(t)
+				return fmt.Errorf("live: wal: %w", err)
+			}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,277 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"batsched/internal/core/sched"
+	"batsched/internal/fault"
+	"batsched/internal/obs"
+	"batsched/internal/txn"
+)
+
+// shardedWorkload generates a reproducible mixed workload: n
+// transactions of 1–3 distinct-partition steps over parts partitions,
+// half writes — small enough footprints that most transactions land in
+// one shard while a steady minority spans shards and exercises the
+// atomic cross-shard admission path.
+func shardedWorkload(seed int64, n, parts int) []*txn.T {
+	rng := rand.New(rand.NewSource(seed))
+	ts := make([]*txn.T, n)
+	for i := range ts {
+		nsteps := 1 + rng.Intn(3)
+		perm := rng.Perm(parts)
+		steps := make([]txn.Step, nsteps)
+		for j := range steps {
+			mode := txn.Read
+			if rng.Float64() < 0.5 {
+				mode = txn.Write
+			}
+			steps[j] = txn.Step{Mode: mode, Part: txn.PartitionID(perm[j]), Cost: 1}
+		}
+		ts[i] = txn.New(txn.ID(i+1), steps)
+	}
+	return ts
+}
+
+// runCommitSet drives the workload through one controller with real
+// goroutines and returns the set of transactions that committed.
+func runCommitSet(t *testing.T, ctl *Controller, ts []*txn.T) map[txn.ID]bool {
+	t.Helper()
+	defer ctl.Close()
+	var mu sync.Mutex
+	committed := make(map[txn.ID]bool, len(ts))
+	var wg sync.WaitGroup
+	for _, tx := range ts {
+		tx := tx
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			err := ctl.Run(ctx, tx, func(step int, p Progress) error {
+				p(1)
+				return nil
+			})
+			if err != nil {
+				t.Errorf("txn %v: %v", tx.ID, err)
+				return
+			}
+			mu.Lock()
+			committed[tx.ID] = true
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if err := ctl.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	st := ctl.Stats()
+	if st.Active != 0 {
+		t.Errorf("%d transactions leaked", st.Active)
+	}
+	if st.Committed != uint64(len(committed)) {
+		t.Errorf("stats committed %d, observed %d", st.Committed, len(committed))
+	}
+	return committed
+}
+
+// TestShardedDifferentialCommitSet is the tentpole's differential
+// proof: for many seeds and every scheduler family, the sharded
+// controller's committed set must equal the single-mutex controller's
+// on the identical workload. Absent faults both must commit everything
+// — so any divergence is a liveness failure (a cross-shard deadlock or
+// a lost wakeup) or a safety failure caught by CheckInvariants. Run
+// with -race (the Makefile verify line does).
+func TestShardedDifferentialCommitSet(t *testing.T) {
+	factories := []sched.Factory{
+		sched.ASLFactory(), sched.C2PLFactory(), sched.ChainFactory(), sched.KWTPGFactory(2),
+	}
+	seeds := 50
+	if testing.Short() {
+		seeds = 8
+	}
+	for _, f := range factories {
+		f := f
+		t.Run(f.Label, func(t *testing.T) {
+			t.Parallel()
+			for seed := 0; seed < seeds; seed++ {
+				ts := shardedWorkload(int64(seed)+1, 24, 24)
+				single := runCommitSet(t, New(f, liveCosts,
+					WithRetryDelay(time.Millisecond), WithShards(1)), ts)
+				sharded := runCommitSet(t, New(f, liveCosts,
+					WithRetryDelay(time.Millisecond), WithShards(8)), ts)
+				if len(single) != len(sharded) {
+					t.Fatalf("seed %d: single-mutex committed %d, sharded committed %d",
+						seed, len(single), len(sharded))
+				}
+				for id := range single {
+					if !sharded[id] {
+						t.Fatalf("seed %d: %v committed single-mutex but not sharded", seed, id)
+					}
+				}
+				if t.Failed() {
+					t.Fatalf("seed %d: divergence", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedSwarmRace hammers a sharded controller from many
+// goroutines while asserting, inside the held locks, the property
+// sharding must preserve: writers are exclusive and exclude readers on
+// every partition, whichever shard owns it. It also checks that the
+// observer pipeline saw events tagged with a non-default shard. Run
+// with -race.
+func TestShardedSwarmRace(t *testing.T) {
+	const parts = 32
+	var writers, readers [parts]int32
+	ring := obs.NewRing(4096)
+	ctl := New(sched.C2PLFactory(), liveCosts,
+		WithShards(8),
+		WithRetryDelay(time.Millisecond),
+		WithBackoff(500*time.Microsecond, 8*time.Millisecond),
+		WithObserver(ring))
+	defer ctl.Close()
+	if got := ctl.Shards(); got != 8 {
+		t.Fatalf("Shards() = %d, want 8", got)
+	}
+	ts := shardedWorkload(99, 64, parts)
+	var wg sync.WaitGroup
+	for _, tx := range ts {
+		tx := tx
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			err := ctl.Run(ctx, tx, func(step int, p Progress) error {
+				part := tx.Steps[step].Part
+				if tx.Steps[step].Mode == txn.Write {
+					if atomic.AddInt32(&writers[part], 1) != 1 || atomic.LoadInt32(&readers[part]) != 0 {
+						t.Errorf("%v: writer on %v not exclusive", tx.ID, part)
+					}
+					atomic.AddInt32(&writers[part], -1)
+				} else {
+					atomic.AddInt32(&readers[part], 1)
+					if atomic.LoadInt32(&writers[part]) != 0 {
+						t.Errorf("%v: reader on %v overlaps a writer", tx.ID, part)
+					}
+					atomic.AddInt32(&readers[part], -1)
+				}
+				p(1)
+				return nil
+			})
+			if err != nil {
+				t.Errorf("txn %v: %v", tx.ID, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	tagged := false
+	for _, e := range ring.Events() {
+		if e.Shard > 0 {
+			tagged = true
+			break
+		}
+	}
+	if !tagged {
+		t.Error("no event carried a non-default shard tag")
+	}
+}
+
+// TestShardedChaosLive joins the `make chaos` battery: the fault
+// injector's full mix — injected aborts, crashes (panics), slow I/O,
+// admission refusals — against a sharded controller with watchdog and
+// backoff, over footprints that routinely span shards. Invariants must
+// hold and the books must balance after every storm.
+func TestShardedChaosLive(t *testing.T) {
+	factories := []sched.Factory{
+		sched.ASLFactory(), sched.C2PLFactory(), sched.ChainFactory(), sched.KWTPGFactory(2),
+	}
+	seeds := []uint64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, f := range factories {
+		f := f
+		t.Run(f.Label, func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range seeds {
+				inj, err := fault.New(seed, fault.Config{
+					AbortRate:        0.25,
+					SlowIORate:       0.25,
+					SlowIOFactor:     2,
+					AdmitRefusalRate: 0.25,
+					CrashRate:        0.15,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ctl := New(f, liveCosts,
+					WithShards(4),
+					WithRetryDelay(time.Millisecond),
+					WithBackoff(500*time.Microsecond, 8*time.Millisecond),
+					WithWatchdog(50*time.Millisecond),
+					WithFaults(inj))
+				const workers = 24
+				var wg sync.WaitGroup
+				errs := make(chan error, workers)
+				for i := 0; i < workers; i++ {
+					i := i
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						tx := txn.New(txn.ID(seed*1000)+txn.ID(i+1), []txn.Step{
+							w(txn.PartitionID(i%8), 2),
+							w(txn.PartitionID((i+3)%8), 2),
+						})
+						ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+						defer cancel()
+						err := ctl.Run(ctx, tx, func(step int, p Progress) error {
+							p(1)
+							p(1)
+							return nil
+						})
+						switch {
+						case err == nil:
+						case errors.Is(err, fault.ErrInjectedAbort),
+							errors.Is(err, fault.ErrInjectedCrash),
+							errors.Is(err, ErrWatchdogAborted):
+							// expected fault outcomes
+						default:
+							errs <- fmt.Errorf("worker %d: %w", i, err)
+						}
+					}()
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					t.Fatal(err)
+				}
+				if err := ctl.CheckInvariants(); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				st := ctl.Stats()
+				if st.Active != 0 {
+					t.Fatalf("seed %d: %d transactions leaked", seed, st.Active)
+				}
+				if st.Committed+st.Aborted != st.Admitted {
+					t.Fatalf("seed %d: admitted %d != committed %d + aborted %d",
+						seed, st.Admitted, st.Committed, st.Aborted)
+				}
+				ctl.Close()
+			}
+		})
+	}
+}

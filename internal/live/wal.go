@@ -59,56 +59,69 @@ func (c *Controller) WALStats() (wal.Stats, bool) {
 
 // walFail records the first WAL error; once set, durability is broken
 // and every subsequent admission fails rather than running unlogged.
+// walErr has its own mutex (walMu) because failures surface from fsync
+// paths running outside any shard lock; walBroken reads it from inside
+// shard critical sections (lock order: shard locks before walMu).
 func (c *Controller) walFail(err error) {
-	c.mu.Lock()
+	c.walMu.Lock()
 	if c.walErr == nil {
 		c.walErr = err
 	}
-	c.mu.Unlock()
+	c.walMu.Unlock()
+}
+
+// walBroken returns the sticky WAL error, if any.
+func (c *Controller) walBroken() error {
+	c.walMu.Lock()
+	defer c.walMu.Unlock()
+	return c.walErr
 }
 
 // walBeginLocked builds the Begin record for a just-admitted t: its
-// declared footprint and the predecessor set the scheduler resolved at
-// admission, routed to the node of its first partition. Callers must
-// hold mu (the predecessor read must be atomic with the admission).
-func (c *Controller) walBeginLocked(t *txn.T, now event.Time) (wal.Record, bool) {
-	if c.wal == nil || c.walErr != nil {
+// declared footprint and the predecessor set resolved at admission
+// (preds — for a spanning transaction, the union across its shards),
+// routed to the node of its first partition. Callers must hold the
+// home shard's lock — and, for a spanning transaction, every footprint
+// shard's lock, so the predecessor read is atomic with the admission;
+// preds is only invoked once the record is known to be wanted.
+func (c *Controller) walBeginLocked(home *lshard, t *txn.T, now event.Time, preds func() []txn.ID) (wal.Record, bool) {
+	if c.wal == nil || c.walBroken() != nil {
 		return wal.Record{}, false
 	}
 	node := 0
 	if c.place != nil && len(t.Steps) > 0 {
 		node = c.place.NodeOf(t.Steps[0].Part)
 	}
-	c.walNode[t.ID] = node
+	home.walNode[t.ID] = node
 	return wal.Record{
 		Kind:  wal.Begin,
 		Txn:   t.ID,
 		Node:  node,
 		At:    now,
 		Steps: wal.Footprint(t),
-		Preds: sched.Predecessors(c.sch, t.ID),
+		Preds: preds(),
 	}, true
 }
 
 // walCompletionLocked builds the completion record for a finishing t,
-// reading the final predecessor set while the transaction is still in
-// the graph. It consumes the walNode entry, so a transaction whose
-// Begin was never logged (WAL failed mid-run) gets no completion
-// record either — replay would reject a completion without a begin.
-// Callers must hold mu.
-func (c *Controller) walCompletionLocked(t *txn.T, committed bool, now event.Time) (wal.Record, bool) {
+// reading the final predecessor set (preds) while the transaction is
+// still in the graph(s). It consumes the home shard's walNode entry, so
+// a transaction whose Begin was never logged (WAL failed mid-run) gets
+// no completion record either — replay would reject a completion
+// without a begin. Callers must hold the footprint's shard locks.
+func (c *Controller) walCompletionLocked(home *lshard, t *txn.T, committed bool, now event.Time, preds func() []txn.ID) (wal.Record, bool) {
 	if c.wal == nil {
 		return wal.Record{}, false
 	}
-	node, ok := c.walNode[t.ID]
-	delete(c.walNode, t.ID)
-	if !ok || c.walErr != nil {
+	node, ok := home.walNode[t.ID]
+	delete(home.walNode, t.ID)
+	if !ok || c.walBroken() != nil {
 		return wal.Record{}, false
 	}
 	rec := wal.Record{Kind: wal.Abort, Txn: t.ID, Node: node, At: now}
 	if committed {
 		rec.Kind = wal.Commit
-		rec.Preds = sched.Predecessors(c.sch, t.ID)
+		rec.Preds = preds()
 	}
 	return rec, true
 }

@@ -201,3 +201,101 @@ func TestWALAbortsAreLogged(t *testing.T) {
 		t.Errorf("incomplete %v after clean shutdown", rec.Incomplete)
 	}
 }
+
+// TestShardedWALKillRecoverRoundTrip repeats the kill-and-restart story
+// with the sharded hot path on: spanning transactions log Begin records
+// carrying the union of their per-shard predecessors, the log dies with
+// two transactions in flight, and recovery reconstructs exactly the
+// committed set — proving the write-ahead contract holds per shard.
+func TestShardedWALKillRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := wal.Open(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := sched.C2PLFactory()
+	ctl := New(f, liveCosts, WithWALLog(l), WithShards(4), WithRetryDelay(time.Millisecond))
+
+	var wg sync.WaitGroup
+	for i := 1; i <= 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Two steps far apart in the partition space: most of these
+			// span shards and admit through the atomic slow path.
+			tx := txn.New(txn.ID(i), []txn.Step{
+				w(txn.PartitionID(i%4), 1),
+				w(txn.PartitionID(8+i%4), 1),
+			})
+			if err := ctl.Run(context.Background(), tx, func(step int, p Progress) error {
+				p(1)
+				return nil
+			}); err != nil {
+				t.Errorf("txn %d: %v", i, err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	started := make(chan struct{}, 2)
+	release := make(chan struct{})
+	inflight := make(chan error, 2)
+	for i := 9; i <= 10; i++ {
+		i := i
+		go func() {
+			tx := txn.New(txn.ID(i), []txn.Step{w(txn.PartitionID(16+i), 1)})
+			inflight <- ctl.Run(context.Background(), tx, func(step int, p Progress) error {
+				started <- struct{}{}
+				<-release
+				p(1)
+				return nil
+			})
+		}()
+	}
+	<-started
+	<-started
+	l.Crash(0.6)
+	close(release)
+	for i := 0; i < 2; i++ {
+		if err := <-inflight; err == nil {
+			t.Fatalf("in-flight transaction committed after the WAL died (stats %+v)", ctl.Stats())
+		}
+	}
+	ctl.Close()
+
+	ctl2, rec, err := Recover(dir, f, liveCosts, WithShards(4), WithRetryDelay(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl2.Close()
+	if len(rec.Committed) != 8 {
+		t.Fatalf("recovered %d committed, want 8: %v", len(rec.Committed), rec.Committed)
+	}
+	for _, id := range rec.Committed {
+		if id < 1 || id > 8 {
+			t.Fatalf("resurrected %v", id)
+		}
+	}
+	if len(rec.Incomplete) != 2 {
+		t.Fatalf("incomplete %v, want txns 9 and 10 re-aborted", rec.Incomplete)
+	}
+	scans, err := wal.Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := modelcheck.VerifyRecovery(scans, rec); err != nil {
+		t.Fatal(err)
+	}
+	// The recovered controller is live and still sharded.
+	if got := ctl2.Shards(); got != 4 {
+		t.Fatalf("recovered controller Shards() = %d, want 4", got)
+	}
+	tx := txn.New(12, []txn.Step{w(2, 1), w(9, 1)})
+	if err := ctl2.Run(context.Background(), tx, func(step int, p Progress) error {
+		p(1)
+		return nil
+	}); err != nil {
+		t.Fatalf("post-recovery run: %v", err)
+	}
+}

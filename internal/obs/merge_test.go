@@ -54,11 +54,11 @@ func TestMetricsMerge(t *testing.T) {
 			got.Commits != w.Commits || got.Aborts != w.Aborts {
 			t.Errorf("%s: counters %+v, want %+v", label, got, w)
 		}
-		if got.Objects != w.Objects {
-			t.Errorf("%s: objects %g, want %g", label, got.Objects, w.Objects)
+		if got.Objects() != w.Objects() {
+			t.Errorf("%s: objects %g, want %g", label, got.Objects(), w.Objects())
 		}
-		if !reflect.DeepEqual(got.AdmitDecisions, w.AdmitDecisions) ||
-			!reflect.DeepEqual(got.RequestDecisions, w.RequestDecisions) {
+		if !reflect.DeepEqual(got.AdmitDecisions(), w.AdmitDecisions()) ||
+			!reflect.DeepEqual(got.RequestDecisions(), w.RequestDecisions()) {
 			t.Errorf("%s: decision maps differ", label)
 		}
 		if got.Resolves != w.Resolves || got.Recoveries != w.Recoveries ||
@@ -67,9 +67,9 @@ func TestMetricsMerge(t *testing.T) {
 			got.Requeues != w.Requeues {
 			t.Errorf("%s: robustness counters differ", label)
 		}
-		if got.CritPathChanges != w.CritPathChanges || got.CritPathMax != w.CritPathMax {
+		if got.CritPathChanges != w.CritPathChanges || got.CritPathMax() != w.CritPathMax() {
 			t.Errorf("%s: crit path %d/%g, want %d/%g", label,
-				got.CritPathChanges, got.CritPathMax, w.CritPathChanges, w.CritPathMax)
+				got.CritPathChanges, got.CritPathMax(), w.CritPathChanges, w.CritPathMax())
 		}
 		for name, pair := range map[string][2]*Histogram{
 			"DecisionCPU":  {got.DecisionCPU, w.DecisionCPU},

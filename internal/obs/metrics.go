@@ -5,17 +5,52 @@ import (
 	"math"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
+// atomicAddFloat folds v into the float64 stored as bits behind addr.
+func atomicAddFloat(addr *uint64, v float64) {
+	for {
+		old := atomic.LoadUint64(addr)
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if atomic.CompareAndSwapUint64(addr, old, new) {
+			return
+		}
+	}
+}
+
+// atomicMaxFloat raises the float64 stored as bits behind addr to v if
+// v is larger. Only valid for non-negative observations (the zero bits
+// pattern is 0.0).
+func atomicMaxFloat(addr *uint64, v float64) {
+	for {
+		old := atomic.LoadUint64(addr)
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if atomic.CompareAndSwapUint64(addr, old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func loadFloat(addr *uint64) float64 {
+	return math.Float64frombits(atomic.LoadUint64(addr))
+}
+
 // Histogram is a bucketed histogram over fixed upper bounds (ascending,
-// with an implicit +Inf bucket at the end). It is not goroutine-safe on
-// its own; Metrics serializes access.
+// with an implicit +Inf bucket at the end). Add is lock-free (atomic
+// per-bucket counters), so concurrent observers — the sharded live
+// controller's per-shard dispatch — never contend on a histogram lock.
+// Readers (Mean, Quantile, …) see a monotone, possibly mid-update view;
+// they are exact once the producing run has completed (the same
+// ownership rule Metrics documents). Observed values must be ≥ 0.
 type Histogram struct {
-	bounds []float64
-	counts []uint64
-	n      uint64
-	sum    float64
-	max    float64
+	bounds  []float64
+	counts  []uint64 // atomic
+	n       uint64   // atomic
+	sumBits uint64   // atomic float64 bits
+	maxBits uint64   // atomic float64 bits
 }
 
 // NewHistogram returns a histogram over the given ascending upper
@@ -39,106 +74,191 @@ func (h *Histogram) Add(v float64) {
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
 	}
-	h.counts[i]++
-	h.n++
-	h.sum += v
-	if v > h.max {
-		h.max = v
-	}
+	atomic.AddUint64(&h.counts[i], 1)
+	atomic.AddUint64(&h.n, 1)
+	atomicAddFloat(&h.sumBits, v)
+	atomicMaxFloat(&h.maxBits, v)
 }
 
 // Count returns the number of observations.
-func (h *Histogram) Count() uint64 { return h.n }
+func (h *Histogram) Count() uint64 { return atomic.LoadUint64(&h.n) }
 
 // Mean returns the exact mean of the observed values.
 func (h *Histogram) Mean() float64 {
-	if h.n == 0 {
+	n := h.Count()
+	if n == 0 {
 		return 0
 	}
-	return h.sum / float64(h.n)
+	return loadFloat(&h.sumBits) / float64(n)
 }
 
 // Max returns the largest observed value.
-func (h *Histogram) Max() float64 { return h.max }
+func (h *Histogram) Max() float64 { return loadFloat(&h.maxBits) }
 
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the buckets: the
 // upper bound of the bucket holding the q-th observation (Max for the
 // overflow bucket). Coarse by design — it answers "which decade", not
 // "which millisecond".
 func (h *Histogram) Quantile(q float64) float64 {
-	if h.n == 0 {
+	n := h.Count()
+	if n == 0 {
 		return 0
 	}
-	rank := uint64(math.Ceil(q * float64(h.n)))
+	rank := uint64(math.Ceil(q * float64(n)))
 	if rank < 1 {
 		rank = 1
 	}
 	var seen uint64
-	for i, c := range h.counts {
-		seen += c
+	for i := range h.counts {
+		seen += atomic.LoadUint64(&h.counts[i])
 		if seen >= rank {
 			if i < len(h.bounds) {
 				return h.bounds[i]
 			}
-			return h.max
+			return h.Max()
 		}
 	}
-	return h.max
+	return h.Max()
 }
 
 // Merge folds another histogram with identical bounds into h.
 func (h *Histogram) Merge(o *Histogram) {
-	if o == nil || o.n == 0 {
+	if o == nil || o.Count() == 0 {
 		return
 	}
 	if len(o.counts) != len(h.counts) {
 		// Mismatched shapes should not happen inside this package; fold
 		// what we can (totals) so nothing is silently lost.
-		h.n += o.n
-		h.sum += o.sum
-		if o.max > h.max {
-			h.max = o.max
-		}
+		atomic.AddUint64(&h.n, atomic.LoadUint64(&o.n))
+		atomicAddFloat(&h.sumBits, loadFloat(&o.sumBits))
+		atomicMaxFloat(&h.maxBits, loadFloat(&o.maxBits))
 		return
 	}
-	for i, c := range o.counts {
-		h.counts[i] += c
+	for i := range o.counts {
+		if c := atomic.LoadUint64(&o.counts[i]); c > 0 {
+			atomic.AddUint64(&h.counts[i], c)
+		}
 	}
-	h.n += o.n
-	h.sum += o.sum
-	if o.max > h.max {
-		h.max = o.max
-	}
+	atomic.AddUint64(&h.n, atomic.LoadUint64(&o.n))
+	atomicAddFloat(&h.sumBits, loadFloat(&o.sumBits))
+	atomicMaxFloat(&h.maxBits, loadFloat(&o.maxBits))
 }
 
 // format renders the histogram's headline statistics with a unit.
 func (h *Histogram) format(unit string) string {
-	if h.n == 0 {
+	if h.Count() == 0 {
 		return "n=0"
 	}
 	return fmt.Sprintf("n=%d mean=%.3g p50≤%.3g p95≤%.3g max=%.3g %s",
-		h.n, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.max, unit)
+		h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Max(), unit)
 }
 
-// SchedMetrics aggregates one scheduler's events.
+// decisionCounts tallies scheduler decisions by outcome. The four
+// outcomes every scheduler produces get dedicated atomic slots — the
+// hot path of every admit/request decision — and anything else falls
+// into a mutex-guarded overflow map (never hit in practice).
+type decisionCounts struct {
+	granted uint64 // atomic
+	blocked uint64
+	delayed uint64
+	aborted uint64
+
+	mu    sync.Mutex
+	other map[string]uint64
+}
+
+func (d *decisionCounts) add(k string) {
+	switch k {
+	case "granted":
+		atomic.AddUint64(&d.granted, 1)
+	case "blocked":
+		atomic.AddUint64(&d.blocked, 1)
+	case "delayed":
+		atomic.AddUint64(&d.delayed, 1)
+	case "aborted":
+		atomic.AddUint64(&d.aborted, 1)
+	default:
+		d.mu.Lock()
+		if d.other == nil {
+			d.other = make(map[string]uint64)
+		}
+		d.other[k]++
+		d.mu.Unlock()
+	}
+}
+
+// counts materializes the tallies as the map shape readers expect.
+func (d *decisionCounts) counts() map[string]uint64 {
+	out := make(map[string]uint64, 4)
+	if v := atomic.LoadUint64(&d.granted); v > 0 {
+		out["granted"] = v
+	}
+	if v := atomic.LoadUint64(&d.blocked); v > 0 {
+		out["blocked"] = v
+	}
+	if v := atomic.LoadUint64(&d.delayed); v > 0 {
+		out["delayed"] = v
+	}
+	if v := atomic.LoadUint64(&d.aborted); v > 0 {
+		out["aborted"] = v
+	}
+	d.mu.Lock()
+	for k, v := range d.other {
+		out[k] += v
+	}
+	d.mu.Unlock()
+	return out
+}
+
+func (d *decisionCounts) merge(o *decisionCounts) {
+	atomic.AddUint64(&d.granted, atomic.LoadUint64(&o.granted))
+	atomic.AddUint64(&d.blocked, atomic.LoadUint64(&o.blocked))
+	atomic.AddUint64(&d.delayed, atomic.LoadUint64(&o.delayed))
+	atomic.AddUint64(&d.aborted, atomic.LoadUint64(&o.aborted))
+	o.mu.Lock()
+	rest := make(map[string]uint64, len(o.other))
+	for k, v := range o.other {
+		rest[k] = v
+	}
+	o.mu.Unlock()
+	if len(rest) == 0 {
+		return
+	}
+	d.mu.Lock()
+	if d.other == nil {
+		d.other = make(map[string]uint64, len(rest))
+	}
+	for k, v := range rest {
+		d.other[k] += v
+	}
+	d.mu.Unlock()
+}
+
+// SchedMetrics aggregates one scheduler's events. Every counter is
+// updated with atomic operations — Observe takes no per-event lock —
+// so the observer never serializes the shards (or worker goroutines)
+// it is measuring. Plain field reads are exact once the producing run
+// has completed; float-valued aggregates are behind accessor methods
+// because Go has no atomic float fields.
 type SchedMetrics struct {
 	Sched string
 
-	// Submission counters (timeline events).
+	// Submission counters (timeline events); all updated atomically.
 	Admits   uint64
 	Requests uint64
 	Commits  uint64
 	Aborts   uint64 // Commit events carrying decision "aborted"
-	Objects  float64
+
+	objectsBits uint64 // processed objects, float64 bits
 
 	// Decision counters by outcome, split by operation.
-	AdmitDecisions   map[string]uint64
-	RequestDecisions map[string]uint64
+	admitDec   decisionCounts
+	requestDec decisionCounts
 
 	// Control-plane counters.
 	Resolves        uint64
 	CritPathChanges uint64
-	CritPathMax     float64
+	critPathMaxBits uint64
 
 	// Robustness counters: scheduler abort-recovery runs, live-controller
 	// stall-watchdog firings, degraded-mode transitions, injected
@@ -155,17 +275,17 @@ type SchedMetrics struct {
 
 	// Epoch-batch counters: admission windows flushed, and the largest
 	// number of conflict-free clusters seen in one batch.
-	Epochs         uint64
-	EpochMaxChunks float64
+	Epochs             uint64
+	epochMaxChunksBits uint64
 
 	// Durable-recovery counters: dependency-log appends, group-commit
 	// fsync passes, WAL replays, the widest replay wave observed
 	// (replay parallelism), and the total replay wall time in ns.
-	WALAppends   uint64
-	WALSyncs     uint64
-	Recovers     uint64
-	ReplayMaxPar float64
-	RecoverNS    int64
+	WALAppends       uint64
+	WALSyncs         uint64
+	Recovers         uint64
+	replayMaxParBits uint64
+	RecoverNS        int64
 
 	// Histograms: decision control-CPU cost (clocks), decision wall
 	// duration (µs), lock-queue depth at request submission, WTPG size
@@ -183,33 +303,52 @@ type SchedMetrics struct {
 
 func newSchedMetrics(label string) *SchedMetrics {
 	return &SchedMetrics{
-		Sched:            label,
-		AdmitDecisions:   make(map[string]uint64),
-		RequestDecisions: make(map[string]uint64),
-		DecisionCPU:      NewHistogram(decadeBounds(1, 1e4)...),
-		DecisionWall:     NewHistogram(decadeBounds(1, 1e5)...),
-		QueueDepth:       NewHistogram(decadeBounds(1, 1e3)...),
-		GraphSize:        NewHistogram(decadeBounds(1, 1e3)...),
-		ResponseTime:     NewHistogram(decadeBounds(0.1, 1e3)...),
-		BatchSize:        NewHistogram(decadeBounds(1, 1e3)...),
-		WALBatch:         NewHistogram(decadeBounds(1, 1e3)...),
+		Sched:        label,
+		DecisionCPU:  NewHistogram(decadeBounds(1, 1e4)...),
+		DecisionWall: NewHistogram(decadeBounds(1, 1e5)...),
+		QueueDepth:   NewHistogram(decadeBounds(1, 1e3)...),
+		GraphSize:    NewHistogram(decadeBounds(1, 1e3)...),
+		ResponseTime: NewHistogram(decadeBounds(0.1, 1e3)...),
+		BatchSize:    NewHistogram(decadeBounds(1, 1e3)...),
+		WALBatch:     NewHistogram(decadeBounds(1, 1e3)...),
 	}
 }
 
+// Objects returns the total processed-object count (KindObjectDone).
+func (sm *SchedMetrics) Objects() float64 { return loadFloat(&sm.objectsBits) }
+
+// CritPathMax returns the longest critical path observed, in objects.
+func (sm *SchedMetrics) CritPathMax() float64 { return loadFloat(&sm.critPathMaxBits) }
+
+// EpochMaxChunks returns the most conflict-free clusters in one batch.
+func (sm *SchedMetrics) EpochMaxChunks() float64 { return loadFloat(&sm.epochMaxChunksBits) }
+
+// ReplayMaxPar returns the widest WAL replay wave observed.
+func (sm *SchedMetrics) ReplayMaxPar() float64 { return loadFloat(&sm.replayMaxParBits) }
+
+// AdmitDecisions returns the admit-decision counts by outcome
+// ("granted", "delayed", …) as a freshly built map.
+func (sm *SchedMetrics) AdmitDecisions() map[string]uint64 { return sm.admitDec.counts() }
+
+// RequestDecisions returns the request-decision counts by outcome.
+func (sm *SchedMetrics) RequestDecisions() map[string]uint64 { return sm.requestDec.counts() }
+
 // Metrics is a Sink accumulating counters and histograms per scheduler
 // label. Safe for concurrent use; the zero value is not ready — use
-// NewMetrics.
+// NewMetrics. The hot path — every counter and histogram update — is
+// atomic; the only lock is a read-mostly RWMutex resolving the
+// scheduler label to its aggregate (write-locked once per new label).
 //
 // Per-run sink ownership rule: a parallel harness (the experiments
 // worker pool) must not hand one Metrics to many concurrently running
-// simulations — not because Observe would race (it locks), but because
-// interleaved runs would corrupt per-run aggregates and make readback
-// order nondeterministic. Instead, each run owns a private Metrics for
-// its lifetime, and the owner folds finished runs together with Merge
-// in a deterministic order. Accessors (Sched, Schedulers, Summary) are
-// only meaningful once the producing run has completed.
+// simulations — not because Observe would race (it is atomic), but
+// because interleaved runs would corrupt per-run aggregates and make
+// readback order nondeterministic. Instead, each run owns a private
+// Metrics for its lifetime, and the owner folds finished runs together
+// with Merge in a deterministic order. Accessors (Sched, Schedulers,
+// Summary) are only meaningful once the producing run has completed.
 type Metrics struct {
-	mu  sync.Mutex
+	mu  sync.RWMutex
 	per map[string]*SchedMetrics
 }
 
@@ -222,8 +361,15 @@ func (m *Metrics) sched(label string) *SchedMetrics {
 	if label == "" {
 		label = "(unlabeled)"
 	}
+	m.mu.RLock()
 	sm := m.per[label]
-	if sm == nil {
+	m.mu.RUnlock()
+	if sm != nil {
+		return sm
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if sm = m.per[label]; sm == nil {
 		sm = newSchedMetrics(label)
 		m.per[label] = sm
 	}
@@ -232,20 +378,18 @@ func (m *Metrics) sched(label string) *SchedMetrics {
 
 // Observe dispatches one event into the counters.
 func (m *Metrics) Observe(e Event) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	sm := m.sched(e.Sched)
 	switch e.Kind {
 	case KindAdmit:
-		sm.Admits++
+		atomic.AddUint64(&sm.Admits, 1)
 	case KindRequest:
-		sm.Requests++
+		atomic.AddUint64(&sm.Requests, 1)
 		sm.QueueDepth.Add(float64(e.Queue))
 	case KindDecision:
 		if e.Op == "admit" {
-			sm.AdmitDecisions[e.Decision]++
+			sm.admitDec.add(e.Decision)
 		} else {
-			sm.RequestDecisions[e.Decision]++
+			sm.requestDec.add(e.Decision)
 		}
 		sm.DecisionCPU.Add(float64(e.CPU))
 		if e.DurNS > 0 {
@@ -253,54 +397,48 @@ func (m *Metrics) Observe(e Event) {
 		}
 		sm.GraphSize.Add(float64(e.Graph))
 	case KindObjectDone:
-		sm.Objects += e.Objects
+		atomicAddFloat(&sm.objectsBits, e.Objects)
 	case KindCommit:
 		if e.Decision == "aborted" {
-			sm.Aborts++
+			atomic.AddUint64(&sm.Aborts, 1)
 		} else {
-			sm.Commits++
+			atomic.AddUint64(&sm.Commits, 1)
 			sm.ResponseTime.Add(e.RT.Seconds())
 		}
 	case KindResolve:
-		sm.Resolves++
+		atomic.AddUint64(&sm.Resolves, 1)
 	case KindCriticalPathChange:
-		sm.CritPathChanges++
-		if e.CritPath > sm.CritPathMax {
-			sm.CritPathMax = e.CritPath
-		}
+		atomic.AddUint64(&sm.CritPathChanges, 1)
+		atomicMaxFloat(&sm.critPathMaxBits, e.CritPath)
 	case KindAbort:
-		sm.Recoveries++
+		atomic.AddUint64(&sm.Recoveries, 1)
 	case KindStall:
-		sm.Stalls++
+		atomic.AddUint64(&sm.Stalls, 1)
 	case KindDegrade:
-		sm.Degrades++
+		atomic.AddUint64(&sm.Degrades, 1)
 	case KindRestore:
-		sm.Restores++
+		atomic.AddUint64(&sm.Restores, 1)
 	case KindFault:
-		sm.Faults++
+		atomic.AddUint64(&sm.Faults, 1)
 	case KindNodeDown:
-		sm.NodeDowns++
+		atomic.AddUint64(&sm.NodeDowns, 1)
 	case KindRehome:
-		sm.Rehomes++
+		atomic.AddUint64(&sm.Rehomes, 1)
 	case KindRequeue:
-		sm.Requeues++
+		atomic.AddUint64(&sm.Requeues, 1)
 	case KindEpochFlush:
-		sm.Epochs++
+		atomic.AddUint64(&sm.Epochs, 1)
 		sm.BatchSize.Add(float64(e.Batch))
-		if c := float64(e.Clusters); c > sm.EpochMaxChunks {
-			sm.EpochMaxChunks = c
-		}
+		atomicMaxFloat(&sm.epochMaxChunksBits, float64(e.Clusters))
 	case KindWALAppend:
-		sm.WALAppends++
+		atomic.AddUint64(&sm.WALAppends, 1)
 	case KindWALSync:
-		sm.WALSyncs++
+		atomic.AddUint64(&sm.WALSyncs, 1)
 		sm.WALBatch.Add(float64(e.Batch))
 	case KindRecover:
-		sm.Recovers++
-		sm.RecoverNS += e.DurNS
-		if p := float64(e.Clusters); p > sm.ReplayMaxPar {
-			sm.ReplayMaxPar = p
-		}
+		atomic.AddUint64(&sm.Recovers, 1)
+		atomic.AddInt64(&sm.RecoverNS, e.DurNS)
+		atomicMaxFloat(&sm.replayMaxParBits, float64(e.Clusters))
 	}
 }
 
@@ -309,8 +447,8 @@ func (m *Metrics) Close() error { return nil }
 
 // Schedulers returns the observed scheduler labels, sorted.
 func (m *Metrics) Schedulers() []string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	out := make([]string, 0, len(m.per))
 	for label := range m.per {
 		out = append(out, label)
@@ -323,61 +461,54 @@ func (m *Metrics) Schedulers() []string {
 // (nil if the label was never observed). The caller must not mutate it
 // while events are still being observed.
 func (m *Metrics) Sched(label string) *SchedMetrics {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return m.per[label]
 }
 
 // Merge folds another Metrics (e.g. a replicate run's) into m: counters
 // sum, histograms fold bucket-wise, maxima take the larger value.
-// Merging nil or m itself is a no-op. Both sides are locked, so a
+// Merging nil or m itself is a no-op. All folds are atomic, so a
 // finished run's aggregate can be folded while other sinks are live —
 // but see the ownership rule above: o's producing run must be done.
 func (m *Metrics) Merge(o *Metrics) {
 	if o == nil || o == m {
 		return
 	}
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	o.mu.RLock()
+	defer o.mu.RUnlock()
 	for label, osm := range o.per {
 		sm := m.sched(label)
-		sm.Admits += osm.Admits
-		sm.Requests += osm.Requests
-		sm.Commits += osm.Commits
-		sm.Aborts += osm.Aborts
-		sm.Objects += osm.Objects
-		sm.Resolves += osm.Resolves
-		sm.Recoveries += osm.Recoveries
-		sm.Stalls += osm.Stalls
-		sm.Degrades += osm.Degrades
-		sm.Restores += osm.Restores
-		sm.Faults += osm.Faults
-		sm.NodeDowns += osm.NodeDowns
-		sm.Rehomes += osm.Rehomes
-		sm.Requeues += osm.Requeues
-		sm.CritPathChanges += osm.CritPathChanges
-		if osm.CritPathMax > sm.CritPathMax {
-			sm.CritPathMax = osm.CritPathMax
+		addCounter := func(dst, src *uint64) {
+			if v := atomic.LoadUint64(src); v > 0 {
+				atomic.AddUint64(dst, v)
+			}
 		}
-		sm.Epochs += osm.Epochs
-		if osm.EpochMaxChunks > sm.EpochMaxChunks {
-			sm.EpochMaxChunks = osm.EpochMaxChunks
-		}
-		sm.WALAppends += osm.WALAppends
-		sm.WALSyncs += osm.WALSyncs
-		sm.Recovers += osm.Recovers
-		sm.RecoverNS += osm.RecoverNS
-		if osm.ReplayMaxPar > sm.ReplayMaxPar {
-			sm.ReplayMaxPar = osm.ReplayMaxPar
-		}
-		for k, v := range osm.AdmitDecisions {
-			sm.AdmitDecisions[k] += v
-		}
-		for k, v := range osm.RequestDecisions {
-			sm.RequestDecisions[k] += v
-		}
+		addCounter(&sm.Admits, &osm.Admits)
+		addCounter(&sm.Requests, &osm.Requests)
+		addCounter(&sm.Commits, &osm.Commits)
+		addCounter(&sm.Aborts, &osm.Aborts)
+		atomicAddFloat(&sm.objectsBits, osm.Objects())
+		addCounter(&sm.Resolves, &osm.Resolves)
+		addCounter(&sm.Recoveries, &osm.Recoveries)
+		addCounter(&sm.Stalls, &osm.Stalls)
+		addCounter(&sm.Degrades, &osm.Degrades)
+		addCounter(&sm.Restores, &osm.Restores)
+		addCounter(&sm.Faults, &osm.Faults)
+		addCounter(&sm.NodeDowns, &osm.NodeDowns)
+		addCounter(&sm.Rehomes, &osm.Rehomes)
+		addCounter(&sm.Requeues, &osm.Requeues)
+		addCounter(&sm.CritPathChanges, &osm.CritPathChanges)
+		atomicMaxFloat(&sm.critPathMaxBits, osm.CritPathMax())
+		addCounter(&sm.Epochs, &osm.Epochs)
+		atomicMaxFloat(&sm.epochMaxChunksBits, osm.EpochMaxChunks())
+		addCounter(&sm.WALAppends, &osm.WALAppends)
+		addCounter(&sm.WALSyncs, &osm.WALSyncs)
+		addCounter(&sm.Recovers, &osm.Recovers)
+		atomic.AddInt64(&sm.RecoverNS, atomic.LoadInt64(&osm.RecoverNS))
+		atomicMaxFloat(&sm.replayMaxParBits, osm.ReplayMaxPar())
+		sm.admitDec.merge(&osm.admitDec)
+		sm.requestDec.merge(&osm.requestDec)
 		sm.DecisionCPU.Merge(osm.DecisionCPU)
 		sm.DecisionWall.Merge(osm.DecisionWall)
 		sm.QueueDepth.Merge(osm.QueueDepth)

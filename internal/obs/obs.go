@@ -217,6 +217,11 @@ type Event struct {
 	// number of conflict-free clusters among admitted members.
 	Batch    int `json:"batch,omitempty"`
 	Clusters int `json:"clusters,omitempty"`
+	// Shard is the live controller's lock-table shard the event was
+	// emitted from (WithShards). Zero both for shard 0 and for unsharded
+	// emitters (the simulator, controller-level events), so a nonzero
+	// value always names a real non-default shard.
+	Shard int `json:"shard,omitempty"`
 }
 
 // String renders the event in the grep-friendly one-line style of the
@@ -259,6 +264,9 @@ func (e Event) String() string {
 		s += fmt.Sprintf(" batch=%d", e.Batch)
 	case KindRecover:
 		s += fmt.Sprintf(" replayed=%d maxpar=%d reaborted=%g dur_ns=%d", e.Batch, e.Clusters, e.Objects, e.DurNS)
+	}
+	if e.Shard > 0 {
+		s += fmt.Sprintf(" shard=%d", e.Shard)
 	}
 	return s
 }

@@ -136,10 +136,10 @@ func TestMetricsAndSummary(t *testing.T) {
 	if sm.Admits != 1 || sm.Requests != 1 || sm.Commits != 1 || sm.Aborts != 1 {
 		t.Errorf("counters %+v", sm)
 	}
-	if sm.AdmitDecisions["granted"] != 1 || sm.RequestDecisions["blocked"] != 1 || sm.RequestDecisions["granted"] != 1 {
-		t.Errorf("decision counts %v %v", sm.AdmitDecisions, sm.RequestDecisions)
+	if sm.AdmitDecisions()["granted"] != 1 || sm.RequestDecisions()["blocked"] != 1 || sm.RequestDecisions()["granted"] != 1 {
+		t.Errorf("decision counts %v %v", sm.AdmitDecisions(), sm.RequestDecisions())
 	}
-	if sm.Objects != 2.5 || sm.Resolves != 1 || sm.CritPathChanges != 1 || sm.CritPathMax != 12.5 {
+	if sm.Objects() != 2.5 || sm.Resolves != 1 || sm.CritPathChanges != 1 || sm.CritPathMax() != 12.5 {
 		t.Errorf("control-plane counters %+v", sm)
 	}
 	if sm.DecisionCPU.Count() != 3 {
@@ -202,7 +202,7 @@ func TestMetricsConcurrent(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	if n := m.Sched("X").RequestDecisions["granted"]; n != 8000 {
+	if n := m.Sched("X").RequestDecisions()["granted"]; n != 8000 {
 		t.Errorf("lost events: %d/8000", n)
 	}
 }

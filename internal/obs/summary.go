@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // Summary renders the accumulated metrics as a human-readable report:
@@ -16,35 +17,35 @@ func (m *Metrics) Summary() string {
 		b.WriteString("  (no events observed)\n")
 		return b.String()
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	for _, label := range labels {
-		sm := m.per[label]
+		sm := m.Sched(label)
+		reqDec := sm.RequestDecisions()
 		fmt.Fprintf(&b, "\n== %s ==\n", sm.Sched)
-		fmt.Fprintf(&b, "  %-16s %d submitted; decisions: %s\n", "admissions", sm.Admits, decisionLine(sm.AdmitDecisions))
-		fmt.Fprintf(&b, "  %-16s %d submitted; decisions: %s\n", "lock requests", sm.Requests, decisionLine(sm.RequestDecisions))
-		fmt.Fprintf(&b, "  %-16s %d commits, %d aborts, %.0f objects processed\n", "completions", sm.Commits, sm.Aborts, sm.Objects)
-		if total := decisionTotal(sm.RequestDecisions); total > 0 {
+		fmt.Fprintf(&b, "  %-16s %d submitted; decisions: %s\n", "admissions", atomic.LoadUint64(&sm.Admits), decisionLine(sm.AdmitDecisions()))
+		fmt.Fprintf(&b, "  %-16s %d submitted; decisions: %s\n", "lock requests", atomic.LoadUint64(&sm.Requests), decisionLine(reqDec))
+		fmt.Fprintf(&b, "  %-16s %d commits, %d aborts, %.0f objects processed\n", "completions",
+			atomic.LoadUint64(&sm.Commits), atomic.LoadUint64(&sm.Aborts), sm.Objects())
+		if total := decisionTotal(reqDec); total > 0 {
 			fmt.Fprintf(&b, "  %-16s blocked %.1f%%, delayed %.1f%% of %d request decisions\n", "contention",
-				100*float64(sm.RequestDecisions["blocked"])/float64(total),
-				100*float64(sm.RequestDecisions["delayed"])/float64(total), total)
+				100*float64(reqDec["blocked"])/float64(total),
+				100*float64(reqDec["delayed"])/float64(total), total)
 		}
-		if sm.NodeDowns > 0 {
+		if n := atomic.LoadUint64(&sm.NodeDowns); n > 0 {
 			fmt.Fprintf(&b, "  %-16s %d nodes lost, %d partitions re-homed, %d jobs requeued\n",
-				"node crashes", sm.NodeDowns, sm.Rehomes, sm.Requeues)
+				"node crashes", n, atomic.LoadUint64(&sm.Rehomes), atomic.LoadUint64(&sm.Requeues))
 		}
-		if sm.Epochs > 0 {
+		if n := atomic.LoadUint64(&sm.Epochs); n > 0 {
 			fmt.Fprintf(&b, "  %-16s %d windows flushed, batch %s, max %.0f clusters\n",
-				"epochs", sm.Epochs, sm.BatchSize.format("txns"), sm.EpochMaxChunks)
+				"epochs", n, sm.BatchSize.format("txns"), sm.EpochMaxChunks())
 		}
-		if sm.WALAppends > 0 || sm.Recovers > 0 {
+		if atomic.LoadUint64(&sm.WALAppends) > 0 || atomic.LoadUint64(&sm.Recovers) > 0 {
 			fmt.Fprintf(&b, "  %-16s %d appends, %d fsync passes (batch %s); %d recoveries, replay max-par %.0f, %.2fms replaying\n",
-				"wal", sm.WALAppends, sm.WALSyncs, sm.WALBatch.format("recs"),
-				sm.Recovers, sm.ReplayMaxPar, float64(sm.RecoverNS)/1e6)
+				"wal", atomic.LoadUint64(&sm.WALAppends), atomic.LoadUint64(&sm.WALSyncs), sm.WALBatch.format("recs"),
+				atomic.LoadUint64(&sm.Recovers), sm.ReplayMaxPar(), float64(atomic.LoadInt64(&sm.RecoverNS))/1e6)
 		}
-		if sm.Resolves > 0 || sm.CritPathChanges > 0 {
+		if atomic.LoadUint64(&sm.Resolves) > 0 || atomic.LoadUint64(&sm.CritPathChanges) > 0 {
 			fmt.Fprintf(&b, "  %-16s %d edge resolutions, %d critical-path changes (max %.4g objects)\n",
-				"wtpg", sm.Resolves, sm.CritPathChanges, sm.CritPathMax)
+				"wtpg", atomic.LoadUint64(&sm.Resolves), atomic.LoadUint64(&sm.CritPathChanges), sm.CritPathMax())
 		}
 		fmt.Fprintf(&b, "  %-16s %s\n", "decision cpu", sm.DecisionCPU.format("clocks"))
 		if sm.DecisionWall.Count() > 0 {

@@ -62,11 +62,11 @@ func TestRunWithTrace(t *testing.T) {
 	if int(sm.Commits) != res.Completed {
 		t.Errorf("metrics commits %d, result %d", sm.Commits, res.Completed)
 	}
-	granted := sm.AdmitDecisions["granted"]
+	granted := sm.AdmitDecisions()["granted"]
 	if int(granted) != res.Admitted {
 		t.Errorf("granted admits %d, result admitted %d", granted, res.Admitted)
 	}
-	if blocked := sm.RequestDecisions["blocked"]; int(blocked) != res.RequestBlocks {
+	if blocked := sm.RequestDecisions()["blocked"]; int(blocked) != res.RequestBlocks {
 		t.Errorf("blocked decisions %d, result blocks %d", blocked, res.RequestBlocks)
 	}
 }

@@ -41,7 +41,7 @@ type row struct {
 }
 
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+	`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:.*?\s([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
 
 func parse(path string) (map[string]*metrics, error) {
 	f, err := os.Open(path)
