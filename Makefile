@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-all bench-smoke bench-harness bench-epoch bench-live epoch-smoke chaos chaos-nodes chaos-restart verify
+.PHONY: build test bench bench-all bench-smoke bench-harness bench-epoch bench-live bench-storage epoch-smoke chaos chaos-nodes chaos-restart verify
 
 build:
 	$(GO) build ./...
@@ -79,6 +79,31 @@ bench-live:
 		-note "old = single-mutex controller (LIVE_SHARDS=1), new = 16-shard hot path; /p=N pins GOMAXPROCS=N — on a 1-core recording host ($(shell nproc) cores when last regenerated) the p2/p4/p8 columns cannot show multicore scaling, re-run on a multicore host for the GOMAXPROCS curve" > BENCH_PR8.json
 	@echo wrote BENCH_PR8.json
 
+# The PR9 set tracks the heap-file storage engine (docs/STORAGE.md):
+# full-partition scan and insert throughput through the buffer pool
+# (real MB/s via b.SetBytes) and the live controller with real page I/O
+# attached to every step. bench-storage records the committed
+# BENCH_PR9.json — old = pool starved to 4 frames (the disk-read path)
+# and the storage-free live hot path, new = the default pool (cached
+# scans) and the heap-backed controller — so the document shows both
+# what the pool buys on scans and what real page I/O costs the
+# controller.
+PR9_BENCH := BenchmarkStorageScan|BenchmarkStorageInsert
+PR9_PKGS  := ./internal/storage/
+
+bench-storage:
+	STORAGE_POOL=4 $(GO) test -run '^$$' -bench '^($(PR9_BENCH))$$' -benchmem -count 3 $(PR9_PKGS) \
+		| tee bench/baseline_pr9.txt
+	LIVE_SHARDS=1 $(GO) test -run '^$$' -bench '^($(PR8_BENCH))$$' -benchmem -count 3 $(PR8_PKGS) \
+		| tee -a bench/baseline_pr9.txt
+	$(GO) test -run '^$$' -bench '^($(PR9_BENCH))$$' -benchmem -count 3 $(PR9_PKGS) \
+		| tee bench/current_pr9.txt
+	LIVE_SHARDS=1 LIVE_STORAGE=1 $(GO) test -run '^$$' -bench '^($(PR8_BENCH))$$' -benchmem -count 3 $(PR8_PKGS) \
+		| tee -a bench/current_pr9.txt
+	$(GO) run ./tools/benchjson -old bench/baseline_pr9.txt -new bench/current_pr9.txt \
+		-note "StorageScan/Insert: old = STORAGE_POOL=4 (pool starved, disk-read path), new = default 64-frame pool; LiveThroughput: old = single-mutex controller without storage, new = the same controller with LIVE_STORAGE=1 heap files on every step — the txn/s drop is the real page-I/O cost; recorded on a $(shell nproc)-core host" > BENCH_PR9.json
+	@echo wrote BENCH_PR9.json
+
 # bench-all is the old kitchen-sink run over every benchmark in the repo.
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
@@ -90,6 +115,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench '^($(PR3_BENCH))$$' -benchtime 1x $(PR3_PKGS)
 	$(GO) test -run '^$$' -bench '^($(PR5_BENCH))$$' -benchtime 1x $(PR5_PKGS)
 	$(GO) test -run '^$$' -bench '^($(PR8_BENCH))$$' -benchtime 1x $(PR8_PKGS)
+	$(GO) test -run '^$$' -bench '^($(PR9_BENCH))$$' -benchtime 1x $(PR9_PKGS)
 
 # chaos runs the fault-injection suites (docs/ROBUSTNESS.md) under the
 # race detector: the simulator's 100-seed × scheduler matrix (including
@@ -98,7 +124,7 @@ bench-smoke:
 # and the abort/watchdog regression tests. Seeds are fixed — a red
 # chaos run reproduces.
 chaos:
-	$(GO) test -race -count=1 -run 'Chaos|TestAbort|TestWatchdog|TestFaults' \
+	$(GO) test -race -count=1 -run 'Chaos|TestAbort|TestWatchdog|TestFaults|StorageDifferential' \
 		./internal/sim/ ./internal/live/ ./internal/fault/ ./internal/core/sched/
 
 # chaos-nodes runs the node-crash recovery battery (docs/ROBUSTNESS.md
@@ -119,10 +145,10 @@ chaos-nodes:
 # point, flush fraction).
 chaos-restart:
 	$(GO) test -race -count=1 -run 'Restart|KillRestart|KillAt|Recover|WAL|Replay|Torn|GroupCommit|Corruption|RoundTrip' \
-		./internal/wal/ ./internal/sim/ ./internal/live/ ./internal/fault/ ./internal/modelcheck/
+		./internal/wal/ ./internal/sim/ ./internal/live/ ./internal/fault/ ./internal/modelcheck/ ./internal/storage/
 
 verify: build test chaos chaos-nodes chaos-restart bench-smoke epoch-smoke
 	$(GO) vet ./...
-	$(GO) test -race ./internal/live/... ./internal/obs/... ./internal/core/sched/ ./internal/core/wtpg/ ./internal/experiments/ ./internal/event/ ./internal/wal/
+	$(GO) test -race ./internal/live/... ./internal/obs/... ./internal/core/sched/ ./internal/core/wtpg/ ./internal/experiments/ ./internal/event/ ./internal/wal/ ./internal/storage/
 	$(GO) test -race -count=1 -run 'Epoch' ./internal/core/sched/ ./internal/sim/
 	$(GO) test -tags wtpgshadow -count=1 ./internal/core/... ./internal/sim/

@@ -53,6 +53,7 @@ import (
 	"batsched/internal/obs"
 	"batsched/internal/planner"
 	"batsched/internal/sim"
+	"batsched/internal/storage"
 	"batsched/internal/txn"
 	"batsched/internal/wal"
 	"batsched/internal/workload"
@@ -345,6 +346,71 @@ func WithControllerWALLog(l *WAL) ControllerOption { return live.WithWALLog(l) }
 func RecoverController(dir string, f SchedulerFactory, costs ControlCosts, opts ...ControllerOption) (*Controller, *WALRecovery, error) {
 	return live.Recover(dir, f, costs, opts...)
 }
+
+// Storage (docs/STORAGE.md): slotted-page heap files under the
+// schedulers. Each partition is one checksummed heap file accessed
+// through a per-node buffer pool; committed write steps apply
+// deterministic effect tuples, so the final partition contents are a
+// pure function of the committed set — the property the differential
+// and crash-recovery batteries check.
+type (
+	// Store is a partitioned heap-file store (one file per partition).
+	Store = storage.Store
+	// StorageOption configures OpenStorage.
+	StorageOption = storage.Option
+	// StoragePage is one slotted page over a caller-owned buffer.
+	StoragePage = storage.Page
+	// StorageRecordID locates a tuple (page number, slot).
+	StorageRecordID = storage.RecordID
+	// StorageIterator walks one partition's live tuples in (page, slot)
+	// order through the buffer pool.
+	StorageIterator = storage.Iterator
+	// StoragePoolStats snapshots the buffer pool's counters.
+	StoragePoolStats = storage.PoolStats
+	// StorageEffectKey identifies a committed write step's effect tuple.
+	StorageEffectKey = storage.EffectKey
+)
+
+// DefaultPageSize is the heap-file page size unless WithPageSize says
+// otherwise.
+const DefaultPageSize = storage.DefaultPageSize
+
+// OpenStorage creates or reopens a heap-file store with one file per
+// partition under dir, recovering torn pages left by a crash (partial
+// tails are truncated, corrupt interior pages reinitialized — the WAL
+// replay re-applies their committed effects).
+func OpenStorage(dir string, numParts int, opts ...StorageOption) (*Store, error) {
+	return storage.Open(dir, numParts, opts...)
+}
+
+// Storage options.
+func WithPageSize(n int) StorageOption     { return storage.WithPageSize(n) }
+func WithPoolFrames(n int) StorageOption   { return storage.WithPoolFrames(n) }
+func WithStorageNodes(n int) StorageOption { return storage.WithNodes(n) }
+
+// EncodeEffect builds the deterministic effect tuple committed write
+// steps insert: a (txn, step, partition) header padded to size bytes.
+func EncodeEffect(id TxnID, step int, part PartitionID, size int) []byte {
+	return storage.EncodeEffect(id, step, part, size)
+}
+
+// DecodeEffect parses an effect tuple's header.
+func DecodeEffect(b []byte) (StorageEffectKey, PartitionID, bool) {
+	return storage.DecodeEffect(b)
+}
+
+// WithSimStorage backs a simulation run with a caller-owned store:
+// every scheduled quantum touches a real page, write steps stage their
+// effect tuple, and commits apply staged effects after the WAL force.
+// Storage is driven by the timeline and feeds nothing back, so the
+// simulation Result is byte-identical with storage on or off.
+func WithSimStorage(st *Store) SimOption { return sim.WithStorage(st) }
+
+// WithControllerStorage backs a live controller with a caller-owned
+// store: every granted step scans its partition through the buffer
+// pool, and commit applies the staged effects strictly after the WAL
+// commit force while the transaction still holds its locks.
+func WithControllerStorage(st *Store) ControllerOption { return live.WithStorage(st) }
 
 // Observability (docs/OBSERVABILITY.md): structured trace events,
 // counters and histograms over every layer — schedulers, the simulator,

@@ -34,6 +34,7 @@ import (
 	"batsched/internal/fault"
 	"batsched/internal/machine"
 	"batsched/internal/obs"
+	"batsched/internal/storage"
 )
 
 func main() {
@@ -63,6 +64,10 @@ func main() {
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with `go tool pprof`)")
 		memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 
+		storageDir = flag.String("storage", "", "back the -shards comparison with heap files under this directory (docs/STORAGE.md) and report page-traffic bytes/sec")
+		pageSize   = flag.Int("pagesize", storage.DefaultPageSize, "heap-file page size in bytes (requires -storage)")
+		poolFrames = flag.Int("pool", 256, "buffer-pool frames per store (requires -storage)")
+
 		abortRate   = flag.Float64("abortrate", 0, "fraction of transactions killed mid-run by the fault injector")
 		crashNodes  = flag.Int("crashnodes", 0, "crash this many data nodes per run (deterministic in -faultseed; at least one node survives)")
 		crashWindow = flag.Int64("crashwindow", 0, "clocks within which injected node crashes land (0 = the horizon)")
@@ -73,7 +78,7 @@ func main() {
 	defer startProfiles(*cpuprof, *memprof)()
 
 	if *shards > 0 {
-		if err := runLiveComparison(*shards, *maxTxns); err != nil {
+		if err := runLiveComparison(*shards, *maxTxns, *storageDir, *pageSize, *poolFrames); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -27,9 +27,10 @@ import (
 	"batsched/internal/modelcheck"
 	"batsched/internal/obs"
 	"batsched/internal/sim"
-	"batsched/internal/wal"
+	"batsched/internal/storage"
 	"batsched/internal/textplot"
 	"batsched/internal/txn"
+	"batsched/internal/wal"
 	"batsched/internal/workload"
 )
 
@@ -65,6 +66,10 @@ func main() {
 
 		walDir     = flag.String("wal", "", "write per-node dependency logs under this directory (docs/ROBUSTNESS.md §9)")
 		recoverWAL = flag.String("recoverwal", "", "scan + parallel-replay the dependency logs under this directory, print the recovery report, and exit")
+
+		storageDir = flag.String("storage", "", "back the run with heap files under this directory (docs/STORAGE.md); empty = pure model")
+		pageSize   = flag.Int("pagesize", storage.DefaultPageSize, "heap-file page size in bytes (requires -storage)")
+		poolFrames = flag.Int("pool", 64, "buffer-pool frames per store (requires -storage)")
 	)
 	flag.Parse()
 
@@ -215,6 +220,19 @@ func main() {
 		}
 		simOpts = append(simOpts, sim.WithWAL(walLog))
 	}
+	var store *storage.Store
+	if *storageDir != "" {
+		var err error
+		store, err = storage.Open(*storageDir, mc.NumParts,
+			storage.WithPageSize(*pageSize),
+			storage.WithPoolFrames(*poolFrames),
+			storage.WithNodes(mc.NumNodes))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		simOpts = append(simOpts, sim.WithStorage(store))
+	}
 	start := time.Now()
 	res, err := sim.Run(cfg, simOpts...)
 	elapsed := time.Since(start)
@@ -227,6 +245,14 @@ func main() {
 	if walLog != nil {
 		if cerr := walLog.Close(); cerr != nil {
 			fmt.Fprintln(os.Stderr, "wal:", cerr)
+			os.Exit(1)
+		}
+	}
+	var poolStats storage.PoolStats
+	if store != nil {
+		poolStats = store.Stats()
+		if cerr := store.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "storage:", cerr)
 			os.Exit(1)
 		}
 	}
@@ -258,6 +284,13 @@ func main() {
 		st := walLog.Stats()
 		fmt.Printf("wal         %d records appended, %d fsync passes (max batch %d), logs under %s\n",
 			st.Appends, st.Syncs, st.MaxBatch, *walDir)
+	}
+	if store != nil {
+		total := poolStats.BytesRead + poolStats.BytesWritten
+		fmt.Printf("storage     %d page reads (%.1f%% pool hits), %d writes, %d evictions, %.2f MB/s wall, heap under %s\n",
+			poolStats.Hits+poolStats.Misses, 100*poolStats.HitRate(),
+			poolStats.BytesWritten/uint64(*pageSize), poolStats.Evictions,
+			float64(total)/1e6/elapsed.Seconds(), *storageDir)
 	}
 	if agg != nil {
 		fmt.Println()

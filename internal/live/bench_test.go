@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"batsched/internal/core/sched"
+	"batsched/internal/storage"
 	"batsched/internal/txn"
 )
 
@@ -26,6 +27,22 @@ func benchShards() int {
 		}
 	}
 	return 16
+}
+
+// benchStorage reads LIVE_STORAGE: non-empty attaches a heap-file
+// store to the throughput benchmark, so every step does real page I/O
+// (scan + effect insert + commit flush) under the same controller hot
+// path. `make bench-storage` records the comparison in BENCH_PR9.json.
+func benchStorage(b *testing.B, parts int) Option {
+	if os.Getenv("LIVE_STORAGE") == "" {
+		return func(*Controller) {}
+	}
+	st, err := storage.Open(b.TempDir(), parts, storage.WithPoolFrames(256))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { st.Close() })
+	return WithStorage(st)
 }
 
 // BenchmarkLiveThroughput measures committed transactions per second
@@ -45,10 +62,11 @@ func BenchmarkLiveThroughput(b *testing.B) {
 		b.Run(fmt.Sprintf("p%d", procs), func(b *testing.B) {
 			prev := runtime.GOMAXPROCS(procs)
 			defer runtime.GOMAXPROCS(prev)
-			ctl := New(sched.C2PLFactory(), liveCosts,
-				WithShards(shards), WithRetryDelay(time.Millisecond))
-			defer ctl.Close()
 			const parts = 4096
+			ctl := New(sched.C2PLFactory(), liveCosts,
+				WithShards(shards), WithRetryDelay(time.Millisecond),
+				benchStorage(b, parts))
+			defer ctl.Close()
 			rng := rand.New(rand.NewSource(1))
 			txns := make([]*txn.T, b.N)
 			for i := range txns {

@@ -56,6 +56,7 @@ import (
 	"batsched/internal/fault"
 	"batsched/internal/machine"
 	"batsched/internal/obs"
+	"batsched/internal/storage"
 	"batsched/internal/txn"
 	"batsched/internal/wal"
 )
@@ -287,6 +288,15 @@ type Controller struct {
 	walMu    sync.Mutex
 	walErr   error
 
+	// Heap-file storage (WithStorage, see storage.go): granted steps
+	// scan real pages, commits apply staged effect tuples after the WAL
+	// force. storeErr is the sticky first failure on a durably committed
+	// transaction's apply path — the commit stands, later storage-backed
+	// work fails fast. Lock order: shard locks before storeMu.
+	store    *storage.Store
+	storeMu  sync.Mutex
+	storeErr error
+
 	stopWatch chan struct{}
 	watchWG   sync.WaitGroup
 
@@ -420,6 +430,7 @@ func New(factory sched.Factory, costs sched.Costs, opts ...Option) *Controller {
 		sh.sch = s
 		c.shards[i] = sh
 	}
+	c.storeBind()
 	if c.watchdog > 0 {
 		c.stopWatch = make(chan struct{})
 		c.watchWG.Add(1)
@@ -445,6 +456,10 @@ func NewWithOptions(factory sched.Factory, costs sched.Costs, opts Options) *Con
 		WithGrantHook(opts.OnGrant),
 		WithCommitHook(opts.OnCommit))
 }
+
+// Label returns the scheduler name stamped on the controller's trace
+// events (the obs.Metrics lookup key).
+func (c *Controller) Label() string { return c.label }
 
 // now maps wall time onto the scheduler's clock (ms since start).
 func (c *Controller) now() event.Time {
@@ -650,6 +665,10 @@ func (c *Controller) runAdmitted(ctx context.Context, t *txn.T, work func(step i
 			return err
 		}
 		c.slowIO(ctx, t, step)
+		if err := c.storeStep(t, step); err != nil {
+			c.Abort(t)
+			return err
+		}
 		if hasCrash && step == crashStep {
 			c.emit(obs.Event{Kind: obs.KindFault, At: c.now(), Txn: t.ID, Step: step, Op: "crash"})
 			panic(fmt.Errorf("%w: txn %v step %d", fault.ErrInjectedCrash, t.ID, step))
@@ -960,6 +979,16 @@ func (c *Controller) finish(t *txn.T, committed bool) error {
 		} else {
 			c.walAppend(rec)
 		}
+	}
+	// Storage follows the same write-ahead order: effects reach pages
+	// only after the commit record is durable, and before phase 3 drops
+	// the scheduler locks — the transaction still excludes every reader
+	// of its partitions while its pages mutate. An abort (original or
+	// flipped above) just discards the staged effects.
+	if committed {
+		c.storeApplyCommit(t)
+	} else {
+		c.storeDrop(t)
 	}
 
 	now = c.now()

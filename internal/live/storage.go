@@ -1,0 +1,115 @@
+package live
+
+// Real page I/O under the live controller: with WithStorage attached,
+// every granted step drives a real partition iterator through the
+// buffer pool (a full scan of the step's partition — the bulk access
+// the paper's transactions model), write steps stage their
+// deterministic effect tuple, and commit applies the staged effects and
+// flushes the touched partitions' dirty pages strictly AFTER the WAL
+// commit force in finish — the write-ahead contract extended to pages.
+//
+// Failure discipline: once finish has made the commit record durable,
+// the commit stands. A storage failure after that point cannot flip the
+// outcome (recovery would redo the effects from the WAL anyway), so it
+// latches a sticky error instead — later Runs fail fast and a restart's
+// WAL replay repairs the heap. Abort drops the staged effects; nothing
+// was written, so there is nothing to undo (no-steal at transaction
+// granularity).
+
+import (
+	"fmt"
+
+	"batsched/internal/event"
+	"batsched/internal/storage"
+	"batsched/internal/txn"
+)
+
+// WithStorage attaches a caller-owned heap-file store to the
+// controller: granted steps do real page reads, commits apply real
+// effect tuples. The caller keeps the store's lifecycle (Close/Crash);
+// it must have been opened with at least as many partitions as the
+// transactions touch. A nil store is ignored.
+func WithStorage(st *storage.Store) Option {
+	return func(c *Controller) { c.store = st }
+}
+
+// storeBind points the store's page-traffic events at the controller's
+// observer and wall clock. Called from New after the label is known.
+func (c *Controller) storeBind() {
+	if c.store == nil {
+		return
+	}
+	c.store.Bind(c.observer, c.label, func() event.Time { return c.now() })
+}
+
+// StorageErr returns the sticky storage error, if any: a failure to
+// apply or flush a durably committed transaction's effects. The commit
+// itself stands (the WAL record is durable; restart replay repairs the
+// heap), but the controller refuses further storage-backed work.
+func (c *Controller) StorageErr() error {
+	if c.store == nil {
+		return nil
+	}
+	c.storeMu.Lock()
+	defer c.storeMu.Unlock()
+	return c.storeErr
+}
+
+func (c *Controller) storeFail(err error) {
+	if err == nil {
+		return
+	}
+	c.storeMu.Lock()
+	if c.storeErr == nil {
+		c.storeErr = err
+	}
+	c.storeMu.Unlock()
+}
+
+// storeStep is the granted step's real work: scan the step's partition
+// through the buffer pool (every page of it — a bulk access), and for a
+// write step stage the effect tuple that commit will apply. Runs inside
+// runAdmitted while the step's lock is held, so the scan is isolated by
+// the scheduler's strict 2PL exactly like the modelled I/O.
+func (c *Controller) storeStep(t *txn.T, step int) error {
+	if c.store == nil {
+		return nil
+	}
+	if err := c.StorageErr(); err != nil {
+		return fmt.Errorf("live: %v step %d: storage unavailable: %w", t.ID, step, err)
+	}
+	s := t.Steps[step]
+	if int(s.Part) >= c.store.NumPartitions() {
+		return nil
+	}
+	if _, err := c.store.ScanCount(s.Part); err != nil {
+		return fmt.Errorf("live: %v step %d: %w", t.ID, step, err)
+	}
+	if s.Mode == txn.Write {
+		c.store.Stage(t.ID, step, s.Part)
+	}
+	return nil
+}
+
+// storeApplyCommit applies t's staged effects. Called from finish after
+// the WAL force succeeded and BEFORE phase 3 releases the scheduler
+// locks — the transaction still excludes every reader and writer of its
+// partitions while its pages mutate. A failure here latches the sticky
+// error but does not flip the committed outcome (see the package
+// comment).
+func (c *Controller) storeApplyCommit(t *txn.T) {
+	if c.store == nil {
+		return
+	}
+	if err := c.store.ApplyCommit(t.ID); err != nil {
+		c.storeFail(fmt.Errorf("live: %v: applying committed effects: %w", t.ID, err))
+	}
+}
+
+// storeDrop discards t's staged effects on any non-commit outcome.
+func (c *Controller) storeDrop(t *txn.T) {
+	if c.store == nil {
+		return
+	}
+	c.store.Drop(t.ID)
+}

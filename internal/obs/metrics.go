@@ -287,6 +287,16 @@ type SchedMetrics struct {
 	replayMaxParBits uint64
 	RecoverNS        int64
 
+	// Storage counters: buffer-pool page reads split hit/miss, page
+	// write-backs, clock evictions, and the disk bytes moved either way.
+	PageReads    uint64
+	PoolHits     uint64
+	PoolMisses   uint64
+	PageWrites   uint64
+	PageEvicts   uint64
+	BytesRead    uint64
+	BytesWritten uint64
+
 	// Histograms: decision control-CPU cost (clocks), decision wall
 	// duration (µs), lock-queue depth at request submission, WTPG size
 	// at decision time, commit response times (seconds), epoch batch
@@ -325,6 +335,17 @@ func (sm *SchedMetrics) EpochMaxChunks() float64 { return loadFloat(&sm.epochMax
 
 // ReplayMaxPar returns the widest WAL replay wave observed.
 func (sm *SchedMetrics) ReplayMaxPar() float64 { return loadFloat(&sm.replayMaxParBits) }
+
+// PoolHitRate returns the buffer-pool hit rate, hits/(hits+misses),
+// or 0 before any page was read.
+func (sm *SchedMetrics) PoolHitRate() float64 {
+	h := atomic.LoadUint64(&sm.PoolHits)
+	m := atomic.LoadUint64(&sm.PoolMisses)
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
 
 // AdmitDecisions returns the admit-decision counts by outcome
 // ("granted", "delayed", …) as a freshly built map.
@@ -439,6 +460,19 @@ func (m *Metrics) Observe(e Event) {
 		atomic.AddUint64(&sm.Recovers, 1)
 		atomic.AddInt64(&sm.RecoverNS, e.DurNS)
 		atomicMaxFloat(&sm.replayMaxParBits, float64(e.Clusters))
+	case KindPageRead:
+		atomic.AddUint64(&sm.PageReads, 1)
+		if e.Op == "hit" {
+			atomic.AddUint64(&sm.PoolHits, 1)
+		} else {
+			atomic.AddUint64(&sm.PoolMisses, 1)
+		}
+		atomic.AddUint64(&sm.BytesRead, uint64(e.Batch))
+	case KindPageWrite:
+		atomic.AddUint64(&sm.PageWrites, 1)
+		atomic.AddUint64(&sm.BytesWritten, uint64(e.Batch))
+	case KindPageEvict:
+		atomic.AddUint64(&sm.PageEvicts, 1)
 	}
 }
 
@@ -507,6 +541,13 @@ func (m *Metrics) Merge(o *Metrics) {
 		addCounter(&sm.Recovers, &osm.Recovers)
 		atomic.AddInt64(&sm.RecoverNS, atomic.LoadInt64(&osm.RecoverNS))
 		atomicMaxFloat(&sm.replayMaxParBits, osm.ReplayMaxPar())
+		addCounter(&sm.PageReads, &osm.PageReads)
+		addCounter(&sm.PoolHits, &osm.PoolHits)
+		addCounter(&sm.PoolMisses, &osm.PoolMisses)
+		addCounter(&sm.PageWrites, &osm.PageWrites)
+		addCounter(&sm.PageEvicts, &osm.PageEvicts)
+		addCounter(&sm.BytesRead, &osm.BytesRead)
+		addCounter(&sm.BytesWritten, &osm.BytesWritten)
 		sm.admitDec.merge(&osm.admitDec)
 		sm.requestDec.merge(&osm.requestDec)
 		sm.DecisionCPU.Merge(osm.DecisionCPU)

@@ -113,6 +113,16 @@ const (
 	// Objects the re-aborted incomplete count, DurNS the replay wall
 	// duration.
 	KindRecover
+	// KindPageRead: the storage engine fetched one page through a buffer
+	// pool. Op is "hit" or "miss", Part the partition heap file, Node
+	// the pool's node, Batch the bytes read from disk (0 on a hit).
+	KindPageRead
+	// KindPageWrite: a dirty page was written back to its heap file
+	// (commit flush or dirty-victim eviction); Batch is the page bytes.
+	KindPageWrite
+	// KindPageEvict: the clock hand evicted a frame; Op is "clean" or
+	// "dirty" (a dirty eviction is preceded by its PageWrite).
+	KindPageEvict
 )
 
 var kindNames = [...]string{
@@ -135,6 +145,9 @@ var kindNames = [...]string{
 	KindWALAppend:          "wal-append",
 	KindWALSync:            "wal-sync",
 	KindRecover:            "recover",
+	KindPageRead:           "page-read",
+	KindPageWrite:          "page-write",
+	KindPageEvict:          "page-evict",
 }
 
 func (k Kind) String() string {
@@ -264,6 +277,12 @@ func (e Event) String() string {
 		s += fmt.Sprintf(" batch=%d", e.Batch)
 	case KindRecover:
 		s += fmt.Sprintf(" replayed=%d maxpar=%d reaborted=%g dur_ns=%d", e.Batch, e.Clusters, e.Objects, e.DurNS)
+	case KindPageRead:
+		s += fmt.Sprintf(" part=P%d op=%s bytes=%d", e.Part, e.Op, e.Batch)
+	case KindPageWrite:
+		s += fmt.Sprintf(" part=P%d bytes=%d", e.Part, e.Batch)
+	case KindPageEvict:
+		s += fmt.Sprintf(" part=P%d op=%s", e.Part, e.Op)
 	}
 	if e.Shard > 0 {
 		s += fmt.Sprintf(" shard=%d", e.Shard)

@@ -22,6 +22,7 @@ import (
 	"batsched/internal/machine"
 	"batsched/internal/obs"
 	"batsched/internal/stats"
+	"batsched/internal/storage"
 	"batsched/internal/txn"
 	"batsched/internal/wal"
 	"batsched/internal/workload"
@@ -36,6 +37,7 @@ type runOpts struct {
 	observer obs.Observer
 	inj      *fault.Injector
 	wal      *wal.Log
+	store    *storage.Store
 }
 
 // WithTrace attaches a structured trace observer to the run: the
@@ -269,6 +271,10 @@ type txnState struct {
 	walNode   int
 	walLogged bool
 	walPreds  []txn.ID
+
+	// Storage bookkeeping (zero without WithStorage): the round-robin
+	// page cursor storeTouch advances one page per processed quantum.
+	pageCursor uint32
 }
 
 type simulator struct {
@@ -297,8 +303,10 @@ type simulator struct {
 	obsLabel  string
 	inj       *fault.Injector // nil = no fault injection
 	slowSeen  map[txn.PartitionID]bool
-	wal       *wal.Log // nil = no dependency logging
-	walErr    error    // first WAL failure; reported by Run
+	wal       *wal.Log       // nil = no dependency logging
+	walErr    error          // first WAL failure; reported by Run
+	store     *storage.Store // nil = no page I/O
+	storeErr  error          // first storage failure; reported by Run
 
 	// Epoch-batch state (BatchWindow > 0): the batch-capable scheduler
 	// surface, the arrivals collected in the open window, whether the
@@ -368,6 +376,7 @@ func Run(cfg Config, opts ...Option) (*Result, error) {
 		s.slowSeen = make(map[txn.PartitionID]bool)
 	}
 	s.wal = rc.wal
+	s.store = rc.store
 	s.cn = machine.NewControlNode(s.q)
 	s.sch = cfg.Scheduler.New(cfg.Machine.Control)
 	if rc.observer != nil {
@@ -384,6 +393,7 @@ func Run(cfg Config, opts ...Option) (*Result, error) {
 	}
 	s.res.Scheduler = s.sch.Name()
 	s.obsLabel = s.res.Scheduler // matches the sched.Observed label
+	s.storeBind()
 	s.res.Workload = cfg.Workload.Name()
 	s.res.ArrivalRate = cfg.ArrivalRate
 	s.res.Horizon = cfg.Horizon
@@ -442,6 +452,9 @@ func Run(cfg Config, opts ...Option) (*Result, error) {
 	}
 	if s.walErr != nil {
 		return &s.res, fmt.Errorf("sim: wal: %w", s.walErr)
+	}
+	if s.storeErr != nil {
+		return &s.res, fmt.Errorf("sim: storage: %w", s.storeErr)
 	}
 	return &s.res, nil
 }
@@ -764,6 +777,11 @@ func (s *simulator) retryLater(fn event.Handler) {
 func (s *simulator) onQuantum(j *machine.Job, objects float64, now event.Time) {
 	s.sch.ObjectDone(j.Txn, objects, now)
 	s.emitObs(obs.Event{Kind: obs.KindObjectDone, At: now, Txn: j.Txn.ID, Step: j.Step, Objects: objects})
+	if s.store != nil {
+		if st, ok := s.live[j.Txn.ID]; ok {
+			s.storeTouch(st, j.Step, now)
+		}
+	}
 	if s.inj == nil {
 		return
 	}
@@ -807,6 +825,7 @@ func (s *simulator) handleAbort(st *txnState, freed []txn.PartitionID, now event
 	if st.walLogged {
 		s.walAbort(st, now)
 	}
+	s.storeAbort(st)
 	s.trace.emit(now, st.t.ID, "aborted")
 	s.selfCheck()
 	s.wakeWaiters(freed)
@@ -907,6 +926,7 @@ func (s *simulator) onStepDone(j *machine.Job, now event.Time) {
 	}
 	st.dnTime += now - st.grantedAt
 	s.trace.emit(now, st.t.ID, "step-done", "step", j.Step)
+	s.storeStageStep(st, j.Step)
 	st.step = j.Step + 1
 	s.advance(st, now)
 }
@@ -934,6 +954,9 @@ func (s *simulator) handleCommit(st *txnState, freed []txn.PartitionID, now even
 		// exactly — the chaos battery's replay-equivalence invariant.
 		s.walCommit(st, st.walPreds, now)
 	}
+	// Pages flush after the WAL force just above: the write-ahead
+	// contract extended to heap pages.
+	s.storeCommit(st)
 	s.res.Completed++
 	if now > s.res.LastCompletion {
 		s.res.LastCompletion = now
@@ -983,6 +1006,7 @@ func (s *simulator) wakeWaiters(freed []txn.PartitionID) {
 
 // finish computes the end-of-run metrics.
 func (s *simulator) finish() {
+	s.storeFinish()
 	s.res.LiveAtEnd = len(s.live)
 	s.res.MeanRT = s.rt.Mean()
 	s.res.StdRT = s.rt.Std()

@@ -1,0 +1,322 @@
+package sim
+
+// Storage differential and crash batteries (ISSUE PR 9): the storage
+// engine moves real bytes but must never move the model. The
+// differential battery pins that — across seeds and schedulers, a
+// storage-backed run produces a byte-identical Result, the same
+// committed set, and final partition contents exactly equal to the pure
+// function of that committed set (internal/storage's effect model). The
+// kill-restart battery extends PR 7's replay equivalence to pages:
+// SIGKILL mid-flush tears both the WAL tail and un-fsynced heap pages,
+// and recovery (page-level truncation + WAL redo) must restore contents
+// ≡ the durable committed set, audited by modelcheck.VerifyRecovery.
+
+import (
+	"fmt"
+	"testing"
+
+	"batsched/internal/core/sched"
+	"batsched/internal/fault"
+	"batsched/internal/modelcheck"
+	"batsched/internal/obs"
+	"batsched/internal/storage"
+	"batsched/internal/txn"
+	"batsched/internal/wal"
+)
+
+// storageFactories is the differential matrix: every scheduler family.
+func storageFactories() []sched.Factory {
+	return []sched.Factory{
+		sched.ASLFactory(),
+		sched.C2PLFactory(),
+		sched.ChainFactory(),
+		sched.KWTPGFactory(2),
+		sched.MustLookup("EPOCH"),
+	}
+}
+
+// storageConfig is chaosConfig plus the EPOCH batch window the epoch
+// scheduler needs to exercise its batch path.
+func storageConfig(f sched.Factory, seed int64) Config {
+	cfg := chaosConfig(f, seed)
+	if f.Label == "EPOCH" {
+		cfg.BatchWindow = 1000
+	}
+	return cfg
+}
+
+// expectedContents derives each partition's effect-key set from the
+// committed transactions' WAL Begin footprints — the contents the
+// effect model says the heap files must hold.
+func expectedContents(scans []wal.NodeScan, committed map[txn.ID]bool, parts int) []map[storage.EffectKey]bool {
+	want := make([]map[storage.EffectKey]bool, parts)
+	for p := range want {
+		want[p] = map[storage.EffectKey]bool{}
+	}
+	for _, ns := range scans {
+		for _, r := range ns.Records {
+			if r.Kind != wal.Begin || !committed[r.Txn] {
+				continue
+			}
+			for i, s := range r.Steps {
+				if s.Mode == txn.Write && int(s.Part) < parts {
+					want[s.Part][storage.EffectKey{Txn: r.Txn, Step: i}] = true
+				}
+			}
+		}
+	}
+	return want
+}
+
+// checkContents compares a store's live tuples against the expected
+// effect-key sets, partition by partition.
+func checkContents(t *testing.T, st *storage.Store, want []map[storage.EffectKey]bool, repro string) {
+	t.Helper()
+	for p := range want {
+		got, err := st.Keys(txn.PartitionID(p))
+		if err != nil {
+			t.Fatalf("P%d: %v\n%s", p, err, repro)
+		}
+		if len(got) != len(want[p]) {
+			t.Fatalf("P%d holds %d effects, committed set implies %d\n%s", p, len(got), len(want[p]), repro)
+		}
+		for k := range want[p] {
+			if !got[k] {
+				t.Fatalf("P%d missing effect txn=%d step=%d\n%s", p, k.Txn, k.Step, repro)
+			}
+		}
+	}
+}
+
+// TestStorageDifferentialCommitSet is the differential battery: 50
+// seeds per scheduler, each run twice — modelled (no storage) and
+// storage-backed. The storage run must (1) return a byte-identical
+// Result, (2) commit exactly the same set, and (3) leave every heap
+// partition holding exactly the effects of that committed set.
+func TestStorageDifferentialCommitSet(t *testing.T) {
+	seeds := 50
+	if testing.Short() {
+		seeds = 5
+	}
+	for _, f := range storageFactories() {
+		f := f
+		t.Run(f.Label, func(t *testing.T) {
+			t.Parallel()
+			for seed := 0; seed < seeds; seed++ {
+				repro := fmt.Sprintf("repro: go test -run 'TestStorageDifferentialCommitSet/%s' ./internal/sim/ with seed=%d", f.Label, seed)
+				cfg := storageConfig(f, int64(seed))
+				committedA := map[txn.ID]bool{}
+				base, err := Run(cfg, WithTrace(obs.ObserverFunc(func(e obs.Event) {
+					if e.Kind == obs.KindCommit {
+						committedA[e.Txn] = true
+					}
+				})))
+				if err != nil {
+					t.Fatalf("seed %d: modelled run: %v\n%s", seed, err, repro)
+				}
+
+				dir := t.TempDir()
+				st, err := storage.Open(dir, cfg.Machine.NumParts,
+					storage.WithPageSize(1024), storage.WithPoolFrames(8),
+					storage.WithNodes(cfg.Machine.NumNodes))
+				if err != nil {
+					t.Fatalf("seed %d: %v\n%s", seed, err, repro)
+				}
+				wdir := t.TempDir()
+				l, err := wal.Open(wdir, cfg.Machine.NumNodes)
+				if err != nil {
+					t.Fatalf("seed %d: %v\n%s", seed, err, repro)
+				}
+				committedB := map[txn.ID]bool{}
+				res, err := Run(cfg, WithStorage(st), WithWAL(l), WithTrace(obs.ObserverFunc(func(e obs.Event) {
+					if e.Kind == obs.KindCommit {
+						committedB[e.Txn] = true
+					}
+				})))
+				if err != nil {
+					t.Fatalf("seed %d: storage run: %v\n%s", seed, err, repro)
+				}
+				if err := l.Close(); err != nil {
+					t.Fatalf("seed %d: %v\n%s", seed, err, repro)
+				}
+
+				// (1) The time model is untouched: byte-identical Result.
+				if fmt.Sprintf("%+v", base) != fmt.Sprintf("%+v", res) {
+					t.Fatalf("seed %d: storage changed the simulated result\nmodelled: %+v\nstorage:  %+v\n%s",
+						seed, base, res, repro)
+				}
+				// (2) Same committed set.
+				if len(committedA) != len(committedB) {
+					t.Fatalf("seed %d: committed %d modelled vs %d with storage\n%s",
+						seed, len(committedA), len(committedB), repro)
+				}
+				for id := range committedA {
+					if !committedB[id] {
+						t.Fatalf("seed %d: %v committed modelled but not with storage\n%s", seed, id, repro)
+					}
+				}
+				// (3) Contents ≡ pure function of the committed set.
+				scans, err := wal.Scan(wdir)
+				if err != nil {
+					t.Fatalf("seed %d: %v\n%s", seed, err, repro)
+				}
+				checkContents(t, st, expectedContents(scans, committedB, cfg.Machine.NumParts), repro)
+				if st.PinnedFrames() != 0 {
+					t.Fatalf("seed %d: %d frames still pinned after the run\n%s", seed, st.PinnedFrames(), repro)
+				}
+				if st.Stats().Hits+st.Stats().Misses == 0 && res.Completed > 0 {
+					t.Fatalf("seed %d: run committed %d transactions without touching a page\n%s",
+						seed, res.Completed, repro)
+				}
+				if err := st.Close(); err != nil {
+					t.Fatalf("seed %d: close: %v\n%s", seed, err, repro)
+				}
+			}
+		})
+	}
+}
+
+// TestStorageKillRestartTornPages is the crash-consistency battery:
+// SIGKILL mid-flush (fault.KillAt picks the kill point, KillFlushFrac
+// the flush fraction) tears both the WAL tail and the un-fsynced heap
+// pages, then recovery reopens the store (page-level truncation +
+// reinitialization), replays the WAL with Store.Redo as the apply
+// callback, passes modelcheck.VerifyRecovery, and must leave partition
+// contents exactly ≡ the durable committed set.
+func TestStorageKillRestartTornPages(t *testing.T) {
+	factories := []sched.Factory{
+		sched.ChainFactory(),
+		sched.KWTPGFactory(2),
+		sched.ASLFactory(),
+	}
+	seeds := 30
+	if testing.Short() {
+		seeds = 5
+	}
+	cfgFaults := fault.Config{KillRestart: true, AbortRate: 0.15}
+	for _, f := range factories {
+		f := f
+		t.Run(f.Label, func(t *testing.T) {
+			t.Parallel()
+			tornTotal, redone := 0, 0
+			for seed := 0; seed < seeds; seed++ {
+				inj, err := fault.New(uint64(seed)+1, cfgFaults)
+				if err != nil {
+					t.Fatal(err)
+				}
+				base, err := Run(chaosConfig(f, int64(seed)), WithFaults(inj))
+				if err != nil {
+					t.Fatalf("seed %d: baseline: %v", seed, err)
+				}
+				killAt, ok := inj.KillAt(base.LastCompletion)
+				if !ok || killAt <= 0 {
+					t.Fatalf("seed %d: no kill point in window %v", seed, base.LastCompletion)
+				}
+				frac := inj.KillFlushFrac()
+				repro := fmt.Sprintf("repro: go test -run 'TestStorageKillRestartTornPages/%s' ./internal/sim/ with seed=%d killat=%d flushfrac=%.3f",
+					f.Label, seed, int64(killAt), frac)
+
+				cfg := chaosConfig(f, int64(seed))
+				cfg.Horizon = killAt // SIGKILL: the timeline just stops
+				hdir, wdir := t.TempDir(), t.TempDir()
+				sopts := []storage.Option{
+					storage.WithPageSize(1024), storage.WithPoolFrames(8),
+					storage.WithNodes(cfg.Machine.NumNodes),
+				}
+				st, err := storage.Open(hdir, cfg.Machine.NumParts, sopts...)
+				if err != nil {
+					t.Fatalf("seed %d: %v\n%s", seed, err, repro)
+				}
+				l, err := wal.Open(wdir, cfg.Machine.NumNodes)
+				if err != nil {
+					t.Fatalf("seed %d: %v\n%s", seed, err, repro)
+				}
+				committed := map[txn.ID]bool{}
+				_, err = Run(cfg, WithFaults(inj), WithWAL(l), WithStorage(st),
+					WithTrace(obs.ObserverFunc(func(e obs.Event) {
+						if e.Kind == obs.KindCommit {
+							committed[e.Txn] = true
+						}
+					})))
+				if err != nil {
+					t.Fatalf("seed %d: killed run: %v\n%s", seed, err, repro)
+				}
+				// SIGKILL both halves with the same flush fraction.
+				l.Crash(frac)
+				if err := st.Crash(frac); err != nil {
+					t.Fatalf("seed %d: %v\n%s", seed, err, repro)
+				}
+
+				// Restart: page-level recovery at Open, then WAL replay
+				// drives Redo for every durably committed transaction.
+				st2, err := storage.Open(hdir, cfg.Machine.NumParts, sopts...)
+				if err != nil {
+					t.Fatalf("seed %d: reopen: %v\n%s", seed, err, repro)
+				}
+				tornTotal += st2.TornPages()
+				scans, err := wal.Scan(wdir)
+				if err != nil {
+					t.Fatalf("seed %d: scan: %v\n%s", seed, err, repro)
+				}
+				rec, err := wal.Replay(scans, 4, func(b wal.Record, wave int) {
+					if err := st2.Redo(b); err != nil {
+						t.Errorf("seed %d: redo %v: %v\n%s", seed, b.Txn, err, repro)
+					}
+				})
+				if err != nil {
+					t.Fatalf("seed %d: replay: %v\n%s", seed, err, repro)
+				}
+				if err := st2.Flush(); err != nil {
+					t.Fatalf("seed %d: %v\n%s", seed, err, repro)
+				}
+				if err := modelcheck.VerifyRecovery(scans, rec); err != nil {
+					t.Fatalf("seed %d: %v\n%s", seed, err, repro)
+				}
+				// The durable committed set (what replay recovered) is the
+				// authority — the dying run's own count may exceed it only
+				// never trail it, and PR 7's battery already pins equality.
+				durable := map[txn.ID]bool{}
+				for _, id := range rec.Committed {
+					if !committed[id] {
+						t.Fatalf("seed %d: %v resurrected\n%s", seed, id, repro)
+					}
+					durable[id] = true
+				}
+				redone += len(rec.Committed)
+				checkContents(t, st2, expectedContents(scans, durable, cfg.Machine.NumParts), repro)
+				if err := st2.Close(); err != nil {
+					t.Fatalf("seed %d: close: %v\n%s", seed, err, repro)
+				}
+			}
+			if tornTotal == 0 {
+				t.Errorf("%s: no page was ever torn across %d crashes — the crash model is vacuous", f.Label, seeds)
+			}
+			t.Logf("%s: %d seeds: %d committed transactions redone, %d torn pages recovered", f.Label, seeds, redone, tornTotal)
+		})
+	}
+}
+
+// TestStorageOffIsByteIdentical pins the zero-cost guarantee from the
+// other side: attaching storage must not change the simulated Result
+// (all page work happens at existing event boundaries and costs zero
+// simulated time). The differential battery covers this across seeds;
+// this is the quick, named pin.
+func TestStorageOffIsByteIdentical(t *testing.T) {
+	cfg := chaosConfig(sched.KWTPGFactory(2), 17)
+	base, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := storage.Open(t.TempDir(), cfg.Machine.NumParts, storage.WithPageSize(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	backed, err := Run(cfg, WithStorage(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", base) != fmt.Sprintf("%+v", backed) {
+		t.Errorf("attaching storage changed the simulated result:\nbase:    %+v\nstorage: %+v", base, backed)
+	}
+}

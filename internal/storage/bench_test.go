@@ -1,0 +1,78 @@
+package storage
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"batsched/internal/txn"
+)
+
+// benchFrames reads STORAGE_POOL: the buffer-pool frame count for the
+// scan benchmark. The default 64 caches the whole benchmark partition
+// (pool-hit path); set it low (e.g. STORAGE_POOL=4) to starve the pool
+// and measure the disk-read path — `make bench-storage` records both.
+func benchFrames() int {
+	if s := os.Getenv("STORAGE_POOL"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v >= 4 {
+			return v
+		}
+	}
+	return 64
+}
+
+// BenchmarkStorageScan measures full-partition scan throughput through
+// the buffer pool: one partition pre-loaded with effect tuples, scanned
+// end to end per iteration. b.SetBytes reports real MB/s (page bytes
+// held by the partition, every one inspected per scan).
+func BenchmarkStorageScan(b *testing.B) {
+	dir := b.TempDir()
+	st, err := Open(dir, 1, WithPoolFrames(benchFrames()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	const tuples = 4096
+	for i := 0; i < tuples; i++ {
+		if _, err := st.Insert(0, EncodeEffect(txn.ID(i+1), 0, 0, 64)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := st.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(st.NumPages(0)) * int64(st.PageSize()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := st.ScanCount(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != tuples {
+			b.Fatalf("scan found %d tuples, want %d", n, tuples)
+		}
+	}
+	b.StopTimer()
+	ps := st.Stats()
+	b.ReportMetric(100*ps.HitRate(), "hit%")
+}
+
+// BenchmarkStorageInsert measures the insert path: effect-sized tuples
+// appended to one partition through the pool, with the page-allocation
+// and dirty write-back costs included via a periodic flush.
+func BenchmarkStorageInsert(b *testing.B) {
+	dir := b.TempDir()
+	st, err := Open(dir, 1, WithPoolFrames(benchFrames()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Insert(0, EncodeEffect(txn.ID(i+1), 0, 0, 64)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+}

@@ -1,0 +1,156 @@
+package storage
+
+import (
+	"encoding/binary"
+
+	"batsched/internal/txn"
+	"batsched/internal/wal"
+)
+
+// The deterministic effect model (docs/STORAGE.md): every committed
+// write step s_i of transaction T inserts exactly one tuple into s_i's
+// partition, and the tuple is a pure function of (T, i). The final
+// content of every partition is therefore a pure function of the
+// committed set — the property the differential and crash batteries
+// check — and re-applying an effect is detectable (the key is already
+// present), which makes WAL redo idempotent.
+
+// EffectKey identifies one committed write effect.
+type EffectKey struct {
+	Txn  txn.ID
+	Step int
+}
+
+const effectHeaderLen = 16
+
+// EncodeEffect builds the effect tuple for (id, step) on part, padded
+// to size bytes with a deterministic filler.
+func EncodeEffect(id txn.ID, step int, part txn.PartitionID, size int) []byte {
+	if size < effectHeaderLen {
+		size = effectHeaderLen
+	}
+	b := make([]byte, size)
+	binary.LittleEndian.PutUint64(b, uint64(id))
+	binary.LittleEndian.PutUint32(b[8:], uint32(step))
+	binary.LittleEndian.PutUint32(b[12:], uint32(part))
+	for i := effectHeaderLen; i < size; i++ {
+		b[i] = byte(uint64(id)*2654435761 + uint64(step)*40503 + uint64(i))
+	}
+	return b
+}
+
+// DecodeEffect parses an effect tuple's key and partition.
+func DecodeEffect(b []byte) (EffectKey, txn.PartitionID, bool) {
+	if len(b) < effectHeaderLen {
+		return EffectKey{}, 0, false
+	}
+	return EffectKey{
+			Txn:  txn.ID(binary.LittleEndian.Uint64(b)),
+			Step: int(binary.LittleEndian.Uint32(b[8:])),
+		},
+		txn.PartitionID(binary.LittleEndian.Uint32(b[12:])),
+		true
+}
+
+// Stage records that (id, step) will insert its effect tuple into part
+// if — and only if — the transaction commits. Nothing touches a page
+// until ApplyCommit: uncommitted effects are never written, so aborts
+// need no undo (a no-steal policy at transaction granularity).
+func (st *Store) Stage(id txn.ID, step int, part txn.PartitionID) {
+	st.stageMu.Lock()
+	st.staged[id] = append(st.staged[id], stagedEffect{step: step, part: part})
+	st.stageMu.Unlock()
+}
+
+// StagedCount returns the number of effects currently staged for id.
+func (st *Store) StagedCount(id txn.ID) int {
+	st.stageMu.Lock()
+	defer st.stageMu.Unlock()
+	return len(st.staged[id])
+}
+
+// ApplyCommit applies id's staged effects to their partitions and
+// flushes the touched partitions' dirty pages. The caller MUST have
+// forced the transaction's WAL commit record first (the write-ahead
+// contract: pages carrying an effect never reach disk before the
+// record that makes the effect redoable), and must still hold the
+// transaction's partition locks (the apply mutates pages other
+// transactions may otherwise be scanning).
+func (st *Store) ApplyCommit(id txn.ID) error {
+	st.stageMu.Lock()
+	effs := st.staged[id]
+	delete(st.staged, id)
+	st.stageMu.Unlock()
+	touched := make(map[txn.PartitionID]bool, len(effs))
+	for _, e := range effs {
+		if _, err := st.Insert(e.part, EncodeEffect(id, e.step, e.part, st.effectBytes)); err != nil {
+			return err
+		}
+		touched[e.part] = true
+	}
+	for part := range touched {
+		if err := st.FlushPartition(part); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Drop discards id's staged effects (abort, or end-of-run cleanup for
+// transactions still in flight).
+func (st *Store) Drop(id txn.ID) {
+	st.stageMu.Lock()
+	delete(st.staged, id)
+	st.stageMu.Unlock()
+}
+
+// Keys scans a partition and returns the set of effect keys present
+// (tuples that do not decode as effects are ignored).
+func (st *Store) Keys(part txn.PartitionID) (map[EffectKey]bool, error) {
+	keys := make(map[EffectKey]bool)
+	it := st.Scan(part)
+	for {
+		tup, _, ok := it.Next()
+		if !ok {
+			break
+		}
+		if k, _, ok := DecodeEffect(tup); ok {
+			keys[k] = true
+		}
+	}
+	it.Close()
+	return keys, it.Err()
+}
+
+// Redo re-applies one committed transaction's missing write effects
+// from its WAL Begin record (wal.Replay's apply callback shape, wave
+// parameter dropped). Effects already present — the page survived the
+// crash — are skipped: redo is idempotent. Safe for the concurrent
+// calls a replay wave makes; the caller flushes once afterwards.
+func (st *Store) Redo(begin wal.Record) error {
+	for i, s := range begin.Steps {
+		if s.Mode != txn.Write {
+			continue
+		}
+		key := EffectKey{Txn: begin.Txn, Step: i}
+		st.redoMu.Lock()
+		present := st.redoKeys[s.Part]
+		if present == nil {
+			var err error
+			if present, err = st.Keys(s.Part); err != nil {
+				st.redoMu.Unlock()
+				return err
+			}
+			st.redoKeys[s.Part] = present
+		}
+		if !present[key] {
+			present[key] = true
+			if _, err := st.Insert(s.Part, EncodeEffect(begin.Txn, i, s.Part, st.effectBytes)); err != nil {
+				st.redoMu.Unlock()
+				return err
+			}
+		}
+		st.redoMu.Unlock()
+	}
+	return nil
+}

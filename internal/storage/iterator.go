@@ -1,0 +1,101 @@
+package storage
+
+import (
+	"batsched/internal/txn"
+)
+
+// Iterator walks one partition's live tuples page by page, pinning the
+// current page for the duration of its tuples and copying each tuple
+// out (the copy stays valid after Close). The page count is snapshotted
+// at Scan time; tuples inserted after that may or may not be seen —
+// partition-level isolation is the scheduler's contract, not the
+// iterator's.
+type Iterator struct {
+	st     *Store
+	part   txn.PartitionID
+	pool   *Pool
+	npages uint32
+	page   uint32
+	slot   int
+	fr     *Frame
+	err    error
+	done   bool
+}
+
+// Scan opens an iterator over part. Always Close it — an open iterator
+// holds a pin on its current page.
+func (st *Store) Scan(part txn.PartitionID) *Iterator {
+	it := &Iterator{st: st, part: part}
+	pf, err := st.pf(part)
+	if err != nil {
+		it.err, it.done = err, true
+		return it
+	}
+	pf.mu.Lock()
+	it.npages = pf.pages
+	pf.mu.Unlock()
+	it.pool = st.poolOf(part)
+	return it
+}
+
+// Next returns the next live tuple (copied) and its RecordID, or false
+// when the scan is exhausted or failed (check Err).
+func (it *Iterator) Next() ([]byte, RecordID, bool) {
+	if it.done {
+		return nil, RecordID{}, false
+	}
+	for {
+		if it.fr == nil {
+			if it.page >= it.npages {
+				it.done = true
+				return nil, RecordID{}, false
+			}
+			fr, err := it.pool.Get(pageKey{it.part, it.page}, false)
+			if err != nil {
+				it.err, it.done = err, true
+				return nil, RecordID{}, false
+			}
+			it.fr = fr
+			it.slot = 0
+		}
+		pg := it.fr.Page()
+		for it.slot < pg.NumSlots() {
+			s := it.slot
+			it.slot++
+			if tup, ok := pg.Get(s); ok {
+				return append([]byte(nil), tup...), RecordID{Page: it.page, Slot: s}, true
+			}
+		}
+		it.pool.Unpin(it.fr, false)
+		it.fr = nil
+		it.page++
+	}
+}
+
+// Err returns the error that stopped the scan, if any.
+func (it *Iterator) Err() error { return it.err }
+
+// Close releases the iterator's pin. Safe to call twice.
+func (it *Iterator) Close() {
+	if it.fr != nil {
+		it.pool.Unpin(it.fr, false)
+		it.fr = nil
+	}
+	it.done = true
+}
+
+// ScanCount scans the whole partition and returns its live tuple count
+// — the convenience form the execution layers use to drive a real
+// read of every page under a granted read step.
+func (st *Store) ScanCount(part txn.PartitionID) (int, error) {
+	it := st.Scan(part)
+	n := 0
+	for {
+		if _, _, ok := it.Next(); !ok {
+			break
+		}
+		n++
+	}
+	it.Close()
+	return n, it.Err()
+}

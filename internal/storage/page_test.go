@@ -1,0 +1,313 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randTuples turns raw quick-check bytes into a bounded tuple workload.
+func randTuples(data []byte, maxLen int) [][]byte {
+	var tuples [][]byte
+	for i := 0; i < len(data); {
+		n := 1 + int(data[i])%maxLen
+		i++
+		end := i + n
+		if end > len(data) {
+			end = len(data)
+		}
+		if end == i {
+			break
+		}
+		tuples = append(tuples, data[i:end])
+		i = end
+	}
+	return tuples
+}
+
+// TestPageRoundTrip is the testing/quick property: any sequence of
+// tuples inserted into a page comes back byte-identical through
+// Seal → LoadPage → Get, in slot order.
+func TestPageRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		buf := make([]byte, 2048)
+		p := InitPage(buf, 7)
+		var want [][]byte
+		for _, tup := range randTuples(data, 128) {
+			if slot, ok := p.Insert(tup); ok {
+				if slot != len(want) {
+					t.Logf("insert returned slot %d, want %d", slot, len(want))
+					return false
+				}
+				want = append(want, append([]byte(nil), tup...))
+			}
+		}
+		p.Seal()
+		q, err := LoadPage(buf)
+		if err != nil {
+			t.Logf("LoadPage: %v", err)
+			return false
+		}
+		if q.PageNo() != 7 || q.Live() != len(want) {
+			return false
+		}
+		for i, w := range want {
+			got, ok := q.Get(i)
+			if !ok || !bytes.Equal(got, w) {
+				t.Logf("slot %d mismatch", i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPageInsertDeleteChurn mixes inserts and deletes and checks the
+// surviving tuples against a shadow map after every compaction-inducing
+// operation. This is the slot-directory invariant check: live slot ids
+// are stable across Compact, dead slots read as absent, and free space
+// accounting never goes negative.
+func TestPageInsertDeleteChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	buf := make([]byte, 4096)
+	p := InitPage(buf, 3)
+	shadow := map[int][]byte{} // slot -> tuple
+	for op := 0; op < 5000; op++ {
+		if rng.Intn(3) != 0 { // insert-biased churn
+			tup := make([]byte, 1+rng.Intn(200))
+			rng.Read(tup)
+			if slot, ok := p.Insert(tup); ok {
+				if _, taken := shadow[slot]; taken {
+					t.Fatalf("op %d: Insert reused live slot %d", op, slot)
+				}
+				shadow[slot] = append([]byte(nil), tup...)
+			}
+		} else if len(shadow) > 0 {
+			// delete a random live slot
+			var slots []int
+			for s := range shadow {
+				slots = append(slots, s)
+			}
+			s := slots[rng.Intn(len(slots))]
+			if !p.Delete(s) {
+				t.Fatalf("op %d: Delete(%d) failed on live slot", op, s)
+			}
+			delete(shadow, s)
+		}
+		if p.Live() != len(shadow) {
+			t.Fatalf("op %d: Live()=%d, shadow has %d", op, p.Live(), len(shadow))
+		}
+		if p.FreeSpace() < 0 {
+			t.Fatalf("op %d: negative free space", op)
+		}
+	}
+	// Force a compaction and re-verify everything survives in place.
+	p.Compact()
+	for s, want := range shadow {
+		got, ok := p.Get(s)
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("after Compact: slot %d lost or corrupted", s)
+		}
+	}
+	if p.Live() != len(shadow) {
+		t.Fatalf("after Compact: Live()=%d, want %d", p.Live(), len(shadow))
+	}
+	// Sealed image must reload cleanly.
+	p.Seal()
+	if _, err := LoadPage(buf); err != nil {
+		t.Fatalf("LoadPage after churn: %v", err)
+	}
+}
+
+// TestPageCompactionCanonical checks that compaction produces canonical
+// sealed images: two pages holding the same live tuples in the same
+// slots serialize identically regardless of the delete history that got
+// them there (the free gap is zeroed, trailing dead slots trimmed).
+func TestPageCompactionCanonical(t *testing.T) {
+	mk := func(deleteOrder []int) []byte {
+		buf := make([]byte, 1024)
+		p := InitPage(buf, 1)
+		for i := 0; i < 6; i++ {
+			if _, ok := p.Insert(bytes.Repeat([]byte{byte(i + 1)}, 20+i)); !ok {
+				t.Fatalf("setup insert %d failed", i)
+			}
+		}
+		for _, s := range deleteOrder {
+			p.Delete(s)
+		}
+		p.Compact()
+		p.Seal()
+		return buf
+	}
+	a := mk([]int{1, 4, 5})
+	b := mk([]int{5, 4, 1})
+	if !bytes.Equal(a, b) {
+		t.Fatal("compacted sealed images differ for identical live content")
+	}
+}
+
+// TestPageUpdate covers in-place updates, relocating updates, and the
+// no-room failure leaving the page untouched.
+func TestPageUpdate(t *testing.T) {
+	buf := make([]byte, 512)
+	p := InitPage(buf, 0)
+	s0, _ := p.Insert([]byte("aaaa"))
+	s1, _ := p.Insert([]byte("bbbb"))
+	if !p.Update(s0, []byte("AAAA")) { // same length: in place
+		t.Fatal("in-place update failed")
+	}
+	if !p.Update(s1, bytes.Repeat([]byte("c"), 100)) { // grow: relocate
+		t.Fatal("relocating update failed")
+	}
+	got, _ := p.Get(s1)
+	if !bytes.Equal(got, bytes.Repeat([]byte("c"), 100)) {
+		t.Fatal("relocated tuple wrong")
+	}
+	// Fill the page, then try an update that cannot fit.
+	for {
+		if _, ok := p.Insert(bytes.Repeat([]byte("x"), 40)); !ok {
+			break
+		}
+	}
+	before := append([]byte(nil), buf...)
+	if p.Update(s0, bytes.Repeat([]byte("z"), 400)) {
+		t.Fatal("update succeeded with no room")
+	}
+	got0, ok := p.Get(s0)
+	if !ok || !bytes.Equal(got0, []byte("AAAA")) {
+		t.Fatal("failed update corrupted the original tuple")
+	}
+	if !bytes.Equal(buf, before) {
+		t.Fatal("failed update mutated the page image")
+	}
+}
+
+// TestPageCorruptionBitFlip flips every bit of a sealed page, one at a
+// time, and requires LoadPage to reject each corrupted image. This is
+// the checksum satellite: no single-bit flip goes undetected.
+func TestPageCorruptionBitFlip(t *testing.T) {
+	buf := make([]byte, 512)
+	p := InitPage(buf, 9)
+	p.Insert([]byte("the quick brown fox"))
+	p.Insert([]byte("jumps over the lazy dog"))
+	p.Seal()
+	if _, err := LoadPage(buf); err != nil {
+		t.Fatalf("clean page rejected: %v", err)
+	}
+	for byteOff := 0; byteOff < len(buf); byteOff++ {
+		for bit := 0; bit < 8; bit++ {
+			buf[byteOff] ^= 1 << bit
+			if _, err := LoadPage(buf); err == nil {
+				t.Fatalf("bit flip at byte %d bit %d went undetected", byteOff, bit)
+			}
+			buf[byteOff] ^= 1 << bit
+		}
+	}
+	if _, err := LoadPage(buf); err != nil {
+		t.Fatalf("page damaged by the flip loop itself: %v", err)
+	}
+}
+
+// FuzzPageCodec drives the page codec with arbitrary operation tapes:
+// inserts, deletes, updates, and compactions against a shadow model,
+// then checks the sealed image reloads to the same content.
+func FuzzPageCodec(f *testing.F) {
+	f.Add([]byte{0, 5, 1, 2, 3, 4, 5, 2, 0})
+	f.Add([]byte{1, 0, 0, 10, 3})
+	f.Add(bytes.Repeat([]byte{0, 30, 7}, 40))
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		buf := make([]byte, 1024)
+		p := InitPage(buf, 2)
+		shadow := map[int][]byte{}
+		i := 0
+		next := func() (byte, bool) {
+			if i >= len(tape) {
+				return 0, false
+			}
+			b := tape[i]
+			i++
+			return b, true
+		}
+		for {
+			op, ok := next()
+			if !ok {
+				break
+			}
+			switch op % 4 {
+			case 0: // insert
+				n, ok := next()
+				if !ok {
+					break
+				}
+				ln := 1 + int(n)%160
+				end := i + ln
+				if end > len(tape) {
+					end = len(tape)
+				}
+				tup := append([]byte(nil), tape[i:end]...)
+				i = end
+				if len(tup) == 0 {
+					tup = []byte{0}
+				}
+				if slot, ok := p.Insert(tup); ok {
+					if _, live := shadow[slot]; live {
+						t.Fatalf("Insert clobbered live slot %d", slot)
+					}
+					shadow[slot] = tup
+				}
+			case 1: // delete
+				n, ok := next()
+				if !ok {
+					break
+				}
+				s := int(n) % (p.NumSlots() + 1)
+				_, live := shadow[s]
+				if p.Delete(s) != live {
+					t.Fatalf("Delete(%d)=%v, shadow live=%v", s, !live, live)
+				}
+				delete(shadow, s)
+			case 2: // update
+				n, ok := next()
+				if !ok {
+					break
+				}
+				s := int(n) % (p.NumSlots() + 1)
+				ln, ok := next()
+				if !ok {
+					break
+				}
+				tup := bytes.Repeat([]byte{n}, 1+int(ln)%160)
+				_, live := shadow[s]
+				if p.Update(s, tup) {
+					if !live {
+						t.Fatalf("Update(%d) succeeded on dead slot", s)
+					}
+					shadow[s] = tup
+				}
+			case 3:
+				p.Compact()
+			}
+			if p.Live() != len(shadow) {
+				t.Fatalf("Live()=%d, shadow=%d", p.Live(), len(shadow))
+			}
+		}
+		for s, want := range shadow {
+			got, ok := p.Get(s)
+			if !ok || !bytes.Equal(got, want) {
+				t.Fatalf("slot %d diverged from shadow", s)
+			}
+		}
+		p.Seal()
+		q, err := LoadPage(buf)
+		if err != nil {
+			t.Fatalf("sealed image rejected: %v", err)
+		}
+		if q.Live() != len(shadow) {
+			t.Fatalf("reloaded Live()=%d, want %d", q.Live(), len(shadow))
+		}
+	})
+}

@@ -1,0 +1,267 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"batsched/internal/txn"
+)
+
+// pageKey names one page: its partition heap file and page number.
+type pageKey struct {
+	part txn.PartitionID
+	page uint32
+}
+
+// Frame is one buffer-pool slot: a page-sized buffer plus the pin/dirty
+// bookkeeping. All fields are guarded by the owning pool's mutex.
+type Frame struct {
+	key   pageKey
+	buf   []byte
+	pins  int
+	dirty bool
+	ref   bool // clock second-chance bit
+	valid bool
+}
+
+// Page returns the frame's content as a slotted page. Only valid while
+// the caller holds a pin.
+func (f *Frame) Page() Page { return Page{b: f.buf} }
+
+// pageIO is the pool's backend: reading a page image from its heap file
+// and writing one back. Implemented by Store.
+type pageIO interface {
+	readPage(k pageKey, buf []byte) error
+	writePage(k pageKey, buf []byte) error
+}
+
+// PoolStats is a snapshot of one pool's counters (or, via Store.Stats,
+// the sum over every per-node pool).
+type PoolStats struct {
+	Frames       int
+	Pinned       int
+	Hits         uint64
+	Misses       uint64
+	Evictions    uint64
+	BytesRead    uint64
+	BytesWritten uint64
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any access.
+func (s PoolStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+func (s *PoolStats) add(o PoolStats) {
+	s.Frames += o.Frames
+	s.Pinned += o.Pinned
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.BytesRead += o.BytesRead
+	s.BytesWritten += o.BytesWritten
+}
+
+// Pool is a fixed-capacity buffer pool with clock (second-chance)
+// eviction. One pool serves one data node's partitions; all state is
+// guarded by mu. Disk I/O — the miss read, the dirty-victim write-back
+// — happens under the mutex: the pool serializes its node's I/O exactly
+// like the single disk arm the paper's machine model assumes.
+type Pool struct {
+	mu     sync.Mutex
+	io     pageIO
+	frames []*Frame
+	idx    map[pageKey]*Frame
+	hand   int
+
+	hits, misses, evictions, bytesRead, bytesWritten uint64
+
+	// onEvent reports page traffic to the store's observer wiring
+	// (nil = unobserved). Called with the pool lock held.
+	onEvent func(op string, k pageKey, bytes int)
+}
+
+func newPool(io pageIO, frames, pageSize int) *Pool {
+	p := &Pool{io: io, idx: make(map[pageKey]*Frame, frames)}
+	p.frames = make([]*Frame, frames)
+	for i := range p.frames {
+		p.frames[i] = &Frame{buf: make([]byte, pageSize)}
+	}
+	return p
+}
+
+// Get pins the frame holding page k, reading it from disk on a miss.
+// When create is set the page is expected not to exist on disk and the
+// frame is initialized empty instead of read. The caller must Unpin.
+func (p *Pool) Get(k pageKey, create bool) (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, ok := p.idx[k]; ok {
+		f.pins++
+		f.ref = true
+		p.hits++
+		if p.onEvent != nil {
+			p.onEvent("hit", k, 0)
+		}
+		return f, nil
+	}
+	f, err := p.victimLocked()
+	if err != nil {
+		return nil, err
+	}
+	if f.valid {
+		delete(p.idx, f.key)
+		p.evictions++
+		if p.onEvent != nil {
+			op := "evict-clean"
+			if f.dirty {
+				op = "evict-dirty"
+			}
+			p.onEvent(op, f.key, 0)
+		}
+	}
+	if f.dirty {
+		if err := p.writeBackLocked(f); err != nil {
+			f.valid = false
+			return nil, err
+		}
+	}
+	p.misses++
+	if create {
+		InitPage(f.buf, k.page)
+	} else {
+		if err := p.io.readPage(k, f.buf); err != nil {
+			f.valid = false
+			return nil, err
+		}
+		p.bytesRead += uint64(len(f.buf))
+	}
+	if p.onEvent != nil {
+		bytes := 0
+		if !create {
+			bytes = len(f.buf)
+		}
+		p.onEvent("miss", k, bytes)
+	}
+	f.key = k
+	f.valid = true
+	f.dirty = create // a created page must reach disk even if untouched
+	f.pins = 1
+	f.ref = true
+	p.idx[k] = f
+	return f, nil
+}
+
+// victimLocked runs the clock hand: skip pinned frames, clear one
+// second-chance bit per lap, take the first unpinned frame without one.
+func (p *Pool) victimLocked() (*Frame, error) {
+	for sweep := 0; sweep < 2*len(p.frames); sweep++ {
+		f := p.frames[p.hand]
+		p.hand = (p.hand + 1) % len(p.frames)
+		if f.pins > 0 {
+			continue
+		}
+		if f.ref {
+			f.ref = false
+			continue
+		}
+		return f, nil
+	}
+	return nil, fmt.Errorf("storage: buffer pool exhausted (%d frames, all pinned)", len(p.frames))
+}
+
+func (p *Pool) writeBackLocked(f *Frame) error {
+	f.Page().Seal()
+	if err := p.io.writePage(f.key, f.buf); err != nil {
+		return err
+	}
+	p.bytesWritten += uint64(len(f.buf))
+	f.dirty = false
+	if p.onEvent != nil {
+		p.onEvent("write", f.key, len(f.buf))
+	}
+	return nil
+}
+
+// Unpin releases one pin, marking the frame dirty when the caller
+// mutated the page. Unpinning an unpinned frame is a programming error
+// and panics — the invariant the pool tests assert under -race.
+func (p *Pool) Unpin(f *Frame, dirty bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f.pins <= 0 {
+		panic(fmt.Sprintf("storage: unpin of unpinned frame (part %v page %d)", f.key.part, f.key.page))
+	}
+	f.pins--
+	if dirty {
+		f.dirty = true
+	}
+}
+
+// FlushPart writes back every dirty frame of one partition (pinned
+// frames included: their current image is consistent — mutators hold
+// the partition's op lock and the scheduler's partition lock).
+func (p *Pool) FlushPart(part txn.PartitionID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if f.valid && f.dirty && f.key.part == part {
+			if err := p.writeBackLocked(f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// FlushAll writes back every dirty frame.
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if f.valid && f.dirty {
+			if err := p.writeBackLocked(f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// invalidate drops every cached frame of one partition without writing
+// it back (used by crash simulation: dirty pages die with the process).
+func (p *Pool) invalidate(part txn.PartitionID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if f.valid && f.key.part == part {
+			delete(p.idx, f.key)
+			f.valid = false
+			f.dirty = false
+			f.pins = 0
+		}
+	}
+}
+
+// Stats snapshots the pool's counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := PoolStats{
+		Frames:       len(p.frames),
+		Hits:         p.hits,
+		Misses:       p.misses,
+		Evictions:    p.evictions,
+		BytesRead:    p.bytesRead,
+		BytesWritten: p.bytesWritten,
+	}
+	for _, f := range p.frames {
+		if f.pins > 0 {
+			s.Pinned++
+		}
+	}
+	return s
+}

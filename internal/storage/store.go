@@ -1,0 +1,615 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"batsched/internal/event"
+	"batsched/internal/obs"
+	"batsched/internal/txn"
+)
+
+// Option configures Open.
+type Option func(*config)
+
+type config struct {
+	pageSize    int
+	poolFrames  int
+	nodes       int
+	effectBytes int
+}
+
+// WithPageSize sets the page size (default DefaultPageSize). Must lie
+// in [MinPageSize, MaxPageSize]; all heap files of one store share it.
+func WithPageSize(n int) Option { return func(c *config) { c.pageSize = n } }
+
+// WithPoolFrames sets each per-node buffer pool's frame count
+// (default 64).
+func WithPoolFrames(n int) Option { return func(c *config) { c.poolFrames = n } }
+
+// WithNodes splits the buffer pool per data node: partition p is served
+// by pool p mod n. The mapping is static — correctness never depends on
+// it, so re-homed partitions simply warm a different pool.
+func WithNodes(n int) Option { return func(c *config) { c.nodes = n } }
+
+// WithEffectBytes sets the size of the deterministic effect tuples
+// committed write steps insert (default 64, minimum effectHeaderLen).
+func WithEffectBytes(n int) Option { return func(c *config) { c.effectBytes = n } }
+
+// RecordID locates one tuple: its page and slot within the partition's
+// heap file.
+type RecordID struct {
+	Page uint32
+	Slot int
+}
+
+// partFile is one partition's heap file. mu guards the descriptor and
+// the page count; opMu serializes structural mutations (insert, update,
+// delete, redo) so the store's own commit-apply and recovery paths can
+// run concurrently. Readers take neither — partition-level concurrency
+// control is the scheduler's contract (strict 2PL: a writer excludes
+// every reader).
+type partFile struct {
+	mu    sync.Mutex
+	f     *os.File
+	pages uint32
+	opMu  sync.Mutex
+}
+
+// Store is a directory of per-partition heap files behind per-node
+// buffer pools. It also carries the transactional glue the schedulers
+// drive: per-transaction staged effects applied at commit (after the
+// WAL force — the write-ahead contract extended to pages), crash
+// simulation for the chaos batteries, and WAL-replay redo.
+type Store struct {
+	dir         string
+	pageSize    int
+	effectBytes int
+	parts       []*partFile
+	pools       []*Pool
+	torn        int // pages discarded by open-time recovery
+
+	// Observer wiring (Bind): the sink, the scheduler label stamped on
+	// events, and the clock supplying Event.At — the simulator binds its
+	// deterministic timeline, the live controller wall milliseconds.
+	obsMu    sync.Mutex
+	observer obs.Observer
+	label    string
+	clock    func() event.Time
+
+	// Staged effects: write steps stage one deterministic tuple each;
+	// commit applies and flushes them, abort drops them.
+	stageMu sync.Mutex
+	staged  map[txn.ID][]stagedEffect
+
+	// Un-fsynced write history for Crash: heap pages are never synced,
+	// so a kill may tear any of them; the sequence numbers make the tear
+	// deterministic (oldest writes are the ones the kernel most likely
+	// completed).
+	writeMu  sync.Mutex
+	writeSeq map[pageKey]int
+	writeN   int
+
+	// Redo bookkeeping: per-partition present-key index built lazily on
+	// the first Redo against that partition.
+	redoMu   sync.Mutex
+	redoKeys map[txn.PartitionID]map[EffectKey]bool
+
+	closed bool
+}
+
+type stagedEffect struct {
+	step int
+	part txn.PartitionID
+}
+
+// Open opens (or creates) a store of numParts partition heap files
+// under dir, running page-level recovery on existing files: a trailing
+// run of torn/corrupt pages is truncated and an interior torn page is
+// reinitialized empty (TornPages counts both). Lost committed tuples
+// are the WAL's to restore — see Redo.
+func Open(dir string, numParts int, opts ...Option) (*Store, error) {
+	if numParts <= 0 {
+		return nil, fmt.Errorf("storage: %d partitions", numParts)
+	}
+	c := config{pageSize: DefaultPageSize, poolFrames: 64, nodes: 1, effectBytes: 64}
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.pageSize < MinPageSize || c.pageSize > MaxPageSize {
+		return nil, fmt.Errorf("storage: page size %d outside [%d,%d]", c.pageSize, MinPageSize, MaxPageSize)
+	}
+	if c.poolFrames < 4 {
+		return nil, fmt.Errorf("storage: pool of %d frames (min 4)", c.poolFrames)
+	}
+	if c.nodes < 1 {
+		c.nodes = 1
+	}
+	if c.effectBytes < effectHeaderLen {
+		c.effectBytes = effectHeaderLen
+	}
+	if c.effectBytes > c.pageSize-pageHeaderLen-slotLen {
+		return nil, fmt.Errorf("storage: effect tuple %d bytes exceeds page capacity", c.effectBytes)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	st := &Store{
+		dir:         dir,
+		pageSize:    c.pageSize,
+		effectBytes: c.effectBytes,
+		staged:      make(map[txn.ID][]stagedEffect),
+		writeSeq:    make(map[pageKey]int),
+		redoKeys:    make(map[txn.PartitionID]map[EffectKey]bool),
+	}
+	st.pools = make([]*Pool, c.nodes)
+	for i := range st.pools {
+		st.pools[i] = newPool(st, c.poolFrames, c.pageSize)
+	}
+	st.parts = make([]*partFile, numParts)
+	for p := range st.parts {
+		f, err := os.OpenFile(st.partPath(p), os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			st.closeFiles()
+			return nil, fmt.Errorf("storage: %w", err)
+		}
+		pf := &partFile{f: f}
+		torn, pages, err := st.recoverFile(f)
+		if err != nil {
+			st.closeFiles()
+			return nil, err
+		}
+		st.torn += torn
+		pf.pages = pages
+		st.parts[p] = pf
+	}
+	return st, nil
+}
+
+func (st *Store) partPath(p int) string {
+	return filepath.Join(st.dir, fmt.Sprintf("part-%04d.heap", p))
+}
+
+// recoverFile verifies every page of one heap file: a partial trailing
+// page and trailing pages failing verification are truncated away, and
+// interior failures are reinitialized as empty pages. Returns the
+// number of pages discarded either way, and the surviving page count.
+func (st *Store) recoverFile(f *os.File) (torn int, pages uint32, err error) {
+	info, err := f.Stat()
+	if err != nil {
+		return 0, 0, fmt.Errorf("storage: %w", err)
+	}
+	size := info.Size()
+	ps := int64(st.pageSize)
+	if rem := size % ps; rem != 0 {
+		// A partial page can only be the tail (files grow by whole
+		// pages); it is by definition torn.
+		size -= rem
+		torn++
+		if err := f.Truncate(size); err != nil {
+			return 0, 0, fmt.Errorf("storage: %w", err)
+		}
+	}
+	n := size / ps
+	buf := make([]byte, st.pageSize)
+	valid := make([]bool, n)
+	for i := int64(0); i < n; i++ {
+		if _, err := f.ReadAt(buf, i*ps); err != nil {
+			return 0, 0, fmt.Errorf("storage: %w", err)
+		}
+		if _, err := LoadPage(buf); err == nil {
+			valid[i] = true
+		}
+	}
+	newN := n
+	for newN > 0 && !valid[newN-1] {
+		newN--
+		torn++
+	}
+	if newN != n {
+		if err := f.Truncate(newN * ps); err != nil {
+			return 0, 0, fmt.Errorf("storage: %w", err)
+		}
+	}
+	for i := int64(0); i < newN; i++ {
+		if valid[i] {
+			continue
+		}
+		torn++
+		pg := InitPage(buf, uint32(i))
+		pg.Seal()
+		if _, err := f.WriteAt(buf, i*ps); err != nil {
+			return 0, 0, fmt.Errorf("storage: %w", err)
+		}
+	}
+	return torn, uint32(newN), nil
+}
+
+// TornPages returns the number of pages open-time recovery discarded
+// (truncated or reinitialized).
+func (st *Store) TornPages() int { return st.torn }
+
+// NumPartitions returns the partition count the store was opened with.
+func (st *Store) NumPartitions() int { return len(st.parts) }
+
+// PageSize returns the store's page size in bytes.
+func (st *Store) PageSize() int { return st.pageSize }
+
+func (st *Store) poolOf(part txn.PartitionID) *Pool {
+	return st.pools[int(part)%len(st.pools)]
+}
+
+func (st *Store) pf(part txn.PartitionID) (*partFile, error) {
+	if int(part) < 0 || int(part) >= len(st.parts) {
+		return nil, fmt.Errorf("storage: partition %v outside [0,%d)", part, len(st.parts))
+	}
+	return st.parts[part], nil
+}
+
+// Bind attaches an observer for page-traffic events (KindPageRead,
+// KindPageWrite, KindPageEvict): label stamps Event.Sched and clock
+// supplies Event.At. A nil observer unbinds. One binding per running
+// simulation/controller — the same single-producer ownership rule as
+// obs.Metrics.
+func (st *Store) Bind(o obs.Observer, label string, clock func() event.Time) {
+	st.obsMu.Lock()
+	st.observer, st.label, st.clock = o, label, clock
+	st.obsMu.Unlock()
+	for _, p := range st.pools {
+		p.mu.Lock()
+		if o == nil {
+			p.onEvent = nil
+		} else {
+			p.onEvent = st.poolEvent
+		}
+		p.mu.Unlock()
+	}
+}
+
+// poolEvent translates a pool callback into a structured trace event.
+func (st *Store) poolEvent(op string, k pageKey, bytes int) {
+	st.obsMu.Lock()
+	o, label, clock := st.observer, st.label, st.clock
+	st.obsMu.Unlock()
+	if o == nil {
+		return
+	}
+	e := obs.Event{
+		Sched: label,
+		Txn:   0,
+		Part:  k.part,
+		Node:  int(k.part) % len(st.pools),
+		Batch: bytes,
+	}
+	if clock != nil {
+		e.At = clock()
+	}
+	switch op {
+	case "hit":
+		e.Kind, e.Op = obs.KindPageRead, "hit"
+	case "miss":
+		e.Kind, e.Op = obs.KindPageRead, "miss"
+	case "write":
+		e.Kind = obs.KindPageWrite
+	case "evict-clean":
+		e.Kind, e.Op = obs.KindPageEvict, "clean"
+	case "evict-dirty":
+		e.Kind, e.Op = obs.KindPageEvict, "dirty"
+	default:
+		return
+	}
+	o.Observe(e)
+}
+
+// readPage / writePage implement pageIO for the pools.
+func (st *Store) readPage(k pageKey, buf []byte) error {
+	pf := st.parts[k.part]
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	if _, err := pf.f.ReadAt(buf, int64(k.page)*int64(st.pageSize)); err != nil {
+		return fmt.Errorf("storage: read %v page %d: %w", k.part, k.page, err)
+	}
+	if _, err := LoadPage(buf); err != nil {
+		return fmt.Errorf("storage: read %v page %d: %w", k.part, k.page, err)
+	}
+	return nil
+}
+
+func (st *Store) writePage(k pageKey, buf []byte) error {
+	pf := st.parts[k.part]
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	if _, err := pf.f.WriteAt(buf, int64(k.page)*int64(st.pageSize)); err != nil {
+		return fmt.Errorf("storage: write %v page %d: %w", k.part, k.page, err)
+	}
+	st.writeMu.Lock()
+	st.writeN++
+	st.writeSeq[k] = st.writeN
+	st.writeMu.Unlock()
+	return nil
+}
+
+// NumPages returns the partition's current page count (cached pages
+// included — a created page counts before it first reaches disk).
+func (st *Store) NumPages(part txn.PartitionID) uint32 {
+	pf, err := st.pf(part)
+	if err != nil {
+		return 0
+	}
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	return pf.pages
+}
+
+// TouchPage reads one page of a partition through the pool — the
+// simulator's per-object quantum turned into a real page read. Reading
+// past the current page count is a no-op (an empty partition has
+// nothing to read).
+func (st *Store) TouchPage(part txn.PartitionID, page uint32) error {
+	pf, err := st.pf(part)
+	if err != nil {
+		return err
+	}
+	pf.mu.Lock()
+	n := pf.pages
+	pf.mu.Unlock()
+	if n == 0 {
+		return nil
+	}
+	fr, err := st.poolOf(part).Get(pageKey{part, page % n}, false)
+	if err != nil {
+		return err
+	}
+	st.poolOf(part).Unpin(fr, false)
+	return nil
+}
+
+// maxTuple is the largest tuple a fresh page can hold.
+func (st *Store) maxTuple() int { return st.pageSize - pageHeaderLen - slotLen }
+
+// Insert appends a tuple to the partition's heap: the last page if it
+// fits, a freshly allocated page otherwise. Callers mutating one
+// partition concurrently must hold its scheduler lock; the store's own
+// commit/redo paths additionally serialize on the partition op lock.
+func (st *Store) Insert(part txn.PartitionID, tuple []byte) (RecordID, error) {
+	pf, err := st.pf(part)
+	if err != nil {
+		return RecordID{}, err
+	}
+	pf.opMu.Lock()
+	defer pf.opMu.Unlock()
+	return st.insertLocked(pf, part, tuple)
+}
+
+func (st *Store) insertLocked(pf *partFile, part txn.PartitionID, tuple []byte) (RecordID, error) {
+	if len(tuple) > st.maxTuple() {
+		return RecordID{}, fmt.Errorf("storage: tuple %d bytes exceeds page capacity %d", len(tuple), st.maxTuple())
+	}
+	pool := st.poolOf(part)
+	pf.mu.Lock()
+	n := pf.pages
+	pf.mu.Unlock()
+	if n > 0 {
+		fr, err := pool.Get(pageKey{part, n - 1}, false)
+		if err != nil {
+			return RecordID{}, err
+		}
+		if slot, ok := fr.Page().Insert(tuple); ok {
+			pool.Unpin(fr, true)
+			return RecordID{Page: n - 1, Slot: slot}, nil
+		}
+		pool.Unpin(fr, false)
+	}
+	pf.mu.Lock()
+	pageNo := pf.pages
+	pf.pages++
+	pf.mu.Unlock()
+	fr, err := pool.Get(pageKey{part, pageNo}, true)
+	if err != nil {
+		return RecordID{}, err
+	}
+	slot, ok := fr.Page().Insert(tuple)
+	pool.Unpin(fr, true)
+	if !ok {
+		return RecordID{}, fmt.Errorf("storage: tuple %d bytes does not fit an empty page", len(tuple))
+	}
+	return RecordID{Page: pageNo, Slot: slot}, nil
+}
+
+// Get returns a copy of the tuple at rid, or false for a dead slot.
+func (st *Store) Get(part txn.PartitionID, rid RecordID) ([]byte, bool, error) {
+	pf, err := st.pf(part)
+	if err != nil {
+		return nil, false, err
+	}
+	pf.mu.Lock()
+	n := pf.pages
+	pf.mu.Unlock()
+	if rid.Page >= n {
+		return nil, false, nil
+	}
+	pool := st.poolOf(part)
+	fr, err := pool.Get(pageKey{part, rid.Page}, false)
+	if err != nil {
+		return nil, false, err
+	}
+	defer pool.Unpin(fr, false)
+	tup, ok := fr.Page().Get(rid.Slot)
+	if !ok {
+		return nil, false, nil
+	}
+	return append([]byte(nil), tup...), true, nil
+}
+
+// Delete removes the tuple at rid; false when the slot is already dead.
+func (st *Store) Delete(part txn.PartitionID, rid RecordID) (bool, error) {
+	pf, err := st.pf(part)
+	if err != nil {
+		return false, err
+	}
+	pf.opMu.Lock()
+	defer pf.opMu.Unlock()
+	pf.mu.Lock()
+	n := pf.pages
+	pf.mu.Unlock()
+	if rid.Page >= n {
+		return false, nil
+	}
+	pool := st.poolOf(part)
+	fr, err := pool.Get(pageKey{part, rid.Page}, false)
+	if err != nil {
+		return false, err
+	}
+	ok := fr.Page().Delete(rid.Slot)
+	pool.Unpin(fr, ok)
+	return ok, nil
+}
+
+// Update replaces the tuple at rid, in place when it fits (the returned
+// RecordID equals rid) and by delete-and-reinsert when the page cannot
+// hold the new length (fresh RecordID). False when rid is dead.
+func (st *Store) Update(part txn.PartitionID, rid RecordID, tuple []byte) (RecordID, bool, error) {
+	pf, err := st.pf(part)
+	if err != nil {
+		return RecordID{}, false, err
+	}
+	pf.opMu.Lock()
+	defer pf.opMu.Unlock()
+	pf.mu.Lock()
+	n := pf.pages
+	pf.mu.Unlock()
+	if rid.Page >= n {
+		return RecordID{}, false, nil
+	}
+	pool := st.poolOf(part)
+	fr, err := pool.Get(pageKey{part, rid.Page}, false)
+	if err != nil {
+		return RecordID{}, false, err
+	}
+	pg := fr.Page()
+	if pg.Update(rid.Slot, tuple) {
+		pool.Unpin(fr, true)
+		return rid, true, nil
+	}
+	ok := pg.Delete(rid.Slot)
+	pool.Unpin(fr, ok)
+	if !ok {
+		return RecordID{}, false, nil
+	}
+	nrid, err := st.insertLocked(pf, part, tuple)
+	if err != nil {
+		return RecordID{}, false, err
+	}
+	return nrid, true, nil
+}
+
+// Flush writes back every dirty page of every pool (no fsync — heap
+// durability is the WAL's job, see the package comment).
+func (st *Store) Flush() error {
+	for _, p := range st.pools {
+		if err := p.FlushAll(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FlushPartition writes back the partition's dirty pages.
+func (st *Store) FlushPartition(part txn.PartitionID) error {
+	if _, err := st.pf(part); err != nil {
+		return err
+	}
+	return st.poolOf(part).FlushPart(part)
+}
+
+// Stats sums the per-node pool counters.
+func (st *Store) Stats() PoolStats {
+	var s PoolStats
+	for _, p := range st.pools {
+		s.add(p.Stats())
+	}
+	return s
+}
+
+// PinnedFrames returns the number of currently pinned frames across all
+// pools (zero whenever no scan or mutation is in flight — the pool
+// accounting invariant the race tests assert).
+func (st *Store) PinnedFrames() int {
+	n := 0
+	for _, p := range st.pools {
+		n += p.Stats().Pinned
+	}
+	return n
+}
+
+// Close flushes every pool and closes the heap files.
+func (st *Store) Close() error {
+	if st.closed {
+		return nil
+	}
+	st.closed = true
+	err := st.Flush()
+	st.closeFiles()
+	return err
+}
+
+func (st *Store) closeFiles() {
+	for _, pf := range st.parts {
+		if pf != nil && pf.f != nil {
+			pf.f.Close()
+		}
+	}
+}
+
+// Crash simulates a SIGKILL mid-flush, the storage half of
+// fault.KillFlushFrac: dirty pool pages simply vanish (they were never
+// written), and because heap pages are never fsynced, the kernel is
+// assumed to have completed only the oldest `frac` of the session's
+// page writes — every younger written page is torn: its on-disk suffix
+// beyond frac of the page is zeroed, as if the write reached the disk
+// only partially. The files are then closed without any flush. The
+// store is unusable afterwards; reopen with Open to recover.
+func (st *Store) Crash(frac float64) error {
+	if st.closed {
+		return fmt.Errorf("storage: already closed")
+	}
+	st.closed = true
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	st.writeMu.Lock()
+	type wp struct {
+		k   pageKey
+		seq int
+	}
+	writes := make([]wp, 0, len(st.writeSeq))
+	for k, seq := range st.writeSeq {
+		writes = append(writes, wp{k, seq})
+	}
+	st.writeMu.Unlock()
+	sort.Slice(writes, func(i, j int) bool { return writes[i].seq < writes[j].seq })
+	keep := int(frac * float64(len(writes)))
+	prefix := int(frac * float64(st.pageSize))
+	if max := st.pageSize - 64; prefix > max {
+		prefix = max
+	}
+	zeros := make([]byte, st.pageSize)
+	for _, w := range writes[keep:] {
+		pf := st.parts[w.k.part]
+		pf.mu.Lock()
+		_, err := pf.f.WriteAt(zeros[:st.pageSize-prefix],
+			int64(w.k.page)*int64(st.pageSize)+int64(prefix))
+		pf.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("storage: crash tear: %w", err)
+		}
+	}
+	st.closeFiles()
+	return nil
+}

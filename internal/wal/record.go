@@ -28,6 +28,12 @@
 // (checksum or structure mismatch) and keeps the longest valid prefix —
 // the torn-tail truncation rule. A writer opening an existing log
 // truncates the file to that prefix before appending.
+//
+// The write-ahead contract extends to the heap files of
+// internal/storage: a transaction's dirty pages are flushed (written,
+// never fsynced) only after its commit record's fsync returns, so any
+// page state the heap loses or tears in a crash is always recoverable
+// by replaying the committed records (Store.Redo).
 package wal
 
 import (

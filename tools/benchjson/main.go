@@ -30,6 +30,9 @@ type metrics struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	TxnPerSec   float64 `json:"txn_per_sec,omitempty"`
+	HitPct      float64 `json:"hit_pct,omitempty"`
 }
 
 type row struct {
@@ -38,10 +41,28 @@ type row struct {
 	New            *metrics `json:"new,omitempty"`
 	DeltaNsPct     *float64 `json:"delta_ns_pct,omitempty"`
 	DeltaAllocsPct *float64 `json:"delta_allocs_pct,omitempty"`
+	DeltaMBPct     *float64 `json:"delta_mb_pct,omitempty"`
+	DeltaTxnPct    *float64 `json:"delta_txn_pct,omitempty"`
 }
 
 var benchLine = regexp.MustCompile(
 	`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:.*?\s([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+
+// Throughput-style metrics emitted by b.SetBytes (MB/s) and
+// b.ReportMetric (txn/s, hit%) ride on the same result line.
+var (
+	mbLine  = regexp.MustCompile(`([\d.]+) MB/s`)
+	txnLine = regexp.MustCompile(`([\d.]+) txn/s`)
+	hitLine = regexp.MustCompile(`([\d.]+) hit%`)
+)
+
+func extra(line string, re *regexp.Regexp) float64 {
+	if m := re.FindStringSubmatch(line); m != nil {
+		v, _ := strconv.ParseFloat(m[1], 64)
+		return v
+	}
+	return 0
+}
 
 func parse(path string) (map[string]*metrics, error) {
 	f, err := os.Open(path)
@@ -52,7 +73,8 @@ func parse(path string) (map[string]*metrics, error) {
 	out := make(map[string]*metrics)
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
+		line := sc.Text()
+		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
 		}
@@ -72,12 +94,18 @@ func parse(path string) (map[string]*metrics, error) {
 		e.NsPerOp += ns
 		e.BytesPerOp += bytes
 		e.AllocsPerOp += allocs
+		e.MBPerSec += extra(line, mbLine)
+		e.TxnPerSec += extra(line, txnLine)
+		e.HitPct += extra(line, hitLine)
 	}
 	for _, e := range out {
 		n := float64(e.Runs)
 		e.NsPerOp /= n
 		e.BytesPerOp /= n
 		e.AllocsPerOp /= n
+		e.MBPerSec /= n
+		e.TxnPerSec /= n
+		e.HitPct /= n
 	}
 	return out, sc.Err()
 }
@@ -129,6 +157,8 @@ func main() {
 		if r.Old != nil && r.New != nil {
 			r.DeltaNsPct = pct(r.Old.NsPerOp, r.New.NsPerOp)
 			r.DeltaAllocsPct = pct(r.Old.AllocsPerOp, r.New.AllocsPerOp)
+			r.DeltaMBPct = pct(r.Old.MBPerSec, r.New.MBPerSec)
+			r.DeltaTxnPct = pct(r.Old.TxnPerSec, r.New.TxnPerSec)
 		}
 		rows = append(rows, r)
 	}
@@ -138,7 +168,7 @@ func main() {
 		Benchmarks []row  `json:"benchmarks"`
 	}{
 		Note:       strings.TrimSpace(*note),
-		Units:      "ns_per_op averaged over runs; delta_pct = (new-old)/old*100",
+		Units:      "ns_per_op averaged over runs; mb_per_sec/txn_per_sec from the bench line when present; delta_pct = (new-old)/old*100",
 		Benchmarks: rows,
 	}
 	enc := json.NewEncoder(os.Stdout)
