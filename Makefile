@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-all bench-smoke bench-harness bench-epoch bench-live bench-storage epoch-smoke chaos chaos-nodes chaos-restart verify
+.PHONY: build test bench bench-all bench-smoke bench-harness bench-epoch bench-live bench-storage bench-pr10 bench-storage-smoke epoch-smoke chaos chaos-nodes chaos-restart verify
 
 build:
 	$(GO) build ./...
@@ -104,6 +104,34 @@ bench-storage:
 		-note "StorageScan/Insert: old = STORAGE_POOL=4 (pool starved, disk-read path), new = default 64-frame pool; LiveThroughput: old = single-mutex controller without storage, new = the same controller with LIVE_STORAGE=1 heap files on every step — the txn/s drop is the real page-I/O cost; recorded on a $(shell nproc)-core host" > BENCH_PR9.json
 	@echo wrote BENCH_PR9.json
 
+# The PR10 set re-measures the storage-backed live hot path after the
+# striped-pool / zero-copy-scan / background-flusher rework. The two
+# baseline files are committed artifacts recorded with the PR 9 engine
+# on this host — bench/baseline_pr10.txt (LIVE_STORAGE=1 live + storage
+# benches) and bench/baseline_pr10_off.txt (the storage-free ceiling) —
+# and cannot be regenerated from the current tree; bench-pr10 re-records
+# only the current engine and rebuilds BENCH_PR10.json. recovered_pct =
+# how much of the old→ceiling throughput gap (the PR 9 storage tax) the
+# new engine claws back.
+bench-pr10:
+	LIVE_SHARDS=1 LIVE_STORAGE=1 $(GO) test -run '^$$' -bench '^($(PR8_BENCH))$$' -benchmem -count 3 $(PR8_PKGS) \
+		| tee bench/current_pr10.txt
+	$(GO) test -run '^$$' -bench '^($(PR9_BENCH))$$' -benchmem -count 3 $(PR9_PKGS) \
+		| tee -a bench/current_pr10.txt
+	$(GO) run ./tools/benchjson -old bench/baseline_pr10.txt -new bench/current_pr10.txt \
+		-ceiling bench/baseline_pr10_off.txt \
+		-note "old = PR 9 storage engine with LIVE_STORAGE=1 (single-mutex pool, per-record-copy scans, synchronous commit flush), new = striped pool + zero-copy batched scans + background flusher, ceiling = same controller with storage off; all three recorded on the same $(shell nproc)-core host" > BENCH_PR10.json
+	@echo wrote BENCH_PR10.json
+
+# bench-storage-smoke executes the storage benchmarks and the
+# storage-backed live throughput benchmark exactly once, so verify
+# catches a broken storage hot path (including the LIVE_STORAGE wiring
+# and the background flusher the bench enables) without a measurement
+# run.
+bench-storage-smoke:
+	$(GO) test -run '^$$' -bench '^($(PR9_BENCH))$$' -benchtime 1x $(PR9_PKGS)
+	LIVE_STORAGE=1 $(GO) test -run '^$$' -bench '^($(PR8_BENCH))$$' -benchtime 1x $(PR8_PKGS)
+
 # bench-all is the old kitchen-sink run over every benchmark in the repo.
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
@@ -147,8 +175,9 @@ chaos-restart:
 	$(GO) test -race -count=1 -run 'Restart|KillRestart|KillAt|Recover|WAL|Replay|Torn|GroupCommit|Corruption|RoundTrip' \
 		./internal/wal/ ./internal/sim/ ./internal/live/ ./internal/fault/ ./internal/modelcheck/ ./internal/storage/
 
-verify: build test chaos chaos-nodes chaos-restart bench-smoke epoch-smoke
+verify: build test chaos chaos-nodes chaos-restart bench-smoke bench-storage-smoke epoch-smoke
 	$(GO) vet ./...
 	$(GO) test -race ./internal/live/... ./internal/obs/... ./internal/core/sched/ ./internal/core/wtpg/ ./internal/experiments/ ./internal/event/ ./internal/wal/ ./internal/storage/
+	$(GO) test -race -count=1 -run 'Stripe|ZeroCopy|FlusherLag|PoolConcurrent' ./internal/storage/
 	$(GO) test -race -count=1 -run 'Epoch' ./internal/core/sched/ ./internal/sim/
 	$(GO) test -tags wtpgshadow -count=1 ./internal/core/... ./internal/sim/

@@ -31,13 +31,26 @@ func benchShards() int {
 
 // benchStorage reads LIVE_STORAGE: non-empty attaches a heap-file
 // store to the throughput benchmark, so every step does real page I/O
-// (scan + effect insert + commit flush) under the same controller hot
-// path. `make bench-storage` records the comparison in BENCH_PR9.json.
+// (scan + effect insert) under the same controller hot path.
+// Dirty-page write-back rides the background flusher rather than the
+// commit path, and the pool is sized to the benchmark's working set
+// (LIVE_POOL overrides; one heap page per partition at steady state —
+// the PR 9 recording's 256 frames thrashed, making every scan a
+// pread and every eviction a pwrite, which swamped the engine itself).
+// This is the configuration `make bench-pr10` records in
+// BENCH_PR10.json (`make bench-storage` records the PR 9 comparison).
 func benchStorage(b *testing.B, parts int) Option {
 	if os.Getenv("LIVE_STORAGE") == "" {
 		return func(*Controller) {}
 	}
-	st, err := storage.Open(b.TempDir(), parts, storage.WithPoolFrames(256))
+	frames := 2 * parts
+	if s := os.Getenv("LIVE_POOL"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			frames = v
+		}
+	}
+	st, err := storage.Open(b.TempDir(), parts, storage.WithPoolFrames(frames),
+		storage.WithBackgroundFlush(25*time.Millisecond))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -80,6 +93,7 @@ func BenchmarkLiveThroughput(b *testing.B) {
 			}
 			window := make(chan struct{}, 8*procs)
 			var failed atomic.Int64
+			var firstErr atomic.Value
 			var wg sync.WaitGroup
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -94,13 +108,14 @@ func BenchmarkLiveThroughput(b *testing.B) {
 					})
 					if err != nil {
 						failed.Add(1)
+						firstErr.CompareAndSwap(nil, err)
 					}
 				}(txns[i])
 			}
 			wg.Wait()
 			b.StopTimer()
 			if n := failed.Load(); n > 0 {
-				b.Fatalf("%d transactions failed", n)
+				b.Fatalf("%d transactions failed (first: %v)", n, firstErr.Load())
 			}
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "txn/s")
 		})

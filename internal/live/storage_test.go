@@ -83,7 +83,8 @@ func TestChaosStorageLiveSwarm(t *testing.T) {
 			}
 			hdir := t.TempDir()
 			st, err := storage.Open(hdir, parts,
-				storage.WithPageSize(1024), storage.WithPoolFrames(8), storage.WithNodes(4))
+				storage.WithPageSize(1024), storage.WithPoolFrames(8), storage.WithNodes(4),
+				storage.WithBackgroundFlush(500*time.Microsecond))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -140,8 +141,11 @@ func TestChaosStorageLiveSwarm(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			// Pool invariants after the storm: no pin leaked, and the
-			// store's counters agree with what the obs pipeline recorded.
+			// Pool invariants after the storm: quiesce the background
+			// flusher/prefetcher first so neither counter side moves
+			// mid-comparison, then: no pin leaked, and the store's
+			// counters agree with what the obs pipeline recorded.
+			st.Quiesce()
 			if n := st.PinnedFrames(); n != 0 {
 				t.Fatalf("%d frames still pinned after the swarm drained", n)
 			}
@@ -187,7 +191,8 @@ func TestStorageLiveKillRestartRecover(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sopts := []storage.Option{storage.WithPageSize(1024), storage.WithPoolFrames(8)}
+	sopts := []storage.Option{storage.WithPageSize(1024), storage.WithPoolFrames(8),
+		storage.WithBackgroundFlush(500 * time.Microsecond)}
 	st, err := storage.Open(hdir, parts, sopts...)
 	if err != nil {
 		t.Fatal(err)

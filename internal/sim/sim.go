@@ -15,6 +15,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"batsched/internal/core/sched"
 	"batsched/internal/event"
@@ -307,6 +308,10 @@ type simulator struct {
 	walErr    error          // first WAL failure; reported by Run
 	store     *storage.Store // nil = no page I/O
 	storeErr  error          // first storage failure; reported by Run
+	storeNow  atomic.Int64   // shadow of q.Now() for the store's clock:
+	// the store's background goroutines (flusher, prefetcher) stamp
+	// their trace events off-thread, and the event queue's own Now is
+	// not safe to read concurrently with the sim loop advancing it.
 
 	// Epoch-batch state (BatchWindow > 0): the batch-capable scheduler
 	// surface, the arrivals collected in the open window, whether the

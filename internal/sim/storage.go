@@ -39,12 +39,17 @@ func (s *simulator) storeFail(err error) {
 }
 
 // storeBind points the store's trace events at this run's observer and
-// simulated clock.
+// simulated clock. The clock reads the storeNow shadow, not q.Now()
+// directly: the store's background flusher and prefetcher stamp events
+// from their own goroutines, and the queue's now-field is owned by the
+// sim loop. Each storage touchpoint refreshes the shadow, so background
+// events carry the timeline position of the last storage activity.
 func (s *simulator) storeBind() {
 	if s.store == nil {
 		return
 	}
-	s.store.Bind(s.obs, s.obsLabel, func() event.Time { return s.q.Now() })
+	s.storeNow.Store(int64(s.q.Now()))
+	s.store.Bind(s.obs, s.obsLabel, func() event.Time { return event.Time(s.storeNow.Load()) })
 }
 
 // storeTouch turns one processed quantum into one real page read of the
@@ -61,6 +66,7 @@ func (s *simulator) storeTouch(st *txnState, step int, now event.Time) {
 	if int(part) >= s.store.NumPartitions() {
 		return
 	}
+	s.storeNow.Store(int64(now))
 	s.storeFail(s.store.TouchPage(part, st.pageCursor))
 	st.pageCursor++
 }
@@ -89,6 +95,7 @@ func (s *simulator) storeCommit(st *txnState) {
 	if s.store == nil || s.storeErr != nil {
 		return
 	}
+	s.storeNow.Store(int64(s.q.Now()))
 	s.storeFail(s.store.ApplyCommit(st.t.ID))
 }
 

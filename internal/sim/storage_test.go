@@ -14,6 +14,7 @@ package sim
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"batsched/internal/core/sched"
 	"batsched/internal/fault"
@@ -118,7 +119,8 @@ func TestStorageDifferentialCommitSet(t *testing.T) {
 				dir := t.TempDir()
 				st, err := storage.Open(dir, cfg.Machine.NumParts,
 					storage.WithPageSize(1024), storage.WithPoolFrames(8),
-					storage.WithNodes(cfg.Machine.NumNodes))
+					storage.WithNodes(cfg.Machine.NumNodes),
+					storage.WithBackgroundFlush(time.Millisecond))
 				if err != nil {
 					t.Fatalf("seed %d: %v\n%s", seed, err, repro)
 				}
@@ -222,6 +224,7 @@ func TestStorageKillRestartTornPages(t *testing.T) {
 				sopts := []storage.Option{
 					storage.WithPageSize(1024), storage.WithPoolFrames(8),
 					storage.WithNodes(cfg.Machine.NumNodes),
+					storage.WithBackgroundFlush(time.Millisecond),
 				}
 				st, err := storage.Open(hdir, cfg.Machine.NumParts, sopts...)
 				if err != nil {

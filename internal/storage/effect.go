@@ -2,6 +2,7 @@ package storage
 
 import (
 	"encoding/binary"
+	"sync"
 
 	"batsched/internal/txn"
 	"batsched/internal/wal"
@@ -30,13 +31,19 @@ func EncodeEffect(id txn.ID, step int, part txn.PartitionID, size int) []byte {
 		size = effectHeaderLen
 	}
 	b := make([]byte, size)
+	putEffect(b, id, step, part)
+	return b
+}
+
+// putEffect writes the effect tuple into b, overwriting every byte (so
+// a reused scratch buffer never leaks stale filler).
+func putEffect(b []byte, id txn.ID, step int, part txn.PartitionID) {
 	binary.LittleEndian.PutUint64(b, uint64(id))
 	binary.LittleEndian.PutUint32(b[8:], uint32(step))
 	binary.LittleEndian.PutUint32(b[12:], uint32(part))
-	for i := effectHeaderLen; i < size; i++ {
+	for i := effectHeaderLen; i < len(b); i++ {
 		b[i] = byte(uint64(id)*2654435761 + uint64(step)*40503 + uint64(i))
 	}
-	return b
 }
 
 // DecodeEffect parses an effect tuple's key and partition.
@@ -52,13 +59,23 @@ func DecodeEffect(b []byte) (EffectKey, txn.PartitionID, bool) {
 		true
 }
 
+// stagedPool recycles staged-effect slices so the stage/commit cycle of
+// the live hot path allocates nothing in steady state.
+var stagedPool = sync.Pool{New: func() any { return new([]stagedEffect) }}
+
 // Stage records that (id, step) will insert its effect tuple into part
 // if — and only if — the transaction commits. Nothing touches a page
 // until ApplyCommit: uncommitted effects are never written, so aborts
 // need no undo (a no-steal policy at transaction granularity).
 func (st *Store) Stage(id txn.ID, step int, part txn.PartitionID) {
 	st.stageMu.Lock()
-	st.staged[id] = append(st.staged[id], stagedEffect{step: step, part: part})
+	lp := st.staged[id]
+	if lp == nil {
+		lp = stagedPool.Get().(*[]stagedEffect)
+		*lp = (*lp)[:0]
+		st.staged[id] = lp
+	}
+	*lp = append(*lp, stagedEffect{step: step, part: part})
 	st.stageMu.Unlock()
 }
 
@@ -66,33 +83,64 @@ func (st *Store) Stage(id txn.ID, step int, part txn.PartitionID) {
 func (st *Store) StagedCount(id txn.ID) int {
 	st.stageMu.Lock()
 	defer st.stageMu.Unlock()
-	return len(st.staged[id])
+	if lp := st.staged[id]; lp != nil {
+		return len(*lp)
+	}
+	return 0
 }
 
-// ApplyCommit applies id's staged effects to their partitions and
-// flushes the touched partitions' dirty pages. The caller MUST have
-// forced the transaction's WAL commit record first (the write-ahead
-// contract: pages carrying an effect never reach disk before the
-// record that makes the effect redoable), and must still hold the
-// transaction's partition locks (the apply mutates pages other
-// transactions may otherwise be scanning).
+// ApplyCommit applies id's staged effects to their partitions. Without
+// a background flusher the touched partitions' dirty pages are written
+// back synchronously (the PR 9 contract); with WithBackgroundFlush the
+// write-back is the flusher's job and commit only mutates cached pages.
+// Either way the caller MUST have forced the transaction's WAL commit
+// record first (the write-ahead contract: pages carrying an effect
+// never reach disk before the record that makes the effect redoable —
+// with the flusher this holds because pages are only dirtied here,
+// after that force), and must still hold the transaction's partition
+// locks (the apply mutates pages other transactions may otherwise be
+// scanning).
 func (st *Store) ApplyCommit(id txn.ID) error {
 	st.stageMu.Lock()
-	effs := st.staged[id]
+	lp := st.staged[id]
 	delete(st.staged, id)
 	st.stageMu.Unlock()
-	touched := make(map[txn.PartitionID]bool, len(effs))
+	if lp == nil {
+		return nil
+	}
+	effs := *lp
+	var scratch [64]byte
+	buf := scratch[:]
+	if st.effectBytes > len(buf) {
+		buf = make([]byte, st.effectBytes)
+	}
+	buf = buf[:st.effectBytes]
 	for _, e := range effs {
-		if _, err := st.Insert(e.part, EncodeEffect(id, e.step, e.part, st.effectBytes)); err != nil {
-			return err
-		}
-		touched[e.part] = true
-	}
-	for part := range touched {
-		if err := st.FlushPartition(part); err != nil {
+		putEffect(buf, id, e.step, e.part)
+		if _, err := st.Insert(e.part, buf); err != nil {
+			stagedPool.Put(lp)
 			return err
 		}
 	}
+	if st.flushEvery <= 0 {
+		for i, e := range effs {
+			dup := false
+			for _, prev := range effs[:i] {
+				if prev.part == e.part {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			if err := st.FlushPartition(e.part); err != nil {
+				stagedPool.Put(lp)
+				return err
+			}
+		}
+	}
+	stagedPool.Put(lp)
 	return nil
 }
 
@@ -100,7 +148,10 @@ func (st *Store) ApplyCommit(id txn.ID) error {
 // transactions still in flight).
 func (st *Store) Drop(id txn.ID) {
 	st.stageMu.Lock()
-	delete(st.staged, id)
+	if lp := st.staged[id]; lp != nil {
+		delete(st.staged, id)
+		stagedPool.Put(lp)
+	}
 	st.stageMu.Unlock()
 }
 
@@ -118,8 +169,9 @@ func (st *Store) Keys(part txn.PartitionID) (map[EffectKey]bool, error) {
 			keys[k] = true
 		}
 	}
-	it.Close()
-	return keys, it.Err()
+	err := it.Err()
+	it.recycle()
+	return keys, err
 }
 
 // Redo re-applies one committed transaction's missing write effects

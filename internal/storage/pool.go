@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"batsched/internal/txn"
 )
@@ -14,7 +15,7 @@ type pageKey struct {
 }
 
 // Frame is one buffer-pool slot: a page-sized buffer plus the pin/dirty
-// bookkeeping. All fields are guarded by the owning pool's mutex.
+// bookkeeping. All fields are guarded by the owning stripe's latch.
 type Frame struct {
 	key   pageKey
 	buf   []byte
@@ -22,6 +23,12 @@ type Frame struct {
 	dirty bool
 	ref   bool // clock second-chance bit
 	valid bool
+
+	// transient marks an overflow frame served while every frame of the
+	// page's stripe was pinned: it lives outside the frame array and the
+	// index, and is written back (when dirty) and discarded on its final
+	// Unpin.
+	transient bool
 }
 
 // Page returns the frame's content as a slotted page. Only valid while
@@ -36,15 +43,20 @@ type pageIO interface {
 }
 
 // PoolStats is a snapshot of one pool's counters (or, via Store.Stats,
-// the sum over every per-node pool).
+// the sum over every per-node pool). Prefetch loads count as Misses too
+// — Misses stays exactly the number of backend page reads.
 type PoolStats struct {
 	Frames       int
+	Stripes      int
 	Pinned       int
 	Hits         uint64
 	Misses       uint64
 	Evictions    uint64
 	BytesRead    uint64
 	BytesWritten uint64
+	Prefetches   uint64 // pages loaded ahead of demand by the prefetcher
+	Flushes      uint64 // dirty pages written back by the background flusher
+	Overflows    uint64 // transient frames served while a stripe was fully pinned
 }
 
 // HitRate returns Hits/(Hits+Misses), or 0 before any access.
@@ -57,79 +69,193 @@ func (s PoolStats) HitRate() float64 {
 
 func (s *PoolStats) add(o PoolStats) {
 	s.Frames += o.Frames
+	s.Stripes += o.Stripes
 	s.Pinned += o.Pinned
 	s.Hits += o.Hits
 	s.Misses += o.Misses
 	s.Evictions += o.Evictions
 	s.BytesRead += o.BytesRead
 	s.BytesWritten += o.BytesWritten
+	s.Prefetches += o.Prefetches
+	s.Flushes += o.Flushes
+	s.Overflows += o.Overflows
 }
 
-// Pool is a fixed-capacity buffer pool with clock (second-chance)
-// eviction. One pool serves one data node's partitions; all state is
-// guarded by mu. Disk I/O — the miss read, the dirty-victim write-back
-// — happens under the mutex: the pool serializes its node's I/O exactly
-// like the single disk arm the paper's machine model assumes.
-type Pool struct {
+// poolEventFn reports page traffic to the store's observer wiring.
+// Called with the owning stripe's latch held.
+type poolEventFn func(op string, k pageKey, bytes int)
+
+// stripe is one latch domain of the pool: a private set of frames with
+// its own clock hand, page index, and dirty list. A page maps to exactly
+// one stripe (by pageKey hash), so two accesses contend only when their
+// pages share a stripe — concurrent scans of different partitions run on
+// different latches and different disk arms, the per-partition I/O
+// independence of a shared-nothing node array.
+type stripe struct {
 	mu     sync.Mutex
-	io     pageIO
 	frames []*Frame
 	idx    map[pageKey]*Frame
 	hand   int
+	dirty  []pageKey // keys that transitioned clean→dirty; may hold stale entries
 
-	hits, misses, evictions, bytesRead, bytesWritten uint64
+	// Counters are atomics so Stats can aggregate without taking any
+	// stripe latch. pinned tracks 0→1 / 1→0 pin transitions (transient
+	// overflow pins included).
+	hits, misses, evictions, bytesRead, bytesWritten, prefetches, flushes, overflows uint64
+	pinned                                                                           int64
+
+	// ioErr latches a write-back failure from a transient frame's final
+	// Unpin (which cannot return an error); the next FlushPart/FlushAll/
+	// flushDirty on this stripe surfaces it.
+	ioErr error
+}
+
+const (
+	maxStripes         = 16
+	minFramesPerStripe = 8
+	prefetchQueue      = 64
+	flushMinBatch      = 32 // smallest per-stripe write budget per flusher pass
+)
+
+// autoStripes picks the largest power-of-two stripe count (≤ maxStripes)
+// that still leaves every stripe at least minFramesPerStripe frames, so
+// tiny pools (the eviction-pressure tests, STORAGE_POOL=4 starvation
+// runs) degrade to a single latch with the old pool's exact behavior.
+func autoStripes(frames int) int {
+	s := 1
+	for s*2 <= maxStripes && frames/(s*2) >= minFramesPerStripe {
+		s *= 2
+	}
+	return s
+}
+
+// Pool is a fixed-capacity buffer pool with clock (second-chance)
+// eviction, latch-striped by pageKey hash: each stripe owns an equal
+// share of the frames and serializes only its own pages' I/O. One pool
+// serves one data node's partitions. An optional prefetcher goroutine
+// (started lazily on the first Prefetch) pulls scan read-ahead off the
+// caller's latch hold.
+type Pool struct {
+	io      pageIO
+	stripes []*stripe
+	mask    uint32
 
 	// onEvent reports page traffic to the store's observer wiring
-	// (nil = unobserved). Called with the pool lock held.
-	onEvent func(op string, k pageKey, bytes int)
+	// (nil = unobserved); swapped atomically so Bind never stops the
+	// pool.
+	onEvent atomic.Pointer[poolEventFn]
+
+	// Prefetcher: lazily started, advisory (a full queue drops).
+	pfRunning  atomic.Bool
+	pfMu       sync.Mutex
+	pfStarted  bool
+	pfStopped  bool
+	prefetchCh chan pageKey
+	pfDone     chan struct{}
+	pfWG       sync.WaitGroup
 }
 
 func newPool(io pageIO, frames, pageSize int) *Pool {
-	p := &Pool{io: io, idx: make(map[pageKey]*Frame, frames)}
-	p.frames = make([]*Frame, frames)
-	for i := range p.frames {
-		p.frames[i] = &Frame{buf: make([]byte, pageSize)}
+	return newPoolStriped(io, frames, pageSize, autoStripes(frames))
+}
+
+func newPoolStriped(io pageIO, frames, pageSize, stripes int) *Pool {
+	if stripes < 1 {
+		stripes = 1
+	}
+	// Round down to a power of two and never let a stripe drop below
+	// two frames (one pinned, one victim candidate).
+	pow := 1
+	for pow*2 <= stripes {
+		pow *= 2
+	}
+	stripes = pow
+	for stripes > 1 && frames/stripes < 2 {
+		stripes /= 2
+	}
+	p := &Pool{io: io, mask: uint32(stripes - 1)}
+	p.stripes = make([]*stripe, stripes)
+	per, rem := frames/stripes, frames%stripes
+	for i := range p.stripes {
+		n := per
+		if i < rem {
+			n++
+		}
+		s := &stripe{idx: make(map[pageKey]*Frame, n)}
+		s.frames = make([]*Frame, n)
+		for j := range s.frames {
+			s.frames[j] = &Frame{buf: make([]byte, pageSize)}
+		}
+		p.stripes[i] = s
 	}
 	return p
+}
+
+func (p *Pool) stripeOf(k pageKey) *stripe {
+	h := (uint64(uint32(k.part))+1)*0x9E3779B97F4A7C15 ^ (uint64(k.page)+1)*0xA24BAED4963EE407
+	h ^= h >> 32
+	return p.stripes[uint32(h)&p.mask]
+}
+
+func (p *Pool) event(op string, k pageKey, bytes int) {
+	if fn := p.onEvent.Load(); fn != nil {
+		(*fn)(op, k, bytes)
+	}
 }
 
 // Get pins the frame holding page k, reading it from disk on a miss.
 // When create is set the page is expected not to exist on disk and the
 // frame is initialized empty instead of read. The caller must Unpin.
 func (p *Pool) Get(k pageKey, create bool) (*Frame, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if f, ok := p.idx[k]; ok {
-		f.pins++
+	s := p.stripeOf(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return p.getLocked(s, k, create, false)
+}
+
+// getLocked resolves k within its stripe. With prefetch set the frame is
+// loaded resident but left unpinned (and a resident page is a silent
+// no-op — prefetch hits never inflate the demand hit counter).
+func (p *Pool) getLocked(s *stripe, k pageKey, create, prefetch bool) (*Frame, error) {
+	if f, ok := s.idx[k]; ok {
 		f.ref = true
-		p.hits++
-		if p.onEvent != nil {
-			p.onEvent("hit", k, 0)
+		if prefetch {
+			return f, nil
 		}
+		if f.pins == 0 {
+			atomic.AddInt64(&s.pinned, 1)
+		}
+		f.pins++
+		atomic.AddUint64(&s.hits, 1)
+		p.event("hit", k, 0)
 		return f, nil
 	}
-	f, err := p.victimLocked()
+	f, err := s.victimLocked()
 	if err != nil {
-		return nil, err
+		if prefetch {
+			return nil, err // advisory: read-ahead never spills
+		}
+		// Every frame of this stripe is pinned. Striping must not shrink
+		// the pool's effective capacity below the PR 9 single-latch
+		// semantics (exhaustion only when *all* frames are pinned), so
+		// spill to a transient frame instead of failing the access.
+		return p.overflowLocked(s, k, create)
 	}
 	if f.valid {
-		delete(p.idx, f.key)
-		p.evictions++
-		if p.onEvent != nil {
-			op := "evict-clean"
-			if f.dirty {
-				op = "evict-dirty"
-			}
-			p.onEvent(op, f.key, 0)
+		delete(s.idx, f.key)
+		atomic.AddUint64(&s.evictions, 1)
+		op := "evict-clean"
+		if f.dirty {
+			op = "evict-dirty"
 		}
+		p.event(op, f.key, 0)
 	}
 	if f.dirty {
-		if err := p.writeBackLocked(f); err != nil {
+		if err := p.writeBackLocked(s, f, "write"); err != nil {
 			f.valid = false
 			return nil, err
 		}
 	}
-	p.misses++
 	if create {
 		InitPage(f.buf, k.page)
 	} else {
@@ -137,30 +263,74 @@ func (p *Pool) Get(k pageKey, create bool) (*Frame, error) {
 			f.valid = false
 			return nil, err
 		}
-		p.bytesRead += uint64(len(f.buf))
+		atomic.AddUint64(&s.bytesRead, uint64(len(f.buf)))
 	}
-	if p.onEvent != nil {
-		bytes := 0
-		if !create {
-			bytes = len(f.buf)
-		}
-		p.onEvent("miss", k, bytes)
+	atomic.AddUint64(&s.misses, 1)
+	op, bytes := "miss", 0
+	if prefetch {
+		atomic.AddUint64(&s.prefetches, 1)
+		op = "prefetch"
 	}
+	if !create {
+		bytes = len(f.buf)
+	}
+	p.event(op, k, bytes)
 	f.key = k
 	f.valid = true
 	f.dirty = create // a created page must reach disk even if untouched
-	f.pins = 1
 	f.ref = true
-	p.idx[k] = f
+	if prefetch {
+		f.pins = 0
+	} else {
+		f.pins = 1
+		atomic.AddInt64(&s.pinned, 1)
+	}
+	s.idx[k] = f
+	if create {
+		s.dirty = append(s.dirty, k)
+	}
 	return f, nil
 }
 
-// victimLocked runs the clock hand: skip pinned frames, clear one
-// second-chance bit per lap, take the first unpinned frame without one.
-func (p *Pool) victimLocked() (*Frame, error) {
-	for sweep := 0; sweep < 2*len(p.frames); sweep++ {
-		f := p.frames[p.hand]
-		p.hand = (p.hand + 1) % len(p.frames)
+// overflowLocked serves page k from a freshly allocated transient frame
+// when the stripe's clock found every frame pinned. The frame is never
+// indexed — it exists only for its pinner and dies on the final Unpin
+// (written back first when dirty). Sound for the same reason FlushPart
+// may write pinned frames: the scheduler's partition locks exclude
+// concurrent same-partition mutators, so a transient copy can never
+// diverge from a cached one that matters.
+func (p *Pool) overflowLocked(s *stripe, k pageKey, create bool) (*Frame, error) {
+	f := &Frame{buf: make([]byte, len(s.frames[0].buf)), transient: true}
+	if create {
+		InitPage(f.buf, k.page)
+	} else {
+		if err := p.io.readPage(k, f.buf); err != nil {
+			return nil, err
+		}
+		atomic.AddUint64(&s.bytesRead, uint64(len(f.buf)))
+	}
+	atomic.AddUint64(&s.misses, 1)
+	atomic.AddUint64(&s.overflows, 1)
+	bytes := 0
+	if !create {
+		bytes = len(f.buf)
+	}
+	p.event("miss", k, bytes)
+	f.key = k
+	f.valid = true
+	f.dirty = create
+	f.pins = 1
+	atomic.AddInt64(&s.pinned, 1)
+	return f, nil
+}
+
+// victimLocked runs the stripe's clock hand: skip pinned frames, clear
+// one second-chance bit per lap, take the first unpinned frame without
+// one.
+func (s *stripe) victimLocked() (*Frame, error) {
+	for sweep := 0; sweep < 2*len(s.frames); sweep++ {
+		f := s.frames[s.hand]
+		s.hand = (s.hand + 1) % len(s.frames)
 		if f.pins > 0 {
 			continue
 		}
@@ -170,63 +340,219 @@ func (p *Pool) victimLocked() (*Frame, error) {
 		}
 		return f, nil
 	}
-	return nil, fmt.Errorf("storage: buffer pool exhausted (%d frames, all pinned)", len(p.frames))
+	return nil, fmt.Errorf("storage: buffer pool stripe exhausted (%d frames, all pinned)", len(s.frames))
 }
 
-func (p *Pool) writeBackLocked(f *Frame) error {
+func (p *Pool) writeBackLocked(s *stripe, f *Frame, op string) error {
 	f.Page().Seal()
 	if err := p.io.writePage(f.key, f.buf); err != nil {
 		return err
 	}
-	p.bytesWritten += uint64(len(f.buf))
-	f.dirty = false
-	if p.onEvent != nil {
-		p.onEvent("write", f.key, len(f.buf))
+	atomic.AddUint64(&s.bytesWritten, uint64(len(f.buf)))
+	if op == "flush" {
+		atomic.AddUint64(&s.flushes, 1)
 	}
+	f.dirty = false
+	p.event(op, f.key, len(f.buf))
 	return nil
 }
 
 // Unpin releases one pin, marking the frame dirty when the caller
 // mutated the page. Unpinning an unpinned frame is a programming error
-// and panics — the invariant the pool tests assert under -race.
+// and panics — the invariant the pool tests assert under -race, and the
+// guard that makes zero-copy scans safe: a frame can never be recycled
+// while records still alias it without tripping this accounting.
 func (p *Pool) Unpin(f *Frame, dirty bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	s := p.stripeOf(f.key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if f.pins <= 0 {
 		panic(fmt.Sprintf("storage: unpin of unpinned frame (part %v page %d)", f.key.part, f.key.page))
 	}
 	f.pins--
-	if dirty {
-		f.dirty = true
+	if f.pins == 0 {
+		atomic.AddInt64(&s.pinned, -1)
 	}
+	if dirty && !f.dirty {
+		f.dirty = true
+		if !f.transient {
+			s.dirty = append(s.dirty, f.key)
+		}
+	}
+	if f.transient && f.pins == 0 {
+		if f.dirty {
+			if err := p.writeBackLocked(s, f, "write"); err != nil {
+				if s.ioErr == nil {
+					s.ioErr = err
+				}
+			} else if f2, ok := s.idx[f.key]; ok && f2.pins == 0 {
+				// The disk image just moved past any cached copy loaded
+				// meanwhile (only the prefetcher can race a mutator's
+				// partition exclusion); drop it so no reader sees the
+				// stale page.
+				delete(s.idx, f.key)
+				f2.valid = false
+				f2.dirty = false
+			}
+		}
+		f.valid = false
+	}
+}
+
+// Prefetch asks the pool's prefetcher to make page k resident. Advisory:
+// a full queue drops the request, a read error is swallowed (it will
+// resurface on the demand read), and a stopped pool ignores it.
+func (p *Pool) Prefetch(k pageKey) {
+	if !p.pfRunning.Load() {
+		p.startPrefetcher()
+		if !p.pfRunning.Load() {
+			return
+		}
+	}
+	select {
+	case p.prefetchCh <- k:
+	default:
+	}
+}
+
+func (p *Pool) startPrefetcher() {
+	p.pfMu.Lock()
+	defer p.pfMu.Unlock()
+	if p.pfStarted || p.pfStopped {
+		return
+	}
+	p.pfStarted = true
+	p.prefetchCh = make(chan pageKey, prefetchQueue)
+	p.pfDone = make(chan struct{})
+	p.pfWG.Add(1)
+	go func() {
+		defer p.pfWG.Done()
+		for {
+			select {
+			case <-p.pfDone:
+				return
+			case k := <-p.prefetchCh:
+				s := p.stripeOf(k)
+				s.mu.Lock()
+				_, _ = p.getLocked(s, k, false, true)
+				s.mu.Unlock()
+			}
+		}
+	}()
+	p.pfRunning.Store(true)
+}
+
+// stop shuts the prefetcher down and waits for it. Idempotent.
+func (p *Pool) stop() {
+	p.pfMu.Lock()
+	already := p.pfStopped
+	p.pfStopped = true
+	started := p.pfStarted
+	p.pfMu.Unlock()
+	if already || !started {
+		return
+	}
+	p.pfRunning.Store(false)
+	close(p.pfDone)
+	p.pfWG.Wait()
+}
+
+// flushDirty writes back the pool's dirty, unpinned frames — the
+// background flusher's unit of work. Pinned frames are left on the
+// dirty list for the next pass (a mutator is mid-update under its pin;
+// FlushPart/FlushAll keep the old may-write-pinned contract for the
+// synchronous checkpoint paths). The dirty list is oldest-first, and
+// each pass writes at most a fraction of the backlog (never fewer than
+// flushMinBatch): recently dirtied pages linger a few passes, so
+// repeated commits to a hot page coalesce into one write, and no
+// single pass stalls the stripe latches on a huge backlog. Returns
+// the number of pages written.
+func (p *Pool) flushDirty() (int, error) {
+	n := 0
+	var firstErr error
+	for _, s := range p.stripes {
+		s.mu.Lock()
+		if s.ioErr != nil && firstErr == nil {
+			firstErr, s.ioErr = s.ioErr, nil
+		}
+		pending := s.dirty
+		budget := len(pending) / 8
+		if budget < flushMinBatch {
+			budget = flushMinBatch
+		}
+		keep := pending[:0]
+		wrote := 0
+		for i, k := range pending {
+			if wrote >= budget {
+				keep = append(keep, pending[i:]...)
+				break
+			}
+			f, ok := s.idx[k]
+			if !ok || !f.valid || !f.dirty {
+				continue // stale entry: evicted or already written back
+			}
+			if f.pins > 0 {
+				keep = append(keep, k)
+				continue
+			}
+			if err := p.writeBackLocked(s, f, "flush"); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				keep = append(keep, k)
+				continue
+			}
+			wrote++
+		}
+		n += wrote
+		s.dirty = keep
+		s.mu.Unlock()
+	}
+	return n, firstErr
 }
 
 // FlushPart writes back every dirty frame of one partition (pinned
 // frames included: their current image is consistent — mutators hold
 // the partition's op lock and the scheduler's partition lock).
 func (p *Pool) FlushPart(part txn.PartitionID) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, f := range p.frames {
-		if f.valid && f.dirty && f.key.part == part {
-			if err := p.writeBackLocked(f); err != nil {
-				return err
+	for _, s := range p.stripes {
+		s.mu.Lock()
+		if err := s.ioErr; err != nil {
+			s.ioErr = nil
+			s.mu.Unlock()
+			return err
+		}
+		for _, f := range s.frames {
+			if f.valid && f.dirty && f.key.part == part {
+				if err := p.writeBackLocked(s, f, "write"); err != nil {
+					s.mu.Unlock()
+					return err
+				}
 			}
 		}
+		s.mu.Unlock()
 	}
 	return nil
 }
 
 // FlushAll writes back every dirty frame.
 func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, f := range p.frames {
-		if f.valid && f.dirty {
-			if err := p.writeBackLocked(f); err != nil {
-				return err
+	for _, s := range p.stripes {
+		s.mu.Lock()
+		if err := s.ioErr; err != nil {
+			s.ioErr = nil
+			s.mu.Unlock()
+			return err
+		}
+		for _, f := range s.frames {
+			if f.valid && f.dirty {
+				if err := p.writeBackLocked(s, f, "write"); err != nil {
+					s.mu.Unlock()
+					return err
+				}
 			}
 		}
+		s.mu.Unlock()
 	}
 	return nil
 }
@@ -234,34 +560,55 @@ func (p *Pool) FlushAll() error {
 // invalidate drops every cached frame of one partition without writing
 // it back (used by crash simulation: dirty pages die with the process).
 func (p *Pool) invalidate(part txn.PartitionID) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, f := range p.frames {
-		if f.valid && f.key.part == part {
-			delete(p.idx, f.key)
-			f.valid = false
-			f.dirty = false
-			f.pins = 0
+	for _, s := range p.stripes {
+		s.mu.Lock()
+		for _, f := range s.frames {
+			if f.valid && f.key.part == part {
+				delete(s.idx, f.key)
+				f.valid = false
+				f.dirty = false
+				if f.pins > 0 {
+					atomic.AddInt64(&s.pinned, -1)
+				}
+				f.pins = 0
+			}
 		}
+		s.mu.Unlock()
 	}
 }
 
-// Stats snapshots the pool's counters.
+// Stats snapshots the pool's counters by summing per-stripe atomics —
+// no latch is taken, so a snapshot never stops concurrent page traffic
+// (and is safe to call from any goroutine, including mid-churn).
 func (p *Pool) Stats() PoolStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	s := PoolStats{
-		Frames:       len(p.frames),
-		Hits:         p.hits,
-		Misses:       p.misses,
-		Evictions:    p.evictions,
-		BytesRead:    p.bytesRead,
-		BytesWritten: p.bytesWritten,
+	st := PoolStats{Stripes: len(p.stripes)}
+	for _, s := range p.stripes {
+		st.add(s.stats())
 	}
-	for _, f := range p.frames {
-		if f.pins > 0 {
-			s.Pinned++
-		}
+	return st
+}
+
+// StripeStats snapshots each stripe's counters separately (test hook
+// for asserting traffic actually spreads across latches).
+func (p *Pool) StripeStats() []PoolStats {
+	out := make([]PoolStats, len(p.stripes))
+	for i, s := range p.stripes {
+		out[i] = s.stats()
 	}
-	return s
+	return out
+}
+
+func (s *stripe) stats() PoolStats {
+	return PoolStats{
+		Frames:       len(s.frames),
+		Pinned:       int(atomic.LoadInt64(&s.pinned)),
+		Hits:         atomic.LoadUint64(&s.hits),
+		Misses:       atomic.LoadUint64(&s.misses),
+		Evictions:    atomic.LoadUint64(&s.evictions),
+		BytesRead:    atomic.LoadUint64(&s.bytesRead),
+		BytesWritten: atomic.LoadUint64(&s.bytesWritten),
+		Prefetches:   atomic.LoadUint64(&s.prefetches),
+		Flushes:      atomic.LoadUint64(&s.flushes),
+		Overflows:    atomic.LoadUint64(&s.overflows),
+	}
 }

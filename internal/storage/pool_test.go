@@ -87,8 +87,8 @@ func TestPoolPinAccounting(t *testing.T) {
 }
 
 // TestPoolNoEvictionOfPinned pins every frame, then asks for one more
-// page: the pool must refuse (exhausted) rather than evict a pinned
-// frame.
+// page: the pool must serve it from a transient overflow frame —
+// never by evicting a pinned frame.
 func TestPoolNoEvictionOfPinned(t *testing.T) {
 	io := newMemIO(512)
 	pool := newPool(io, 4, 512)
@@ -104,8 +104,12 @@ func TestPoolNoEvictionOfPinned(t *testing.T) {
 	}
 	k := pageKey{0, 99}
 	io.seed(k)
-	if _, err := pool.Get(k, false); err == nil {
-		t.Fatal("Get succeeded with every frame pinned — a pinned page was evicted")
+	ov, err := pool.Get(k, false)
+	if err != nil {
+		t.Fatalf("Get with every frame pinned: %v", err)
+	}
+	if !ov.transient {
+		t.Fatal("expected a transient overflow frame with every pooled frame pinned")
 	}
 	// Every originally pinned frame must still hold its page.
 	for i, f := range held {
@@ -113,9 +117,65 @@ func TestPoolNoEvictionOfPinned(t *testing.T) {
 			t.Fatalf("frame %d was disturbed: %+v", i, f.key)
 		}
 	}
+	pool.Unpin(ov, false)
+	if got := pool.Stats().Overflows; got != 1 {
+		t.Fatalf("Overflows = %d, want 1", got)
+	}
 	pool.Unpin(held[0], false)
-	if _, err := pool.Get(k, false); err != nil {
+	f2, err := pool.Get(k, false)
+	if err != nil {
 		t.Fatalf("Get still failing after an Unpin freed a frame: %v", err)
+	}
+	if f2.transient {
+		t.Fatal("expected a pooled frame once a pin was released")
+	}
+}
+
+// TestPoolOverflowDirtyWriteBack mutates a page through a transient
+// overflow frame: the final Unpin must write the image back so the
+// mutation is never lost, and a stale cached copy of the page must not
+// survive to shadow it.
+func TestPoolOverflowDirtyWriteBack(t *testing.T) {
+	io := newMemIO(512)
+	pool := newPool(io, 2, 512)
+	ka, kb, kc := pageKey{0, 0}, pageKey{0, 1}, pageKey{0, 2}
+	io.seed(ka)
+	io.seed(kb)
+	io.seed(kc)
+	fa, _ := pool.Get(ka, false)
+	fb, _ := pool.Get(kb, false)
+	ov, err := pool.Get(kc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ov.transient {
+		t.Fatal("expected a transient frame with both pooled frames pinned")
+	}
+	pg := ov.Page()
+	if _, ok := pg.Insert([]byte("spilled")); !ok {
+		t.Fatal("insert into overflow frame failed")
+	}
+	w0 := io.writes
+	pool.Unpin(ov, true)
+	if io.writes != w0+1 {
+		t.Fatalf("expected the dirty overflow frame written back on Unpin, writes %d→%d", w0, io.writes)
+	}
+	pool.Unpin(fa, false)
+	pool.Unpin(fb, false)
+	fc, err := pool.Get(kc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Unpin(fc, false)
+	found := false
+	cp := fc.Page()
+	for i := 0; i < cp.NumSlots(); i++ {
+		if tup, ok := cp.Get(i); ok && string(tup) == "spilled" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("overflow-frame mutation lost: re-read page lacks the inserted tuple")
 	}
 }
 
@@ -243,5 +303,112 @@ func TestPoolConcurrentChurn(t *testing.T) {
 	}
 	if err := pool.FlushAll(); err != nil {
 		t.Fatalf("FlushAll: %v", err)
+	}
+}
+
+// TestPoolAutoStripes pins down the stripe-count heuristic: tiny pools
+// collapse to a single latch (the eviction tests above depend on that),
+// production-sized pools spread to the cap.
+func TestPoolAutoStripes(t *testing.T) {
+	for _, c := range []struct{ frames, want int }{
+		{2, 1}, {4, 1}, {8, 1}, {15, 1}, {16, 2}, {32, 4}, {64, 8}, {128, 16}, {256, 16}, {1024, 16},
+	} {
+		if got := autoStripes(c.frames); got != c.want {
+			t.Errorf("autoStripes(%d)=%d, want %d", c.frames, got, c.want)
+		}
+	}
+	// Explicit stripe counts round down to a power of two and never
+	// leave a stripe with fewer than two frames.
+	if p := newPoolStriped(newMemIO(512), 8, 512, 7); len(p.stripes) != 4 {
+		t.Errorf("7 stripes over 8 frames → %d, want 4 (pow2, ≥2 frames each)", len(p.stripes))
+	}
+	if p := newPoolStriped(newMemIO(512), 8, 512, 64); len(p.stripes) != 4 {
+		t.Errorf("64 stripes over 8 frames → %d, want 4", len(p.stripes))
+	}
+	if p := newPoolStriped(newMemIO(512), 64, 512, 0); len(p.stripes) != 1 {
+		t.Errorf("0 stripes → %d, want 1", len(p.stripes))
+	}
+}
+
+// TestPoolStripeContention runs N goroutines scanning disjoint
+// partitions through a striped pool under -race, with a concurrent
+// Stats reader: traffic must spread across stripes (per-stripe
+// counters), the lock-free Stats aggregation must agree with the
+// per-stripe sum, and no pin may leak. Scanners of different partitions
+// must not serialize on a single latch — the per-stripe counters are
+// the witness that they ran on separate latch domains.
+func TestPoolStripeContention(t *testing.T) {
+	io := newMemIO(512)
+	pool := newPoolStriped(io, 64, 512, 8)
+	if got := pool.Stats().Stripes; got != 8 {
+		t.Fatalf("Stripes=%d, want 8", got)
+	}
+	const workers = 8
+	const pagesPerPart = 16
+	for w := 0; w < workers; w++ {
+		for pg := 0; pg < pagesPerPart; pg++ {
+			io.seed(pageKey{txn.PartitionID(w), uint32(pg)})
+		}
+	}
+	stop := make(chan struct{})
+	var statsWG sync.WaitGroup
+	statsWG.Add(1)
+	go func() { // Stats must be race-clean mid-churn: no latch taken
+		defer statsWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := pool.Stats()
+				if s.Pinned < 0 || s.Pinned > 64 {
+					panic(fmt.Sprintf("impossible pinned count %d", s.Pinned))
+				}
+				_ = pool.StripeStats()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(part txn.PartitionID) {
+			defer wg.Done()
+			for round := 0; round < 50; round++ {
+				for pg := 0; pg < pagesPerPart; pg++ {
+					f, err := pool.Get(pageKey{part, uint32(pg)}, false)
+					if err != nil {
+						continue // stripe momentarily exhausted by peers
+					}
+					pool.Unpin(f, false)
+				}
+			}
+		}(txn.PartitionID(w))
+	}
+	wg.Wait()
+	close(stop)
+	statsWG.Wait()
+
+	per := pool.StripeStats()
+	active := 0
+	var sum PoolStats
+	for _, s := range per {
+		if s.Hits+s.Misses > 0 {
+			active++
+		}
+		sum.add(s)
+	}
+	if active < 2 {
+		t.Fatalf("traffic landed on %d of %d stripes — scans of disjoint partitions serialized on one latch", active, len(per))
+	}
+	total := pool.Stats()
+	if total.Hits != sum.Hits || total.Misses != sum.Misses || total.Evictions != sum.Evictions {
+		t.Fatalf("Stats() aggregate %d/%d/%d diverges from per-stripe sum %d/%d/%d",
+			total.Hits, total.Misses, total.Evictions, sum.Hits, sum.Misses, sum.Evictions)
+	}
+	if total.Pinned != 0 {
+		t.Fatalf("pins leaked: %d", total.Pinned)
+	}
+	if int(total.Misses) != io.reads {
+		t.Fatalf("misses=%d, backend reads=%d", total.Misses, io.reads)
 	}
 }

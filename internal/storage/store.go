@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"batsched/internal/event"
 	"batsched/internal/obs"
@@ -18,8 +19,10 @@ type Option func(*config)
 type config struct {
 	pageSize    int
 	poolFrames  int
+	poolStripes int
 	nodes       int
 	effectBytes int
+	flushEvery  time.Duration
 }
 
 // WithPageSize sets the page size (default DefaultPageSize). Must lie
@@ -29,6 +32,25 @@ func WithPageSize(n int) Option { return func(c *config) { c.pageSize = n } }
 // WithPoolFrames sets each per-node buffer pool's frame count
 // (default 64).
 func WithPoolFrames(n int) Option { return func(c *config) { c.poolFrames = n } }
+
+// WithPoolStripes sets each pool's latch-stripe count explicitly
+// (rounded down to a power of two, capped so every stripe keeps at
+// least two frames). Default 0 = auto: the largest power of two ≤ 16
+// leaving every stripe ≥ 8 frames, which degrades tiny pools to the
+// single-latch behavior the eviction tests assume.
+func WithPoolStripes(n int) Option { return func(c *config) { c.poolStripes = n } }
+
+// WithBackgroundFlush moves dirty-page write-back off the commit path:
+// ApplyCommit only stages and applies effects in memory, and a per-node
+// flusher goroutine writes dirty pages back every interval. Safe under
+// the no-steal contract — pages are only dirtied after the owning
+// transaction's WAL commit record is forced, so any dirty page is
+// already redo-covered and may reach disk at any time (WAL-first holds
+// structurally, not by flush ordering). Default 0 = synchronous
+// write-back at commit, the PR 9 behavior.
+func WithBackgroundFlush(every time.Duration) Option {
+	return func(c *config) { c.flushEvery = every }
+}
 
 // WithNodes splits the buffer pool per data node: partition p is served
 // by pool p mod n. The mapping is static — correctness never depends on
@@ -81,9 +103,17 @@ type Store struct {
 	clock    func() event.Time
 
 	// Staged effects: write steps stage one deterministic tuple each;
-	// commit applies and flushes them, abort drops them.
+	// commit applies (and, without a background flusher, flushes) them,
+	// abort drops them. Slices are pooled — see effect.go.
 	stageMu sync.Mutex
-	staged  map[txn.ID][]stagedEffect
+	staged  map[txn.ID]*[]stagedEffect
+
+	// Background flusher wiring (WithBackgroundFlush): one goroutine
+	// per pool, stopped by Quiesce/Close/Crash.
+	flushEvery time.Duration
+	bgMu       sync.Mutex
+	bgStop     chan struct{}
+	bgWG       sync.WaitGroup
 
 	// Un-fsynced write history for Crash: heap pages are never synced,
 	// so a kill may tear any of them; the sequence numbers make the tear
@@ -141,13 +171,18 @@ func Open(dir string, numParts int, opts ...Option) (*Store, error) {
 		dir:         dir,
 		pageSize:    c.pageSize,
 		effectBytes: c.effectBytes,
-		staged:      make(map[txn.ID][]stagedEffect),
+		flushEvery:  c.flushEvery,
+		staged:      make(map[txn.ID]*[]stagedEffect),
 		writeSeq:    make(map[pageKey]int),
 		redoKeys:    make(map[txn.PartitionID]map[EffectKey]bool),
 	}
 	st.pools = make([]*Pool, c.nodes)
 	for i := range st.pools {
-		st.pools[i] = newPool(st, c.poolFrames, c.pageSize)
+		stripes := c.poolStripes
+		if stripes <= 0 {
+			stripes = autoStripes(c.poolFrames)
+		}
+		st.pools[i] = newPoolStriped(st, c.poolFrames, c.pageSize, stripes)
 	}
 	st.parts = make([]*partFile, numParts)
 	for p := range st.parts {
@@ -166,7 +201,57 @@ func Open(dir string, numParts int, opts ...Option) (*Store, error) {
 		pf.pages = pages
 		st.parts[p] = pf
 	}
+	if st.flushEvery > 0 {
+		st.startFlushers()
+	}
 	return st, nil
+}
+
+// startFlushers launches one background write-back goroutine per pool.
+func (st *Store) startFlushers() {
+	st.bgMu.Lock()
+	defer st.bgMu.Unlock()
+	st.bgStop = make(chan struct{})
+	// Capture the channel: Quiesce nils the field before closing, so a
+	// goroutine re-reading st.bgStop would block on a nil channel forever.
+	stop := st.bgStop
+	for _, p := range st.pools {
+		p := p
+		st.bgWG.Add(1)
+		go func() {
+			defer st.bgWG.Done()
+			t := time.NewTicker(st.flushEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					p.flushDirty() // errors resurface on Flush/Close
+				}
+			}
+		}()
+	}
+}
+
+// Quiesce stops the store's background work — the per-node flusher
+// goroutines and every pool's prefetcher — and waits for them. Nothing
+// is flushed or closed; dirty pages stay cached until Flush or Close.
+// Idempotent; Close and Crash imply it. Callers comparing pool counters
+// against an observer's (the chaos batteries) quiesce first so neither
+// side moves mid-comparison.
+func (st *Store) Quiesce() {
+	st.bgMu.Lock()
+	stop := st.bgStop
+	st.bgStop = nil
+	st.bgMu.Unlock()
+	if stop != nil {
+		close(stop)
+		st.bgWG.Wait()
+	}
+	for _, p := range st.pools {
+		p.stop()
+	}
 }
 
 func (st *Store) partPath(p int) string {
@@ -259,13 +344,12 @@ func (st *Store) Bind(o obs.Observer, label string, clock func() event.Time) {
 	st.observer, st.label, st.clock = o, label, clock
 	st.obsMu.Unlock()
 	for _, p := range st.pools {
-		p.mu.Lock()
 		if o == nil {
-			p.onEvent = nil
+			p.onEvent.Store(nil)
 		} else {
-			p.onEvent = st.poolEvent
+			fn := poolEventFn(st.poolEvent)
+			p.onEvent.Store(&fn)
 		}
-		p.mu.Unlock()
 	}
 }
 
@@ -292,8 +376,12 @@ func (st *Store) poolEvent(op string, k pageKey, bytes int) {
 		e.Kind, e.Op = obs.KindPageRead, "hit"
 	case "miss":
 		e.Kind, e.Op = obs.KindPageRead, "miss"
+	case "prefetch":
+		e.Kind, e.Op = obs.KindPageRead, "prefetch"
 	case "write":
 		e.Kind = obs.KindPageWrite
+	case "flush":
+		e.Kind, e.Op = obs.KindPageWrite, "flush"
 	case "evict-clean":
 		e.Kind, e.Op = obs.KindPageEvict, "clean"
 	case "evict-dirty":
@@ -545,12 +633,14 @@ func (st *Store) PinnedFrames() int {
 	return n
 }
 
-// Close flushes every pool and closes the heap files.
+// Close stops background work, flushes every pool, and closes the heap
+// files.
 func (st *Store) Close() error {
 	if st.closed {
 		return nil
 	}
 	st.closed = true
+	st.Quiesce()
 	err := st.Flush()
 	st.closeFiles()
 	return err
@@ -577,6 +667,7 @@ func (st *Store) Crash(frac float64) error {
 		return fmt.Errorf("storage: already closed")
 	}
 	st.closed = true
+	st.Quiesce()
 	if frac < 0 {
 		frac = 0
 	}

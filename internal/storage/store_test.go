@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"batsched/internal/txn"
 	"batsched/internal/wal"
@@ -71,7 +72,9 @@ func TestStoreRoundTrip(t *testing.T) {
 			if !ok {
 				break
 			}
-			got[fmt.Sprintf("%d/%d", rid.Page, rid.Slot)] = tup
+			// Next yields zero-copy slices aliasing the pinned frame;
+			// retention requires a copy.
+			got[fmt.Sprintf("%d/%d", rid.Page, rid.Slot)] = append([]byte(nil), tup...)
 		}
 		it.Close()
 		if err := it.Err(); err != nil {
@@ -376,4 +379,161 @@ func TestStoreOpenValidation(t *testing.T) {
 	if _, err := st.Insert(5, []byte("x")); err == nil {
 		t.Fatal("out-of-range partition accepted")
 	}
+}
+
+// TestStoreCrashRedoFlusherLag extends the crash battery to the
+// background-flusher window the write-ahead contract leaves open: the
+// WAL commit record is forced (modelled here by the caller's committed
+// list), ApplyCommit has mutated cached pages, but the flusher has not
+// written them back yet when the process dies. Reopen + Redo must
+// converge to the committed set from the WAL alone.
+func TestStoreCrashRedoFlusherLag(t *testing.T) {
+	commitLoad := func(t *testing.T, st *Store) []wal.Record {
+		t.Helper()
+		var committed []wal.Record
+		for i := 0; i < 30; i++ {
+			id := txn.ID(i + 1)
+			parts := []txn.PartitionID{txn.PartitionID(i % 4), txn.PartitionID((i + 1) % 4)}
+			for step, p := range parts {
+				st.Stage(id, step, p)
+			}
+			if i%5 == 4 {
+				st.Drop(id)
+				continue
+			}
+			if err := st.ApplyCommit(id); err != nil {
+				t.Fatal(err)
+			}
+			committed = append(committed, mkBegin(id, parts...))
+		}
+		return committed
+	}
+	verify := func(t *testing.T, st2 *Store, committed []wal.Record) {
+		t.Helper()
+		for _, b := range committed {
+			if err := st2.Redo(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := st2.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		for p := 0; p < 4; p++ {
+			part := txn.PartitionID(p)
+			got, err := st2.Keys(part)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := expectedKeys(committed, part)
+			if len(got) != len(want) {
+				t.Fatalf("P%d: %d effects, want %d", p, len(got), len(want))
+			}
+			for k := range want {
+				if !got[k] {
+					t.Fatalf("P%d: missing effect %+v after redo", p, k)
+				}
+			}
+		}
+	}
+
+	t.Run("flusher-never-ran", func(t *testing.T) {
+		// An hour-long interval: the kill lands strictly between the
+		// commit apply and the first flusher pass. Only eviction
+		// write-backs can have reached disk, and frac=0 tears them all.
+		dir := t.TempDir()
+		st := mustOpen(t, dir, 4, WithPageSize(512), WithPoolFrames(8),
+			WithBackgroundFlush(time.Hour))
+		committed := commitLoad(t, st)
+		if f := st.Stats().Flushes; f != 0 {
+			t.Fatalf("flusher ran %d times despite the hour interval", f)
+		}
+		if err := st.Crash(0); err != nil {
+			t.Fatal(err)
+		}
+		st2 := mustOpen(t, dir, 4, WithPageSize(512), WithPoolFrames(8))
+		defer st2.Close()
+		verify(t, st2, committed)
+	})
+
+	t.Run("flusher-racing", func(t *testing.T) {
+		// A microsecond-scale interval with a grace sleep: some pages
+		// reach disk via the flusher, the kill tears half of what was
+		// written. Redo must still converge.
+		dir := t.TempDir()
+		st := mustOpen(t, dir, 4, WithPageSize(512), WithPoolFrames(8),
+			WithBackgroundFlush(200*time.Microsecond))
+		committed := commitLoad(t, st)
+		time.Sleep(5 * time.Millisecond) // let the flusher catch some dirty pages
+		if err := st.Crash(0.5); err != nil {
+			t.Fatal(err)
+		}
+		st2 := mustOpen(t, dir, 4, WithPageSize(512), WithPoolFrames(8))
+		defer st2.Close()
+		verify(t, st2, committed)
+	})
+}
+
+// TestScanZeroCopyAliasing pins down the zero-copy contract: tuples
+// returned by Next alias the pinned frame (no per-record copy), and the
+// pin accounting turns frame-recycling misuse into a panic instead of
+// silent corruption of aliased records.
+func TestScanZeroCopyAliasing(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir, 1, WithPageSize(512))
+	defer st.Close()
+	want := []byte("aliased-tuple-content")
+	if _, err := st.Insert(0, want); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("alias-not-copy", func(t *testing.T) {
+		it := st.Scan(0)
+		defer it.Close()
+		tup, _, ok := it.Next()
+		if !ok {
+			t.Fatal("scan yielded nothing")
+		}
+		if !bytes.Equal(tup, want) {
+			t.Fatalf("tuple diverged: %q", tup)
+		}
+		off := bytes.Index(it.fr.buf, want)
+		if off < 0 {
+			t.Fatal("tuple bytes not found in the pinned frame — Next copied")
+		}
+		it.fr.buf[off] ^= 0xFF // mutate the frame under the pin…
+		if bytes.Equal(tup, want) {
+			t.Fatal("yielded tuple did not alias the frame")
+		}
+		it.fr.buf[off] ^= 0xFF
+	})
+
+	t.Run("copy-survives-close", func(t *testing.T) {
+		it := st.Scan(0)
+		tup, _, ok := it.Next()
+		if !ok {
+			t.Fatal("scan yielded nothing")
+		}
+		kept := append([]byte(nil), tup...)
+		it.Close()
+		if !bytes.Equal(kept, want) {
+			t.Fatal("copied tuple did not survive Close")
+		}
+	})
+
+	t.Run("unpin-misuse-panics", func(t *testing.T) {
+		it := st.Scan(0)
+		if _, _, ok := it.Next(); !ok {
+			t.Fatal("scan yielded nothing")
+		}
+		// Misuse: release the iterator's pin out from under it. The
+		// aliased record is now one eviction away from dangling — the
+		// iterator's own Close must trip the pin accounting.
+		st.poolOf(0).Unpin(it.fr, false)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Close after external Unpin did not panic — misuse would dangle aliased records silently")
+			}
+		}()
+		it.Close()
+	})
 }

@@ -8,6 +8,13 @@
 //
 //	benchjson -old bench/baseline_pr3.txt -new bench/current_pr3.txt
 //
+// An optional third input, -ceiling, names the no-storage (or otherwise
+// unencumbered) run of the same benchmarks. When a benchmark carries a
+// txn/s metric in all three files, the row gains `recovered_pct`: how
+// much of the old→ceiling throughput gap the new run recovers
+// ((new-old)/(ceiling-old)*100 — 0 means no better than the old
+// storage-on run, 100 means storage became free).
+//
 // Lines that are not benchmark results are ignored. Repeated runs of the
 // same benchmark (−count > 1) are averaged.
 package main
@@ -39,10 +46,12 @@ type row struct {
 	Name           string   `json:"name"`
 	Old            *metrics `json:"old,omitempty"`
 	New            *metrics `json:"new,omitempty"`
+	Ceiling        *metrics `json:"ceiling,omitempty"`
 	DeltaNsPct     *float64 `json:"delta_ns_pct,omitempty"`
 	DeltaAllocsPct *float64 `json:"delta_allocs_pct,omitempty"`
 	DeltaMBPct     *float64 `json:"delta_mb_pct,omitempty"`
 	DeltaTxnPct    *float64 `json:"delta_txn_pct,omitempty"`
+	RecoveredPct   *float64 `json:"recovered_pct,omitempty"`
 }
 
 var benchLine = regexp.MustCompile(
@@ -121,6 +130,7 @@ func pct(old, new float64) *float64 {
 func main() {
 	oldPath := flag.String("old", "", "baseline `go test -bench` text output")
 	newPath := flag.String("new", "", "current `go test -bench` text output")
+	ceilPath := flag.String("ceiling", "", "unencumbered-run text output (e.g. storage off) for recovered_pct")
 	note := flag.String("note", "", "free-form note recorded in the JSON")
 	flag.Parse()
 	if *newPath == "" {
@@ -139,6 +149,13 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	ceil := map[string]*metrics{}
+	if *ceilPath != "" {
+		if ceil, err = parse(*ceilPath); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
 	names := make(map[string]bool)
 	for n := range cur {
 		names[n] = true
@@ -153,12 +170,18 @@ func main() {
 	sort.Strings(order)
 	var rows []row
 	for _, n := range order {
-		r := row{Name: n, Old: base[n], New: cur[n]}
+		r := row{Name: n, Old: base[n], New: cur[n], Ceiling: ceil[n]}
 		if r.Old != nil && r.New != nil {
 			r.DeltaNsPct = pct(r.Old.NsPerOp, r.New.NsPerOp)
 			r.DeltaAllocsPct = pct(r.Old.AllocsPerOp, r.New.AllocsPerOp)
 			r.DeltaMBPct = pct(r.Old.MBPerSec, r.New.MBPerSec)
 			r.DeltaTxnPct = pct(r.Old.TxnPerSec, r.New.TxnPerSec)
+			if r.Ceiling != nil && r.Old.TxnPerSec > 0 && r.New.TxnPerSec > 0 &&
+				r.Ceiling.TxnPerSec > r.Old.TxnPerSec {
+				v := math.Round((r.New.TxnPerSec-r.Old.TxnPerSec)/
+					(r.Ceiling.TxnPerSec-r.Old.TxnPerSec)*1000) / 10
+				r.RecoveredPct = &v
+			}
 		}
 		rows = append(rows, r)
 	}
@@ -168,7 +191,7 @@ func main() {
 		Benchmarks []row  `json:"benchmarks"`
 	}{
 		Note:       strings.TrimSpace(*note),
-		Units:      "ns_per_op averaged over runs; mb_per_sec/txn_per_sec from the bench line when present; delta_pct = (new-old)/old*100",
+		Units:      "ns_per_op averaged over runs; mb_per_sec/txn_per_sec from the bench line when present; delta_pct = (new-old)/old*100; recovered_pct = (new-old)/(ceiling-old)*100 on txn/s vs the -ceiling run",
 		Benchmarks: rows,
 	}
 	enc := json.NewEncoder(os.Stdout)
